@@ -1,0 +1,88 @@
+//! Exhaustive vertex-connectivity for tiny graphs (cross-check oracle).
+
+use psi_graph::{CsrGraph, Vertex};
+
+/// Exact vertex connectivity by enumerating all vertex subsets of size `< n − 1` in
+/// increasing size and checking whether their removal disconnects the graph.
+/// Exponential — intended for graphs with at most ~20 vertices.
+pub fn brute_force_vertex_connectivity(graph: &CsrGraph) -> usize {
+    let n = graph.num_vertices();
+    if n <= 1 {
+        return 0;
+    }
+    if !psi_graph::is_connected(graph) {
+        return 0;
+    }
+    assert!(n <= 24, "brute force connectivity is limited to tiny graphs");
+    for size in 0..n - 1 {
+        if some_cut_of_size(graph, size) {
+            return size;
+        }
+    }
+    n - 1
+}
+
+fn some_cut_of_size(graph: &CsrGraph, size: usize) -> bool {
+    let n = graph.num_vertices();
+    let mut subset: Vec<usize> = (0..size).collect();
+    loop {
+        let removed: std::collections::HashSet<Vertex> = subset.iter().map(|&v| v as Vertex).collect();
+        let mask: Vec<bool> = (0..n as Vertex).map(|v| !removed.contains(&v)).collect();
+        let comps = psi_graph::connectivity::connected_components_masked(graph, Some(&mask));
+        if comps.num_components >= 2 {
+            return true;
+        }
+        // next combination
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            if subset[i] != i + n - size {
+                subset[i] += 1;
+                for j in i + 1..size {
+                    subset[j] = subset[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::flow_vertex_connectivity;
+    use psi_graph::generators;
+    use psi_planar::generators as pg;
+
+    #[test]
+    fn matches_flow_baseline_on_small_graphs() {
+        let graphs = vec![
+            generators::cycle(7),
+            generators::path(6),
+            generators::complete(5),
+            generators::wheel(7),
+            generators::grid(3, 4),
+            pg::octahedron().graph,
+            pg::icosahedron().graph,
+            pg::cube().graph,
+            generators::random_stacked_triangulation(12, 3),
+        ];
+        for g in graphs {
+            assert_eq!(
+                brute_force_vertex_connectivity(&g),
+                flow_vertex_connectivity(&g, usize::MAX),
+                "n={}",
+                g.num_vertices()
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let g = generators::disjoint_union(&[&generators::cycle(3), &generators::cycle(3)]);
+        assert_eq!(brute_force_vertex_connectivity(&g), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Baseline algorithms the paper's contribution is compared against.
+//!
+//! * [`ullmann`] — classical backtracking subgraph isomorphism with degree and
+//!   neighbourhood pruning (exact, exponential in general; the "naive `n^k`" reference
+//!   point of Table 1 and the correctness oracle for the randomised pipeline),
+//! * [`eppstein_seq`] — Eppstein's sequential approach: a *single* BFS of the whole
+//!   graph replaces the clustering, and the resulting level windows are solved with the
+//!   same bounded-treewidth DP (deterministic, `Θ(kn)` depth),
+//! * [`maxflow`] — Even–Tarjan style vertex connectivity via unit-capacity max-flow on
+//!   the split graph (Dinic), the exact reference for the vertex-connectivity
+//!   experiments,
+//! * [`brute_force`] — exhaustive small-cut enumeration for tiny graphs.
+
+pub mod brute_force;
+pub mod eppstein_seq;
+pub mod maxflow;
+pub mod ullmann;
+
+pub use brute_force::brute_force_vertex_connectivity;
+pub use eppstein_seq::eppstein_sequential_decide;
+pub use maxflow::flow_vertex_connectivity;
+pub use ullmann::{ullmann_count, ullmann_decide, ullmann_find};

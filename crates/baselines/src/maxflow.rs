@@ -1,0 +1,177 @@
+//! Exact vertex connectivity via unit-capacity max-flow (Even–Tarjan), the ground-truth
+//! baseline for the vertex-connectivity experiments.
+//!
+//! Vertex connectivity `κ(G)` equals the minimum over suitable vertex pairs `(s, t)` of
+//! the maximum number of internally vertex-disjoint `s`–`t` paths, computed by Dinic's
+//! algorithm on the standard vertex-split network (each vertex `v` becomes `v_in → v_out`
+//! with capacity 1). Following Even–Tarjan it suffices to take `s` from a small set
+//! (more than `κ` vertices: we use `min_degree + 1` candidates) and `t` over
+//! non-neighbours of `s`, plus all non-adjacent pairs among the candidates.
+
+use psi_graph::{CsrGraph, Vertex};
+
+/// Dinic max-flow on a small integer-capacity network.
+struct Dinic {
+    // adjacency: per node, list of edge ids
+    graph: Vec<Vec<usize>>,
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    fn new(n: usize) -> Self {
+        Dinic { graph: vec![Vec::new(); n], to: Vec::new(), cap: Vec::new(), level: vec![0; n], iter: vec![0; n] }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: i64) {
+        let e = self.to.len();
+        self.graph[from].push(e);
+        self.to.push(to);
+        self.cap.push(cap);
+        self.graph[to].push(e + 1);
+        self.to.push(from);
+        self.cap.push(0);
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.graph[u] {
+                if self.cap[e] > 0 && self.level[self.to[e]] < 0 {
+                    self.level[self.to[e]] = self.level[u] + 1;
+                    queue.push_back(self.to[e]);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, f: i64) -> i64 {
+        if u == t {
+            return f;
+        }
+        while self.iter[u] < self.graph[u].len() {
+            let e = self.graph[u][self.iter[u]];
+            let v = self.to[e];
+            if self.cap[e] > 0 && self.level[v] == self.level[u] + 1 {
+                let d = self.dfs(v, t, f.min(self.cap[e]));
+                if d > 0 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize, limit: i64) -> i64 {
+        let mut flow = 0;
+        while flow < limit && self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, i64::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+                if flow >= limit {
+                    break;
+                }
+            }
+        }
+        flow
+    }
+}
+
+/// Maximum number of internally vertex-disjoint `s`–`t` paths (for non-adjacent `s ≠ t`),
+/// capped at `limit` to keep the computation cheap when only small values matter.
+pub fn local_vertex_connectivity(graph: &CsrGraph, s: Vertex, t: Vertex, limit: usize) -> usize {
+    let n = graph.num_vertices();
+    // node 2v = v_in, 2v + 1 = v_out
+    let mut dinic = Dinic::new(2 * n);
+    for v in 0..n {
+        dinic.add_edge(2 * v, 2 * v + 1, 1);
+    }
+    for (u, v) in graph.edges() {
+        dinic.add_edge(2 * u as usize + 1, 2 * v as usize, i64::MAX / 4);
+        dinic.add_edge(2 * v as usize + 1, 2 * u as usize, i64::MAX / 4);
+    }
+    dinic.max_flow(2 * s as usize + 1, 2 * t as usize, limit as i64) as usize
+}
+
+/// Exact vertex connectivity (Even–Tarjan pair selection), capped at `cap` (pass
+/// `usize::MAX` for the true value; planar callers use 6).
+pub fn flow_vertex_connectivity(graph: &CsrGraph, cap: usize) -> usize {
+    let n = graph.num_vertices();
+    if n <= 1 {
+        return 0;
+    }
+    if !psi_graph::is_connected(graph) {
+        return 0;
+    }
+    if n == 2 {
+        return 1;
+    }
+    let min_degree = graph.min_degree();
+    let mut best = min_degree.min(n - 1).min(cap);
+    // candidate sources: the min_degree + 1 lowest-degree vertices (more than κ of them)
+    let mut by_degree: Vec<Vertex> = (0..n as Vertex).collect();
+    by_degree.sort_by_key(|&v| graph.degree(v));
+    let sources: Vec<Vertex> = by_degree.iter().copied().take(min_degree + 1).collect();
+    for &s in &sources {
+        for t in 0..n as Vertex {
+            if t == s || graph.has_edge(s, t) {
+                continue;
+            }
+            let local = local_vertex_connectivity(graph, s, t, best + 1);
+            best = best.min(local);
+            if best == 0 {
+                return 0;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::generators;
+    use psi_planar::generators as pg;
+
+    #[test]
+    fn known_connectivities() {
+        assert_eq!(flow_vertex_connectivity(&generators::cycle(9), 6), 2);
+        assert_eq!(flow_vertex_connectivity(&generators::path(5), 6), 1);
+        assert_eq!(flow_vertex_connectivity(&generators::complete(5), 6), 4);
+        assert_eq!(flow_vertex_connectivity(&generators::wheel(8), 6), 3);
+        assert_eq!(flow_vertex_connectivity(&generators::grid(4, 4), 6), 2);
+        assert_eq!(flow_vertex_connectivity(&pg::octahedron().graph, 6), 4);
+        assert_eq!(flow_vertex_connectivity(&pg::icosahedron().graph, 6), 5);
+        assert_eq!(flow_vertex_connectivity(&pg::double_wheel(7).graph, 6), 4);
+    }
+
+    #[test]
+    fn disconnected_and_tiny() {
+        let g = generators::disjoint_union(&[&generators::path(2), &generators::path(2)]);
+        assert_eq!(flow_vertex_connectivity(&g, 6), 0);
+        assert_eq!(flow_vertex_connectivity(&generators::path(2), 6), 1);
+        assert_eq!(flow_vertex_connectivity(&CsrGraph::empty(1), 6), 0);
+    }
+
+    #[test]
+    fn local_connectivity_matches_menger_on_grid() {
+        let g = generators::grid(5, 5);
+        // opposite corners of the grid: 2 vertex-disjoint paths
+        assert_eq!(local_vertex_connectivity(&g, 0, 24, 10), 2);
+        // centre to a non-neighbour boundary vertex: 4 disjoint paths leave the centre
+        assert_eq!(local_vertex_connectivity(&g, 12, 0, 10), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Backtracking subgraph isomorphism (Ullmann-style), the exact general-graph baseline.
+
+use planar_subiso::Pattern;
+use psi_graph::{CsrGraph, Vertex};
+
+struct Search<'a> {
+    pattern: &'a Pattern,
+    target: &'a CsrGraph,
+    order: Vec<usize>,
+    mapping: Vec<Option<Vertex>>,
+    used: Vec<bool>,
+    found: Vec<Vec<Vertex>>,
+    limit: usize,
+}
+
+impl<'a> Search<'a> {
+    fn new(pattern: &'a Pattern, target: &'a CsrGraph, limit: usize) -> Self {
+        // order pattern vertices by decreasing degree, preferring vertices adjacent to
+        // already-ordered ones (a simple connectivity-aware ordering)
+        let k = pattern.k();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(pattern.neighbors(v).len()));
+        Search {
+            pattern,
+            target,
+            order,
+            mapping: vec![None; k],
+            used: vec![false; target.num_vertices()],
+            found: Vec::new(),
+            limit,
+        }
+    }
+
+    fn run(&mut self) {
+        self.recurse(0);
+    }
+
+    fn recurse(&mut self, depth: usize) {
+        if self.found.len() >= self.limit {
+            return;
+        }
+        if depth == self.order.len() {
+            let occ: Vec<Vertex> = self.mapping.iter().map(|m| m.unwrap()).collect();
+            self.found.push(occ);
+            return;
+        }
+        let pv = self.order[depth];
+        let pdeg = self.pattern.neighbors(pv).len();
+        // candidate targets: degree at least deg(pv), unused, consistent with mapped neighbours
+        for t in 0..self.target.num_vertices() as Vertex {
+            if self.used[t as usize] || self.target.degree(t) < pdeg {
+                continue;
+            }
+            let consistent = self.pattern.neighbors(pv).iter().all(|&q| {
+                match self.mapping[q as usize] {
+                    Some(tq) => self.target.has_edge(t, tq),
+                    None => true,
+                }
+            });
+            if !consistent {
+                continue;
+            }
+            self.mapping[pv] = Some(t);
+            self.used[t as usize] = true;
+            self.recurse(depth + 1);
+            self.used[t as usize] = false;
+            self.mapping[pv] = None;
+            if self.found.len() >= self.limit {
+                return;
+            }
+        }
+    }
+}
+
+/// Decides whether the pattern occurs in the target (exact).
+pub fn ullmann_decide(pattern: &Pattern, target: &CsrGraph) -> bool {
+    ullmann_find(pattern, target).is_some()
+}
+
+/// Finds one occurrence, if any (exact).
+pub fn ullmann_find(pattern: &Pattern, target: &CsrGraph) -> Option<Vec<Vertex>> {
+    if pattern.k() == 0 {
+        return Some(Vec::new());
+    }
+    if pattern.k() > target.num_vertices() {
+        return None;
+    }
+    let mut search = Search::new(pattern, target, 1);
+    search.run();
+    search.found.into_iter().next()
+}
+
+/// Counts all occurrences (as mappings). Exponential; use on small inputs only.
+pub fn ullmann_count(pattern: &Pattern, target: &CsrGraph) -> usize {
+    if pattern.k() == 0 {
+        return 1;
+    }
+    if pattern.k() > target.num_vertices() {
+        return 0;
+    }
+    let mut search = Search::new(pattern, target, usize::MAX);
+    search.run();
+    search.found.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_subiso::verify_occurrence;
+    use psi_graph::generators;
+
+    #[test]
+    fn agrees_with_hand_counts() {
+        let g = generators::complete(4);
+        assert_eq!(ullmann_count(&Pattern::triangle(), &g), 24);
+        assert_eq!(ullmann_count(&Pattern::cycle(4), &g), 24);
+        assert_eq!(ullmann_count(&Pattern::path(2), &g), 12);
+        assert!(!ullmann_decide(&Pattern::clique(5), &g));
+    }
+
+    #[test]
+    fn finds_verified_occurrences() {
+        let g = generators::triangulated_grid(5, 5);
+        for p in [Pattern::triangle(), Pattern::cycle(4), Pattern::path(6), Pattern::clique(4)] {
+            if let Some(occ) = ullmann_find(&p, &g) {
+                assert!(verify_occurrence(&p, &g, &occ));
+            }
+        }
+        assert!(ullmann_decide(&Pattern::triangle(), &g));
+        assert!(!ullmann_decide(&Pattern::clique(5), &g));
+    }
+
+    #[test]
+    fn agrees_with_core_pipeline() {
+        let g = generators::random_stacked_triangulation(50, 8);
+        for p in [Pattern::triangle(), Pattern::cycle(4), Pattern::cycle(5), Pattern::star(5), Pattern::clique(4)] {
+            assert_eq!(ullmann_decide(&p, &g), planar_subiso::decide(&p, &g), "k={}", p.k());
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let g = generators::path(3);
+        assert!(ullmann_decide(&Pattern::empty(), &g));
+        assert_eq!(ullmann_count(&Pattern::single_vertex(), &g), 3);
+        assert!(!ullmann_decide(&Pattern::path(4), &g));
+    }
+}

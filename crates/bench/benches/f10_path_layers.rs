@@ -1,0 +1,40 @@
+//! F10 — Lemma 3.2: decomposing trees into layered paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use psi_treedecomp::path_layers::RootedTree;
+use psi_treedecomp::{layer_numbers, layer_numbers_parallel, tree_into_paths};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tree(n: usize, seed: u64) -> RootedTree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut parent = vec![usize::MAX; n];
+    for v in 1..n {
+        parent[v] = rng.gen_range(0..v);
+    }
+    RootedTree::from_parents(parent)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f10_path_layers");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [10_000usize, 100_000] {
+        let tree = random_tree(n, 1);
+        group.bench_with_input(BenchmarkId::new("layer_numbers_seq", n), &tree, |b, t| {
+            b.iter(|| layer_numbers(t))
+        });
+        group.bench_with_input(BenchmarkId::new("layer_numbers_par", n), &tree, |b, t| {
+            b.iter(|| layer_numbers_parallel(t))
+        });
+        group.bench_with_input(BenchmarkId::new("tree_into_paths", n), &tree, |b, t| {
+            b.iter(|| tree_into_paths(t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

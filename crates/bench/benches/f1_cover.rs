@@ -1,0 +1,23 @@
+//! F1 — Theorem 2.4: construction cost of the parallel treewidth k-d cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use planar_subiso::build_cover;
+use psi_bench::target_with_n;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_cover");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [4096usize, 16384] {
+        let g = target_with_n(n);
+        group.bench_with_input(BenchmarkId::from_parameter(g.num_vertices()), &g, |b, g| {
+            b.iter(|| build_cover(g, 6, 3, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

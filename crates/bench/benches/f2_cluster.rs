@@ -1,0 +1,26 @@
+//! F2 — Lemma 2.3: exponential start time clustering, sequential vs. parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use psi_bench::target_with_n;
+use psi_cluster::{cluster, cluster_parallel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_cluster");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [16384usize, 65536] {
+        let g = target_with_n(n);
+        group.bench_with_input(BenchmarkId::new("sequential", g.num_vertices()), &g, |b, g| {
+            b.iter(|| cluster(g, 8.0, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", g.num_vertices()), &g, |b, g| {
+            b.iter(|| cluster_parallel(g, 8.0, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! F3 — Theorem 2.1: near-linear work scaling in the target size n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use planar_subiso::{Pattern, SubgraphIsomorphism};
+use psi_bench::{size_sweep, target_with_n};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_scaling_n");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let query = SubgraphIsomorphism::new(Pattern::cycle(4));
+    for n in size_sweep(20_000) {
+        let g = target_with_n(n);
+        group.throughput(Throughput::Elements(g.num_vertices() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(g.num_vertices()), &g, |b, g| {
+            b.iter(|| query.decide(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

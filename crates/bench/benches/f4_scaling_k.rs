@@ -1,0 +1,22 @@
+//! F4 — Corollary 2.2: dependence of the work on the pattern size k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use planar_subiso::{Pattern, SubgraphIsomorphism};
+use psi_bench::target_with_n;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_scaling_k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let g = target_with_n(4096);
+    for k in 3..=7usize {
+        let query = SubgraphIsomorphism::new(Pattern::cycle(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| b.iter(|| query.decide(g)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! F5 — Theorem 4.2: listing all occurrences; cost grows with the occurrence count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use planar_subiso::{Pattern, SubgraphIsomorphism};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_listing");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for side in [6usize, 10, 14] {
+        let g = psi_graph::generators::triangulated_grid(side, side);
+        let query = SubgraphIsomorphism::new(Pattern::triangle());
+        group.bench_with_input(BenchmarkId::from_parameter(g.num_vertices()), &g, |b, g| {
+            b.iter(|| query.list_all(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! F6 — Lemma 4.1: overhead of disconnected patterns (colour coding).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use planar_subiso::{Pattern, SubgraphIsomorphism};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6_disconnected");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let g = psi_graph::generators::triangulated_grid(32, 32);
+    let patterns: Vec<(&str, Pattern)> = vec![
+        ("1_component_triangle", Pattern::triangle()),
+        ("2_components_edges", Pattern::from_edges(4, &[(0, 1), (2, 3)])),
+        ("2_components_triangle_edge", Pattern::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)])),
+    ];
+    for (name, p) in patterns {
+        let query = SubgraphIsomorphism::new(p);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| query.find_one(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! F7 — Lemma 5.2: planar vertex connectivity vs. the max-flow baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use planar_subiso::{vertex_connectivity, ConnectivityMode};
+use psi_baselines::flow_vertex_connectivity;
+use psi_planar::generators as pg;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f7_connectivity");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let cases = vec![
+        ("cycle32", pg::cycle_embedded(32)),
+        ("wheel24", pg::wheel_embedded(24)),
+        ("octahedron", pg::octahedron()),
+        ("stacked24", pg::stacked_triangulation_embedded(24, 7)),
+    ];
+    for (name, e) in cases {
+        group.bench_with_input(BenchmarkId::new("separating_cycles", name), &e, |b, e| {
+            b.iter(|| vertex_connectivity(e, ConnectivityMode::WholeGraph, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("max_flow", name), &e, |b, e| {
+            b.iter(|| flow_vertex_connectivity(&e.graph, 6))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

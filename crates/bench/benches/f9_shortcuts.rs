@@ -1,0 +1,29 @@
+//! F9 — Lemma 3.3 ablation: path-parallel DP with and without shortcuts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use planar_subiso::{run_parallel, ParallelDpConfig, Pattern};
+use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f9_shortcuts");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let pattern = Pattern::path(4);
+    for n in [512usize, 2048] {
+        let g = psi_graph::generators::path(n);
+        let td = min_degree_decomposition(&g);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        group.bench_with_input(BenchmarkId::new("with_shortcuts", n), &btd, |b, btd| {
+            b.iter(|| run_parallel(&g, &pattern, btd, ParallelDpConfig { use_shortcuts: true }))
+        });
+        group.bench_with_input(BenchmarkId::new("without_shortcuts", n), &btd, |b, btd| {
+            b.iter(|| run_parallel(&g, &pattern, btd, ParallelDpConfig { use_shortcuts: false }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

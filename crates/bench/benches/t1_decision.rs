@@ -1,0 +1,37 @@
+//! T1 — Table 1 analogue: decision of fixed small patterns, this paper's pipeline vs.
+//! the sequential Eppstein-style cover and Ullmann backtracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planar_subiso::{QueryConfig, SubgraphIsomorphism};
+use psi_baselines::{eppstein_sequential_decide, ullmann_decide};
+use psi_bench::{table1_patterns, target_with_n};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_decision");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let g = target_with_n(4096);
+    for (name, pattern) in table1_patterns() {
+        // A bounded repetition count keeps the "pattern absent" rows affordable; the
+        // statistical guarantee of the full O(log n) repetitions is exercised in tests.
+        let query = SubgraphIsomorphism::with_config(
+            pattern.clone(),
+            QueryConfig { repetitions: Some(8), ..QueryConfig::default() },
+        );
+        group.bench_with_input(BenchmarkId::new("this_paper", name), &g, |b, g| {
+            b.iter(|| query.decide(g))
+        });
+        group.bench_with_input(BenchmarkId::new("eppstein_seq", name), &g, |b, g| {
+            b.iter(|| eppstein_sequential_decide(&pattern, g))
+        });
+        group.bench_with_input(BenchmarkId::new("ullmann", name), &g, |b, g| {
+            b.iter(|| ullmann_decide(&pattern, g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,302 @@
+//! Prints the paper-style experiment tables recorded in `EXPERIMENTS.md`.
+//!
+//! Each section corresponds to one experiment of the index in `DESIGN.md` (T1,
+//! F1–F10). The binary is deliberately text-only: run it with
+//! `cargo run -p psi-bench --release --bin experiments [section ...]` and paste the
+//! relevant rows into `EXPERIMENTS.md`.
+
+use planar_subiso::{
+    build_cover, vertex_connectivity, ConnectivityMode, Pattern, SubgraphIsomorphism,
+};
+use psi_baselines::{eppstein_sequential_decide, flow_vertex_connectivity, ullmann_decide};
+use psi_bench::{size_sweep, table1_patterns, target_with_n};
+use psi_cluster::cluster;
+use psi_graph::generators;
+use psi_planar::generators as pg;
+use psi_treedecomp::{min_degree_decomposition, path_layers::RootedTree, tree_into_paths, BinaryTreeDecomposition};
+use std::time::Instant;
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(name));
+
+    if want("t1") {
+        t1_decision();
+    }
+    if want("f1") {
+        f1_cover();
+    }
+    if want("f2") {
+        f2_cluster();
+    }
+    if want("f3") {
+        f3_scaling_n();
+    }
+    if want("f4") {
+        f4_scaling_k();
+    }
+    if want("f5") {
+        f5_listing();
+    }
+    if want("f6") {
+        f6_disconnected();
+    }
+    if want("f7") {
+        f7_connectivity();
+    }
+    if want("f8") {
+        f8_threads();
+    }
+    if want("f9") {
+        f9_shortcuts();
+    }
+    if want("f10") {
+        f10_path_layers();
+    }
+}
+
+/// T1 — Table 1 analogue: decision time of this paper's pipeline vs. the baselines.
+fn t1_decision() {
+    println!("\n== T1: decision time [ms], this paper vs. baselines ==");
+    println!("{:<10} {:>8} {:>12} {:>14} {:>12}", "pattern", "n", "this paper", "eppstein-seq", "ullmann");
+    for n in [4096usize, 16384] {
+        let g = target_with_n(n);
+        for (name, p) in table1_patterns() {
+            let query = SubgraphIsomorphism::new(p.clone());
+            let (_, ours) = timed(|| query.decide(&g));
+            let (_, epp) = timed(|| eppstein_sequential_decide(&p, &g));
+            let (_, ull) = timed(|| ullmann_decide(&p, &g));
+            println!("{:<10} {:>8} {:>12.2} {:>14.2} {:>12.2}", name, g.num_vertices(), ours, epp, ull);
+        }
+    }
+}
+
+/// F1 — Theorem 2.4: cover quality (width, multiplicity, retention).
+fn f1_cover() {
+    println!("\n== F1: k-d cover quality (Theorem 2.4) ==");
+    println!("{:>8} {:>4} {:>4} {:>12} {:>14} {:>12}", "n", "k", "d", "max width", "max per-vertex", "retention");
+    for side in [64usize, 128] {
+        let (k, d) = (6usize, 3usize);
+        let (g, planted) = generators::grid_with_planted_cycle(side, side, k);
+        let trials = 20;
+        let mut retained = 0;
+        let mut max_width = 0usize;
+        let mut max_mult = 0usize;
+        for s in 0..trials {
+            let cover = build_cover(&g, k, d, s);
+            if cover.some_piece_contains(&planted) {
+                retained += 1;
+            }
+            max_mult = max_mult.max(cover.max_pieces_per_vertex(g.num_vertices()));
+            if s == 0 {
+                for piece in &cover.pieces {
+                    if piece.sub.num_vertices() > 2 {
+                        max_width = max_width.max(min_degree_decomposition(&piece.sub.graph).width());
+                    }
+                }
+            }
+        }
+        println!(
+            "{:>8} {:>4} {:>4} {:>12} {:>14} {:>11.2}",
+            g.num_vertices(),
+            k,
+            d,
+            format!("{} (<= {})", max_width, 3 * (d + 1)),
+            format!("{} (<= {})", max_mult, d + 1),
+            retained as f64 / trials as f64
+        );
+    }
+}
+
+/// F2 — Lemma 2.3: clustering edge-cut probability and diameter.
+fn f2_cluster() {
+    println!("\n== F2: exponential start time clustering (Lemma 2.3) ==");
+    println!("{:>8} {:>6} {:>16} {:>10} {:>16}", "n", "beta", "crossing frac", "1/beta", "max radius");
+    let g = generators::triangulated_grid(96, 96);
+    for beta in [2.0f64, 4.0, 8.0, 16.0] {
+        let trials = 10;
+        let mut frac = 0.0;
+        let mut radius = 0;
+        for s in 0..trials {
+            let c = cluster(&g, beta, s);
+            frac += c.crossing_fraction(&g);
+            radius = radius.max(c.max_cluster_radius(&g));
+        }
+        println!(
+            "{:>8} {:>6.1} {:>16.4} {:>10.4} {:>16}",
+            g.num_vertices(),
+            beta,
+            frac / trials as f64,
+            1.0 / beta,
+            radius
+        );
+    }
+}
+
+/// F3 — Theorem 2.1: near-linear scaling in n.
+fn f3_scaling_n() {
+    println!("\n== F3: scaling in n (Theorem 2.1), pattern = C4 ==");
+    println!("{:>8} {:>12} {:>22}", "n", "time [ms]", "time / (n log n) [us]");
+    let p = Pattern::cycle(4);
+    for n in size_sweep(70_000) {
+        let g = target_with_n(n);
+        let query = SubgraphIsomorphism::new(p.clone());
+        let (_, ms) = timed(|| query.decide(&g));
+        let nlogn = g.num_vertices() as f64 * (g.num_vertices() as f64).log2();
+        println!("{:>8} {:>12.2} {:>22.4}", g.num_vertices(), ms, ms * 1000.0 / nlogn);
+    }
+}
+
+/// F4 — Corollary 2.2: dependence on pattern size k.
+fn f4_scaling_k() {
+    println!("\n== F4: scaling in pattern size k (cycles C3..C8), n ~ 16k ==");
+    println!("{:>4} {:>12}", "k", "time [ms]");
+    let g = target_with_n(16_384);
+    for k in 3..=8usize {
+        let query = SubgraphIsomorphism::new(Pattern::cycle(k));
+        let (_, ms) = timed(|| query.decide(&g));
+        println!("{:>4} {:>12.2}", k, ms);
+    }
+}
+
+/// F5 — Theorem 4.2: listing work grows with the number of occurrences.
+fn f5_listing() {
+    println!("\n== F5: listing all occurrences (Theorem 4.2), pattern = triangle ==");
+    println!("{:>8} {:>12} {:>12} {:>12}", "n", "mappings", "images", "time [ms]");
+    for side in [8usize, 16, 24] {
+        let g = generators::triangulated_grid(side, side);
+        let query = SubgraphIsomorphism::new(Pattern::triangle());
+        let (occs, ms) = timed(|| query.list_all(&g));
+        println!(
+            "{:>8} {:>12} {:>12} {:>12.2}",
+            g.num_vertices(),
+            occs.len(),
+            planar_subiso::count_distinct_images(&occs),
+            ms
+        );
+    }
+}
+
+/// F6 — Lemma 4.1: disconnected pattern overhead.
+fn f6_disconnected() {
+    println!("\n== F6: disconnected patterns (Lemma 4.1) ==");
+    println!("{:<24} {:>12}", "pattern", "time [ms]");
+    let g = generators::triangulated_grid(48, 48);
+    let patterns: Vec<(&str, Pattern)> = vec![
+        ("triangle (1 comp)", Pattern::triangle()),
+        ("2 disjoint edges", Pattern::from_edges(4, &[(0, 1), (2, 3)])),
+        ("triangle + edge", Pattern::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)])),
+        ("3 disjoint edges", Pattern::from_edges(6, &[(0, 1), (2, 3), (4, 5)])),
+    ];
+    for (name, p) in patterns {
+        let query = SubgraphIsomorphism::new(p);
+        let (found, ms) = timed(|| query.find_one(&g).is_some());
+        println!("{:<24} {:>12.2}   found={found}", name, ms);
+    }
+}
+
+/// F7 — Lemma 5.2: vertex connectivity, correctness and timing vs. the flow baseline.
+fn f7_connectivity() {
+    println!("\n== F7: planar vertex connectivity (Lemma 5.2) ==");
+    println!("{:<28} {:>6} {:>6} {:>6} {:>12} {:>12}", "graph", "n", "ours", "flow", "ours [ms]", "flow [ms]");
+    let cases: Vec<(&str, psi_planar::Embedding)> = vec![
+        ("cycle C32", pg::cycle_embedded(32)),
+        ("wheel W24", pg::wheel_embedded(24)),
+        ("double wheel (rim 8)", pg::double_wheel(8)),
+        ("octahedron", pg::octahedron()),
+        ("icosahedron", pg::icosahedron()),
+        ("triangulated grid 10x10", pg::triangulated_grid_embedded(10, 10)),
+        ("stacked triangulation 30", pg::stacked_triangulation_embedded(30, 7)),
+    ];
+    for (name, e) in cases {
+        let (ours, t_ours) = timed(|| vertex_connectivity(&e, ConnectivityMode::WholeGraph, 1).connectivity);
+        let (flow, t_flow) = timed(|| flow_vertex_connectivity(&e.graph, 6));
+        println!("{:<28} {:>6} {:>6} {:>6} {:>12.2} {:>12.2}", name, e.graph.num_vertices(), ours, flow, t_ours, t_flow);
+    }
+}
+
+/// F8 — depth proxy: strong scaling over rayon threads.
+fn f8_threads() {
+    println!("\n== F8: strong scaling (depth proxy), decide C4 on n ~ 65k ==");
+    println!("{:>8} {:>12} {:>10}", "threads", "time [ms]", "speedup");
+    let g = target_with_n(65_536);
+    let p = Pattern::cycle(4);
+    let mut base = None;
+    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let query = SubgraphIsomorphism::new(p.clone());
+        let (_, ms) = timed(|| pool.install(|| query.decide(&g)));
+        let speedup = base.map(|b: f64| b / ms).unwrap_or(1.0);
+        if base.is_none() {
+            base = Some(ms);
+        }
+        println!("{:>8} {:>12.2} {:>10.2}", threads, ms, speedup);
+        threads *= 2;
+    }
+}
+
+/// F9 — Lemma 3.3: rounds with and without shortcuts.
+fn f9_shortcuts() {
+    println!("\n== F9: shortcut ablation (Lemma 3.3), path target, pattern = P4 ==");
+    println!("{:>8} {:>18} {:>18}", "n", "rounds (shortcut)", "rounds (naive)");
+    for n in [256usize, 1024, 4096] {
+        let g = generators::path(n);
+        let p = Pattern::path(4);
+        let td = min_degree_decomposition(&g);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        let (_, fast) = planar_subiso::run_parallel(&g, &p, &btd, planar_subiso::ParallelDpConfig { use_shortcuts: true });
+        let (_, slow) = planar_subiso::run_parallel(&g, &p, &btd, planar_subiso::ParallelDpConfig { use_shortcuts: false });
+        println!("{:>8} {:>18} {:>18}", n, fast.max_rounds_per_path, slow.max_rounds_per_path);
+    }
+}
+
+/// F10 — Lemma 3.2: number of path layers vs. log2 n.
+fn f10_path_layers() {
+    println!("\n== F10: tree-into-paths layers (Lemma 3.2) ==");
+    println!("{:<24} {:>8} {:>8} {:>10}", "tree", "nodes", "layers", "log2(n)+1");
+    let shapes: Vec<(&str, Vec<usize>)> = vec![
+        ("path(4095)", {
+            let mut parent = vec![usize::MAX];
+            for v in 1..4095 {
+                parent.push(v - 1);
+            }
+            parent
+        }),
+        ("balanced(4095)", {
+            let mut parent = vec![usize::MAX];
+            for v in 1..4095 {
+                parent.push((v - 1) / 2);
+            }
+            parent
+        }),
+        ("random(4095)", {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+            let mut parent = vec![usize::MAX];
+            for v in 1..4095usize {
+                parent.push(rng.gen_range(0..v));
+            }
+            parent
+        }),
+    ];
+    for (name, parent) in shapes {
+        let n = parent.len();
+        let tree = RootedTree::from_parents(parent);
+        let pd = tree_into_paths(&tree);
+        println!(
+            "{:<24} {:>8} {:>8} {:>10}",
+            name,
+            n,
+            pd.num_layers(),
+            (n as f64).log2().floor() as usize + 1
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared helpers for the benchmark harness (workload generators and small utilities
+//! used by both the Criterion benches and the `experiments` binary).
+
+use planar_subiso::Pattern;
+use psi_graph::CsrGraph;
+
+/// The standard target-graph family of the experiments: a triangulated grid with
+/// approximately `n` vertices (planar, diameter `Θ(√n)`).
+pub fn target_with_n(n: usize) -> CsrGraph {
+    let side = (n as f64).sqrt().ceil() as usize;
+    psi_graph::generators::triangulated_grid(side.max(2), side.max(2))
+}
+
+/// The pattern set used by the Table 1 style comparisons.
+pub fn table1_patterns() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("triangle", Pattern::triangle()),
+        ("C4", Pattern::cycle(4)),
+        ("P4", Pattern::path(4)),
+        ("K4", Pattern::clique(4)),
+    ]
+}
+
+/// Geometric size sweep used by the scaling experiments.
+pub fn size_sweep(max_n: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut n = 1024usize;
+    while n <= max_n {
+        sizes.push(n);
+        n *= 4;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_requested_magnitude() {
+        let g = target_with_n(10_000);
+        let n = g.num_vertices();
+        assert!(n >= 10_000 && n < 11_000);
+        assert_eq!(table1_patterns().len(), 4);
+        assert_eq!(size_sweep(20_000), vec![1024, 4096, 16384]);
+    }
+}

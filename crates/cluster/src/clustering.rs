@@ -1,0 +1,409 @@
+//! Shifted multi-source BFS computing the exponential start time clustering.
+
+use crate::shifts::exponential_shifts;
+use psi_graph::{CsrGraph, Vertex, INVALID_VERTEX};
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A clustering (vertex partition) of a graph.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// For every vertex the centre vertex of its cluster.
+    pub center: Vec<Vertex>,
+    /// Dense cluster id (`0..num_clusters`) of every vertex.
+    pub cluster_of: Vec<u32>,
+    /// The vertices of every cluster, indexed by dense cluster id. The first entry of
+    /// each cluster is its centre.
+    pub clusters: Vec<Vec<Vertex>>,
+    /// Shifted arrival time of every vertex (`dist(c, v) − δ_c + δ_max`).
+    pub arrival: Vec<f64>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Edges of `graph` whose endpoints lie in different clusters.
+    pub fn crossing_edges(&self, graph: &CsrGraph) -> Vec<(Vertex, Vertex)> {
+        graph
+            .edges()
+            .filter(|&(u, v)| self.cluster_of[u as usize] != self.cluster_of[v as usize])
+            .collect()
+    }
+
+    /// Fraction of edges crossing clusters (0 for an edgeless graph).
+    pub fn crossing_fraction(&self, graph: &CsrGraph) -> f64 {
+        let m = graph.num_edges();
+        if m == 0 {
+            return 0.0;
+        }
+        self.crossing_edges(graph).len() as f64 / m as f64
+    }
+
+    /// Whether a vertex subset lies entirely inside one cluster.
+    pub fn is_within_one_cluster(&self, vertices: &[Vertex]) -> bool {
+        match vertices.split_first() {
+            None => true,
+            Some((&first, rest)) => {
+                let c = self.cluster_of[first as usize];
+                rest.iter().all(|&v| self.cluster_of[v as usize] == c)
+            }
+        }
+    }
+
+    /// The largest *unshifted* BFS eccentricity of a cluster centre within its own
+    /// cluster — an upper bound witness for the cluster (strong-)diameter guarantee.
+    pub fn max_cluster_radius(&self, graph: &CsrGraph) -> u32 {
+        self.clusters
+            .par_iter()
+            .map(|members| {
+                let center = members[0];
+                let in_cluster: Vec<bool> = {
+                    let mut m = vec![false; graph.num_vertices()];
+                    for &v in members {
+                        m[v as usize] = true;
+                    }
+                    m
+                };
+                let t = psi_graph::bfs::bfs_restricted(graph, center, |v| in_cluster[v as usize]);
+                members.iter().map(|&v| t.dist[v as usize]).filter(|&d| d != u32::MAX).max().unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    arrival: f64,
+    vertex: Vertex,
+    center: Vertex,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get the smallest arrival first, breaking
+        // ties deterministically by (vertex, center).
+        other
+            .arrival
+            .partial_cmp(&self.arrival)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+            .then_with(|| other.center.cmp(&self.center))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn assemble(center: Vec<Vertex>, arrival: Vec<f64>) -> Clustering {
+    let n = center.len();
+    let mut cluster_ids: Vec<Vertex> = center.iter().copied().filter(|&c| c != INVALID_VERTEX).collect();
+    cluster_ids.sort_unstable();
+    cluster_ids.dedup();
+    let mut dense = std::collections::HashMap::with_capacity(cluster_ids.len());
+    for (i, &c) in cluster_ids.iter().enumerate() {
+        dense.insert(c, i as u32);
+    }
+    let mut cluster_of = vec![u32::MAX; n];
+    let mut clusters: Vec<Vec<Vertex>> = vec![Vec::new(); cluster_ids.len()];
+    // Put every centre first in its own cluster list.
+    for (&c, &id) in dense.iter() {
+        clusters[id as usize].push(c);
+    }
+    for v in 0..n {
+        let c = center[v];
+        if c == INVALID_VERTEX {
+            continue;
+        }
+        let id = dense[&c];
+        cluster_of[v] = id;
+        if v as Vertex != c {
+            clusters[id as usize].push(v as Vertex);
+        }
+    }
+    Clustering { center, cluster_of, clusters, arrival }
+}
+
+/// Exact exponential start time β-clustering (sequential shifted Dijkstra reference).
+///
+/// Cost: `O(m log n)` time. Use [`cluster_parallel`] for large graphs; both return the
+/// same clustering for the same `seed`.
+pub fn cluster(graph: &CsrGraph, beta: f64, seed: u64) -> Clustering {
+    let n = graph.num_vertices();
+    let shifts = exponential_shifts(n, beta, seed);
+    let delta_max = shifts.iter().cloned().fold(0.0f64, f64::max);
+
+    let mut center = vec![INVALID_VERTEX; n];
+    let mut arrival = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    for v in 0..n {
+        heap.push(HeapEntry {
+            arrival: delta_max - shifts[v],
+            vertex: v as Vertex,
+            center: v as Vertex,
+        });
+    }
+    while let Some(HeapEntry { arrival: a, vertex: v, center: c }) = heap.pop() {
+        if center[v as usize] != INVALID_VERTEX {
+            continue;
+        }
+        center[v as usize] = c;
+        arrival[v as usize] = a;
+        for &w in graph.neighbors(v) {
+            if center[w as usize] == INVALID_VERTEX {
+                heap.push(HeapEntry { arrival: a + 1.0, vertex: w, center: c });
+            }
+        }
+    }
+    assemble(center, arrival)
+}
+
+/// Round-synchronous parallel exponential start time β-clustering.
+///
+/// Round `r` settles exactly the vertices whose shifted arrival time lies in `[r, r+1)`:
+/// the candidates are centres whose own start time falls in the window plus neighbours
+/// of vertices settled in round `r − 1`. Because all edges have unit weight no vertex
+/// settled in a round can improve another vertex of the same round, so the rounds can be
+/// processed with data-parallel sweeps and the result equals the sequential reference.
+pub fn cluster_parallel(graph: &CsrGraph, beta: f64, seed: u64) -> Clustering {
+    let n = graph.num_vertices();
+    let shifts = exponential_shifts(n, beta, seed);
+    let delta_max = shifts.iter().cloned().fold(0.0f64, f64::max);
+    let start: Vec<f64> = shifts.iter().map(|&d| delta_max - d).collect();
+
+    let mut center = vec![INVALID_VERTEX; n];
+    let mut arrival = vec![f64::INFINITY; n];
+
+    // Bucket the centres by the integer part of their start time.
+    let max_round = start.iter().map(|&s| s as usize).max().unwrap_or(0);
+    let mut center_buckets: Vec<Vec<Vertex>> = vec![Vec::new(); max_round + 2];
+    for v in 0..n {
+        center_buckets[start[v] as usize].push(v as Vertex);
+    }
+
+    let mut frontier: Vec<Vertex> = Vec::new();
+    let mut settled = 0usize;
+    let mut round = 0usize;
+    while settled < n {
+        // Candidate arrivals for this round: (arrival, vertex, centre).
+        let from_frontier: Vec<(f64, Vertex, Vertex)> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                let a = arrival[u as usize] + 1.0;
+                let c = center[u as usize];
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&w| center[w as usize] == INVALID_VERTEX)
+                    .map(move |w| (a, w, c))
+            })
+            .collect();
+        let from_centers: Vec<(f64, Vertex, Vertex)> = center_buckets
+            .get(round)
+            .map(|bucket| {
+                bucket
+                    .iter()
+                    .copied()
+                    .filter(|&c| center[c as usize] == INVALID_VERTEX)
+                    .map(|c| (start[c as usize], c, c))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        // Keep, per vertex, the best candidate (same tie-breaking as the heap version:
+        // smaller arrival, then smaller centre id).
+        let mut best: std::collections::HashMap<Vertex, (f64, Vertex)> = std::collections::HashMap::new();
+        for (a, v, c) in from_centers.into_iter().chain(from_frontier) {
+            debug_assert!(a + 1e-9 >= round as f64, "candidate arrival {a} before round {round}");
+            match best.get_mut(&v) {
+                None => {
+                    best.insert(v, (a, c));
+                }
+                Some(entry) => {
+                    if a < entry.0 || (a == entry.0 && c < entry.1) {
+                        *entry = (a, c);
+                    }
+                }
+            }
+        }
+        let mut next_frontier = Vec::with_capacity(best.len());
+        let mut deferred = 0usize;
+        for (v, (a, c)) in best {
+            if a < (round + 1) as f64 {
+                center[v as usize] = c;
+                arrival[v as usize] = a;
+                next_frontier.push(v);
+                settled += 1;
+            } else {
+                // Arrives in a later round; it will be re-generated from the frontier
+                // then (the frontier vertex stays settled, so we simply drop it here and
+                // count on the centre bucket / future frontier to re-produce it).
+                deferred += 1;
+            }
+        }
+        // Vertices deferred from the frontier expansion must be reachable again next
+        // round: keep the current frontier alive if anything was deferred.
+        if deferred > 0 {
+            next_frontier.extend(frontier.iter().copied());
+        }
+        frontier = next_frontier;
+        round += 1;
+        if round > 2 * (max_round + n) + 4 {
+            // Safety net: should be unreachable, every connected vertex settles within
+            // max_round + n rounds.
+            panic!("cluster_parallel failed to converge");
+        }
+    }
+    assemble(center, arrival)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::generators;
+
+    fn check_partition(g: &CsrGraph, c: &Clustering) {
+        let n = g.num_vertices();
+        assert_eq!(c.center.len(), n);
+        assert!(c.center.iter().all(|&x| x != INVALID_VERTEX));
+        // clusters form a partition
+        let total: usize = c.clusters.iter().map(|cl| cl.len()).sum();
+        assert_eq!(total, n);
+        let mut seen = vec![false; n];
+        for cl in &c.clusters {
+            for &v in cl {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        // every centre belongs to its own cluster
+        for (id, cl) in c.clusters.iter().enumerate() {
+            let center = cl[0];
+            assert_eq!(c.center[center as usize], center);
+            assert_eq!(c.cluster_of[center as usize], id as u32);
+        }
+        // clusters are connected
+        for cl in &c.clusters {
+            let sub = psi_graph::induced_subgraph(g, cl);
+            assert!(psi_graph::is_connected(&sub.graph), "cluster not connected");
+        }
+    }
+
+    #[test]
+    fn partitions_grid() {
+        let g = generators::grid(12, 12);
+        let c = cluster(&g, 4.0, 13);
+        check_partition(&g, &c);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for seed in 0..5u64 {
+            let g = generators::triangulated_grid(15, 11);
+            let a = cluster(&g, 6.0, seed);
+            let b = cluster_parallel(&g, 6.0, seed);
+            assert_eq!(a.center, b.center, "seed {seed}");
+            check_partition(&g, &b);
+        }
+    }
+
+    #[test]
+    fn high_beta_gives_one_cluster_on_small_graph() {
+        let g = generators::grid(5, 5);
+        // With a huge beta, crossing probability is tiny; typically a single cluster.
+        let c = cluster(&g, 1000.0, 3);
+        check_partition(&g, &c);
+        assert!(c.num_clusters() <= 3);
+    }
+
+    #[test]
+    fn crossing_fraction_bounded_by_one_over_beta() {
+        // Statistical test of Lemma 2.3: average the crossing fraction over seeds.
+        let g = generators::triangulated_grid(30, 30);
+        let beta = 8.0;
+        let trials = 20;
+        let avg: f64 = (0..trials)
+            .map(|s| cluster(&g, beta, s as u64).crossing_fraction(&g))
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            avg <= 1.0 / beta * 1.5,
+            "average crossing fraction {avg} exceeds 1.5/beta = {}",
+            1.5 / beta
+        );
+    }
+
+    #[test]
+    fn cluster_radius_is_bounded() {
+        let g = generators::grid(40, 40);
+        let beta = 4.0;
+        let c = cluster(&g, beta, 17);
+        let radius = c.max_cluster_radius(&g);
+        let n = g.num_vertices() as f64;
+        // Lemma 2.3: diameter O(beta log n) w.h.p.; radius <= 2 * beta * ln n is a
+        // comfortable constant for the test.
+        assert!(
+            (radius as f64) <= 2.0 * beta * n.ln() + 2.0,
+            "radius {radius} too large for beta {beta}"
+        );
+    }
+
+    #[test]
+    fn observation_1_spanning_tree_survives_with_constant_probability() {
+        // A connected pattern of k vertices survives a 2k-clustering with prob >= 1/2.
+        let k = 5usize;
+        let (g, planted) = generators::grid_with_planted_cycle(20, 20, k);
+        let trials = 60;
+        let mut hits = 0;
+        for s in 0..trials {
+            let c = cluster(&g, 2.0 * k as f64, 1000 + s as u64);
+            if c.is_within_one_cluster(&planted) {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        assert!(frac >= 0.4, "occurrence retained only {frac} of the time");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = generators::random_stacked_triangulation(300, 5);
+        let a = cluster(&g, 6.0, 99);
+        let b = cluster(&g, 6.0, 99);
+        assert_eq!(a.center, b.center);
+        assert_eq!(a.cluster_of, b.cluster_of);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = CsrGraph::empty(1);
+        let c = cluster(&g, 4.0, 0);
+        assert_eq!(c.num_clusters(), 1);
+        let cp = cluster_parallel(&g, 4.0, 0);
+        assert_eq!(cp.num_clusters(), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_clusters_each_component() {
+        let a = generators::cycle(6);
+        let b = generators::cycle(5);
+        let g = generators::disjoint_union(&[&a, &b]);
+        let c = cluster(&g, 3.0, 1);
+        check_partition(&g, &c);
+        // no cluster can span two components
+        for cl in &c.clusters {
+            let first_comp = cl[0] < 6;
+            assert!(cl.iter().all(|&v| (v < 6) == first_comp));
+        }
+    }
+}

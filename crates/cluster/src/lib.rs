@@ -1,0 +1,25 @@
+//! Exponential Start Time Clustering (low-diameter decomposition).
+//!
+//! Implements the clustering of Miller, Peng, Vladu and Xu ("Improved parallel
+//! algorithms for spanners and hopsets", SPAA 2015) used by the paper as Lemma 2.3:
+//! an *Exponential Start Time β-Clustering* partitions the vertices into clusters of
+//! diameter `O(β log n)` (w.h.p.) such that every edge crosses two distinct clusters
+//! with probability at most `1/β`.
+//!
+//! Every vertex `v` draws an exponential shift `δ_v ~ Exp(1/β)` and joins the cluster of
+//! the centre `c` minimising `dist(c, v) − δ_c`. Because all edges have unit weight the
+//! computation is a multi-source shifted BFS; we provide both an exact sequential
+//! Dijkstra-style reference ([`cluster`]) and a round-synchronous parallel
+//! implementation ([`cluster_parallel`]) that settles, in round `r`, exactly the
+//! vertices whose shifted arrival time falls in `[r, r+1)` — the two produce identical
+//! clusterings for the same seed.
+//!
+//! The paper instantiates `β = 2k` (twice the pattern size), which by Observation 1
+//! keeps any fixed connected `k`-vertex occurrence inside a single cluster with
+//! probability at least 1/2.
+
+pub mod clustering;
+pub mod shifts;
+
+pub use clustering::{cluster, cluster_parallel, Clustering};
+pub use shifts::exponential_shifts;

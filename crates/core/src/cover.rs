@@ -1,0 +1,418 @@
+//! The Parallel Treewidth k-d Cover (Section 2.1) and its S-separating variant
+//! (Section 5.2.1).
+//!
+//! The cover turns an arbitrarily large planar target graph into a collection of
+//! overlapping induced subgraphs of bounded treewidth such that any fixed occurrence of
+//! a connected `k`-vertex, diameter-`d` pattern lies entirely inside one of them with
+//! probability at least 1/2 (Theorem 2.4):
+//!
+//! 1. run an exponential start time `2k`-clustering (Lemma 2.3),
+//! 2. run a BFS from an arbitrary root inside every cluster (the clusters have diameter
+//!    `O(k log n)`, so the BFS has low depth),
+//! 3. for every BFS level `i`, output the subgraph induced by the vertices at levels
+//!    `i .. i+d` of that cluster (windows whose upper end is clipped by the deepest
+//!    level are subsumed by the last full window and skipped, cf. Figure 3).
+//!
+//! The S-separating variant additionally contracts each neighbouring cluster and each
+//! connected component of "cluster minus window" into single *merged* vertices,
+//! producing minors in which a separating occurrence of the original graph is still
+//! separating (Figure 7); merged vertices are excluded from the allowed image set.
+
+use psi_cluster::{cluster_parallel, Clustering};
+use psi_graph::{induced_subgraph, CsrGraph, GraphBuilder, InducedSubgraph, Vertex, INVALID_VERTEX};
+use rayon::prelude::*;
+
+/// One subgraph of the k-d cover.
+#[derive(Clone, Debug)]
+pub struct CoverPiece {
+    /// The induced subgraph (with local↔global vertex maps).
+    pub sub: InducedSubgraph,
+    /// Dense id of the cluster this piece was cut from.
+    pub cluster: u32,
+    /// The BFS level the window starts at.
+    pub level_start: u32,
+}
+
+/// The full cover of a target graph.
+#[derive(Clone, Debug)]
+pub struct Cover {
+    /// The cover pieces.
+    pub pieces: Vec<CoverPiece>,
+    /// The clustering used to build the cover (kept for diagnostics / experiments).
+    pub clustering: Clustering,
+    /// The window height (`d + 1` BFS levels per piece).
+    pub window: u32,
+}
+
+impl Cover {
+    /// Total number of vertices summed over all pieces (the `O(nd)` bound of Thm 2.4).
+    pub fn total_piece_vertices(&self) -> usize {
+        self.pieces.iter().map(|p| p.sub.num_vertices()).sum()
+    }
+
+    /// Maximum number of pieces any single original vertex belongs to.
+    pub fn max_pieces_per_vertex(&self, n: usize) -> usize {
+        let mut count = vec![0usize; n];
+        for p in &self.pieces {
+            for &v in &p.sub.local_to_global {
+                count[v as usize] += 1;
+            }
+        }
+        count.into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether some piece contains all the given (global) vertices.
+    pub fn some_piece_contains(&self, vertices: &[Vertex]) -> bool {
+        self.pieces.iter().any(|p| {
+            vertices.iter().all(|&v| p.sub.global_to_local.get(v as usize).is_some_and(|&l| l != INVALID_VERTEX))
+        })
+    }
+}
+
+/// Builds the Parallel Treewidth k-d Cover of `graph` for a connected pattern with `k`
+/// vertices and diameter `d`.
+///
+/// The `seed` fixes the clustering; repeat with fresh seeds to drive the failure
+/// probability down (each fixed occurrence is covered with probability ≥ 1/2 per run).
+pub fn build_cover(graph: &CsrGraph, k: usize, d: usize, seed: u64) -> Cover {
+    let k = k.max(1);
+    let beta = 2.0 * k as f64;
+    let clustering = cluster_parallel(graph, beta, seed);
+    let window = (d + 1) as u32;
+    let pieces: Vec<CoverPiece> = clustering
+        .clusters
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(cid, members)| {
+            cover_one_cluster(graph, members, cid as u32, d).into_iter()
+        })
+        .collect();
+    Cover { pieces, clustering, window }
+}
+
+fn cover_one_cluster(graph: &CsrGraph, members: &[Vertex], cid: u32, d: usize) -> Vec<CoverPiece> {
+    let n = graph.num_vertices();
+    let mut in_cluster = vec![false; n];
+    for &v in members {
+        in_cluster[v as usize] = true;
+    }
+    let root = members[0];
+    let bfs = psi_graph::parallel_bfs(graph, root, Some(&in_cluster));
+    let levels = bfs.levels();
+    let max_level = levels.len().saturating_sub(1);
+    // Only windows starting at 0 ..= max_level - d are needed; later windows are subsets
+    // of the last one (Figure 3).
+    let last_start = max_level.saturating_sub(d);
+    let mut pieces = Vec::with_capacity(last_start + 1);
+    for start in 0..=last_start {
+        let end = (start + d).min(max_level);
+        let mut verts: Vec<Vertex> = Vec::new();
+        for level in &levels[start..=end] {
+            verts.extend_from_slice(level);
+        }
+        if verts.is_empty() {
+            continue;
+        }
+        pieces.push(CoverPiece {
+            sub: induced_subgraph(graph, &verts),
+            cluster: cid,
+            level_start: start as u32,
+        });
+    }
+    pieces
+}
+
+/// One piece of the S-separating cover: a **minor** of the target graph in which some
+/// vertices are merged super-vertices (contracted neighbouring clusters or contracted
+/// leftover components). Merged vertices may not be used by the pattern image, and a
+/// merged vertex belongs to `S` if any vertex it swallowed does.
+#[derive(Clone, Debug)]
+pub struct SeparatingCoverPiece {
+    /// The minor.
+    pub graph: CsrGraph,
+    /// For non-merged vertices, the original vertex id; `INVALID_VERTEX` for merged ones.
+    pub original_of: Vec<Vertex>,
+    /// Whether each vertex of the minor is allowed in the pattern image (non-merged).
+    pub allowed: Vec<bool>,
+    /// Whether each vertex of the minor counts as a member of the separated set `S`.
+    pub in_s: Vec<bool>,
+    /// Dense id of the cluster this piece was cut from.
+    pub cluster: u32,
+    /// The BFS level the window starts at.
+    pub level_start: u32,
+}
+
+/// Builds the S-separating k-d cover (Section 5.2.1).
+///
+/// `in_s[v]` marks the vertices of the set `S` that the sought occurrence must separate.
+pub fn build_separating_cover(
+    graph: &CsrGraph,
+    k: usize,
+    d: usize,
+    in_s: &[bool],
+    seed: u64,
+) -> (Vec<SeparatingCoverPiece>, Clustering) {
+    let k = k.max(1);
+    let beta = 2.0 * k as f64;
+    let clustering = cluster_parallel(graph, beta, seed);
+    let cluster_of = clustering.cluster_of.clone();
+    let pieces: Vec<SeparatingCoverPiece> = clustering
+        .clusters
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(cid, members)| {
+            separating_cover_one_cluster(graph, members, &cluster_of, cid as u32, d, in_s).into_iter()
+        })
+        .collect();
+    (pieces, clustering)
+}
+
+fn separating_cover_one_cluster(
+    graph: &CsrGraph,
+    members: &[Vertex],
+    cluster_of: &[u32],
+    cid: u32,
+    d: usize,
+    in_s: &[bool],
+) -> Vec<SeparatingCoverPiece> {
+    let n = graph.num_vertices();
+    let mut in_cluster = vec![false; n];
+    for &v in members {
+        in_cluster[v as usize] = true;
+    }
+    let root = members[0];
+    let bfs = psi_graph::parallel_bfs(graph, root, Some(&in_cluster));
+    let levels = bfs.levels();
+    let max_level = levels.len().saturating_sub(1);
+    let last_start = max_level.saturating_sub(d);
+
+    // Local graph: cluster vertices keep their identity; every *other* cluster adjacent
+    // to this one becomes one merged vertex. Build once per cluster.
+    // local ids: 0..members.len() = cluster vertices (in `members` order),
+    //            members.len().. = merged neighbouring clusters (dense).
+    let mut local_of = vec![INVALID_VERTEX; n];
+    for (i, &v) in members.iter().enumerate() {
+        local_of[v as usize] = i as Vertex;
+    }
+    let mut neighbour_cluster_local: std::collections::HashMap<u32, Vertex> = std::collections::HashMap::new();
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut next_local = members.len() as Vertex;
+    for &v in members {
+        let lv = local_of[v as usize];
+        for &w in graph.neighbors(v) {
+            if in_cluster[w as usize] {
+                if v < w {
+                    edges.push((lv, local_of[w as usize]));
+                }
+            } else {
+                let other = cluster_of[w as usize];
+                let lw = *neighbour_cluster_local.entry(other).or_insert_with(|| {
+                    let id = next_local;
+                    next_local += 1;
+                    id
+                });
+                edges.push((lv, lw));
+            }
+        }
+    }
+    let num_merged_clusters = neighbour_cluster_local.len();
+    let local_n = members.len() + num_merged_clusters;
+    let base = GraphBuilder::from_edges(local_n, &edges);
+
+    // S membership of the merged neighbouring clusters: a merged cluster is in S if any
+    // of its vertices is (conservatively: any vertex of that cluster anywhere, since the
+    // whole cluster is merged).
+    let mut merged_cluster_in_s = vec![false; num_merged_clusters];
+    for (v, &c) in cluster_of.iter().enumerate() {
+        if in_s[v] {
+            if let Some(&lw) = neighbour_cluster_local.get(&c) {
+                merged_cluster_in_s[(lw as usize) - members.len()] = true;
+            }
+        }
+    }
+
+    let mut pieces = Vec::with_capacity(last_start + 1);
+    for start in 0..=last_start {
+        let end = (start + d).min(max_level);
+        // Window membership over local cluster vertices.
+        let mut window_local: Vec<bool> = vec![false; members.len()];
+        let mut any = false;
+        for level in &levels[start..=end] {
+            for &v in level {
+                window_local[local_of[v as usize] as usize] = true;
+                any = true;
+            }
+        }
+        if !any {
+            continue;
+        }
+        // Group assignment for contraction of the local graph: window vertices stay,
+        // other cluster vertices merge per connected component of (cluster \ window),
+        // merged neighbour clusters keep one group each.
+        let mask: Vec<bool> = (0..local_n)
+            .map(|lv| lv < members.len() && !window_local[lv])
+            .collect();
+        let comps = psi_graph::connectivity::connected_components_masked(&base, Some(&mask));
+        let mut groups: Vec<Option<u32>> = vec![None; local_n];
+        let comp_offset = num_merged_clusters as u32;
+        for lv in 0..local_n {
+            if lv >= members.len() {
+                groups[lv] = Some((lv - members.len()) as u32);
+            } else if !window_local[lv] {
+                groups[lv] = Some(comp_offset + comps.label[lv]);
+            }
+        }
+        let contraction = psi_graph::contract_groups(&base, &groups);
+        let minor_n = contraction.graph.num_vertices();
+        let mut original_of = vec![INVALID_VERTEX; minor_n];
+        let mut allowed = vec![false; minor_n];
+        let mut piece_in_s = vec![false; minor_n];
+        for lv in 0..local_n {
+            let mv = contraction.vertex_map[lv] as usize;
+            if lv < members.len() {
+                let orig = members[lv];
+                if window_local[lv] {
+                    original_of[mv] = orig;
+                    allowed[mv] = true;
+                }
+                if in_s[orig as usize] {
+                    piece_in_s[mv] = true;
+                }
+            } else if merged_cluster_in_s[lv - members.len()] {
+                piece_in_s[mv] = true;
+            }
+        }
+        pieces.push(SeparatingCoverPiece {
+            graph: contraction.graph,
+            original_of,
+            allowed,
+            in_s: piece_in_s,
+            cluster: cid,
+            level_start: start as u32,
+        });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::generators;
+
+    #[test]
+    fn cover_pieces_partition_properties() {
+        let g = generators::triangulated_grid(20, 20);
+        let (k, d) = (4usize, 2usize);
+        let cover = build_cover(&g, k, d, 7);
+        assert!(!cover.pieces.is_empty());
+        // every vertex appears in at least one piece and at most d+1 pieces
+        let n = g.num_vertices();
+        let mut count = vec![0usize; n];
+        for p in &cover.pieces {
+            for &v in &p.sub.local_to_global {
+                count[v as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c >= 1), "some vertex in no piece");
+        assert!(
+            cover.max_pieces_per_vertex(n) <= d + 1,
+            "vertex in more than d+1 pieces: {}",
+            cover.max_pieces_per_vertex(n)
+        );
+        // total size O(nd)
+        assert!(cover.total_piece_vertices() <= n * (d + 1));
+    }
+
+    #[test]
+    fn cover_retains_planted_occurrence_with_constant_probability() {
+        let (g, planted) = generators::grid_with_planted_cycle(18, 18, 6);
+        let trials = 40;
+        let mut hits = 0;
+        for s in 0..trials {
+            let cover = build_cover(&g, 6, 3, s);
+            if cover.some_piece_contains(&planted) {
+                hits += 1;
+            }
+        }
+        // Theorem 2.4 promises >= 1/2; allow statistical slack over 40 trials.
+        assert!(hits * 5 >= trials * 2, "retention {hits}/{trials} far below 1/2");
+    }
+
+    #[test]
+    fn cover_piece_treewidth_is_bounded() {
+        // Theorem 2.4: every piece has treewidth <= 3d. We check the heuristic
+        // decomposition width as an upper-bound proxy with slack for the heuristic.
+        let g = generators::triangulated_grid(16, 16);
+        let d = 2usize;
+        let cover = build_cover(&g, 4, d, 3);
+        for p in &cover.pieces {
+            if p.sub.num_vertices() < 3 {
+                continue;
+            }
+            let td = psi_treedecomp::min_degree_decomposition(&p.sub.graph);
+            assert!(
+                td.width() <= 3 * (d + 1),
+                "piece width {} exceeds 3(d+1)={}",
+                td.width(),
+                3 * (d + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn cover_of_small_graph_is_whole_graph() {
+        let g = generators::cycle(6);
+        let cover = build_cover(&g, 6, 3, 1);
+        // with beta = 12 the whole cycle is almost surely one cluster; in any case every
+        // vertex is covered
+        let n = g.num_vertices();
+        let mut covered = vec![false; n];
+        for p in &cover.pieces {
+            for &v in &p.sub.local_to_global {
+                covered[v as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn separating_cover_structure() {
+        let g = generators::triangulated_grid(12, 12);
+        let in_s: Vec<bool> = (0..g.num_vertices()).map(|_| true).collect();
+        let (pieces, _clustering) = build_separating_cover(&g, 4, 2, &in_s, 5);
+        assert!(!pieces.is_empty());
+        for p in &pieces {
+            let n = p.graph.num_vertices();
+            assert_eq!(p.original_of.len(), n);
+            assert_eq!(p.allowed.len(), n);
+            assert_eq!(p.in_s.len(), n);
+            // allowed vertices are exactly those with an original id
+            for v in 0..n {
+                assert_eq!(p.allowed[v], p.original_of[v] != INVALID_VERTEX);
+            }
+            // minors never exceed the original size
+            assert!(n <= g.num_vertices());
+        }
+        // every original vertex appears as an allowed vertex of at least one piece
+        let mut covered = vec![false; g.num_vertices()];
+        for p in &pieces {
+            for v in 0..p.graph.num_vertices() {
+                if p.allowed[v] {
+                    covered[p.original_of[v] as usize] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn cover_deterministic_for_seed() {
+        let g = generators::random_stacked_triangulation(200, 2);
+        let a = build_cover(&g, 3, 1, 11);
+        let b = build_cover(&g, 3, 1, 11);
+        assert_eq!(a.pieces.len(), b.pieces.len());
+        for (x, y) in a.pieces.iter().zip(&b.pieces) {
+            assert_eq!(x.sub.local_to_global, y.sub.local_to_global);
+        }
+    }
+}

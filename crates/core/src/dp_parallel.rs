@@ -1,0 +1,348 @@
+//! The parallel dynamic program (Section 3.3): path decomposition of the decomposition
+//! tree, the DAG of partial matches, and shortcut-accelerated reachability.
+//!
+//! The decomposition tree is partitioned into paths grouped into `O(log n)` layers
+//! (Lemma 3.2, implemented in `psi-treedecomp`). Layers are processed bottom-up; the
+//! paths of one layer are independent and run in parallel. Within a path, validity of a
+//! partial match corresponds to reachability in a DAG whose edges either *introduce new
+//! matches* (at most `k` of them on any path to a valid state) or are the unique
+//! "identity extension" of Figure 5 (the forest `F`). The implementation alternates two
+//! steps until a fixed point:
+//!
+//! * **expansion** — newly validated states of a node are combined with the full table
+//!   of the off-path child and extended, exactly like one step of the sequential DP
+//!   (these are the new-match edges; every state is expanded exactly once, so the total
+//!   expansion work matches the sequential algorithm);
+//! * **identity closure** — every newly validated state is lifted directly to *all* of
+//!   its ancestors on the path in one parallel step. Because bags containing a target
+//!   vertex form a contiguous subtree, the composed lift can be evaluated in `O(k)`
+//!   without visiting the intermediate nodes, which plays the role of the paper's
+//!   shortcuts of exponentially increasing length (on a shared-memory machine a direct
+//!   jump replaces the `O(log n)`-hop traversal).
+//!
+//! Since every expansion strictly increases the number of matched pattern vertices, the
+//! loop terminates after at most `k + 1` rounds per path — the analogue of Lemma 3.3's
+//! `O(k log n)` depth. Setting [`ParallelDpConfig::use_shortcuts`] to `false` disables
+//! the identity closure, so states climb the path one node per round (the ablation used
+//! by experiment F9).
+
+use crate::dp::{compute_node, extend_all, join, lift, Derivation, DpResult, NodeTable};
+use crate::pattern::Pattern;
+use crate::state::MatchState;
+use psi_graph::CsrGraph;
+use psi_treedecomp::path_layers::RootedTree;
+use psi_treedecomp::{tree_into_paths, BinaryTreeDecomposition};
+use rayon::prelude::*;
+
+/// Configuration of the parallel DP.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelDpConfig {
+    /// Whether to use the shortcut-style identity closure (jumping states to all path
+    /// ancestors per round) or the naive one-node-per-round propagation.
+    pub use_shortcuts: bool,
+}
+
+impl Default for ParallelDpConfig {
+    fn default() -> Self {
+        ParallelDpConfig { use_shortcuts: true }
+    }
+}
+
+/// Statistics of a parallel DP run (used by the depth experiments).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelDpStats {
+    /// Number of path layers processed.
+    pub num_layers: usize,
+    /// Number of paths processed.
+    pub num_paths: usize,
+    /// Maximum number of expansion/closure rounds needed by any single path.
+    pub max_rounds_per_path: usize,
+    /// Length of the longest path.
+    pub longest_path: usize,
+}
+
+/// Runs the parallel DP over a binary tree decomposition. Produces the same root
+/// verdict as [`crate::dp::run_sequential`] (derivations are not tracked — use the
+/// sequential DP for occurrence listing).
+pub fn run_parallel(
+    graph: &CsrGraph,
+    pattern: &Pattern,
+    btd: &BinaryTreeDecomposition,
+    config: ParallelDpConfig,
+) -> (DpResult, ParallelDpStats) {
+    let num_nodes = btd.num_nodes();
+    // Build the rooted tree over decomposition nodes and decompose it into layered paths.
+    let tree = RootedTree::from_parents(btd.parent.clone());
+    let pd = tree_into_paths(&tree);
+
+    let mut stats = ParallelDpStats {
+        num_layers: pd.num_layers(),
+        num_paths: pd.paths.len(),
+        max_rounds_per_path: 0,
+        longest_path: pd.paths.iter().map(|p| p.len()).max().unwrap_or(0),
+    };
+
+    // Tables are filled in layer order; within a layer the paths only depend on tables
+    // of strictly lower layers, so they can be processed in parallel. We use an
+    // interior-mutability-free pattern: collect each layer's results and merge.
+    let mut tables: Vec<Option<NodeTable>> = vec![None; num_nodes];
+    for layer_paths in &pd.layers {
+        let results: Vec<(usize, Vec<(usize, NodeTable)>, usize)> = layer_paths
+            .par_iter()
+            .map(|&pidx| {
+                let path = &pd.paths[pidx];
+                let (node_tables, rounds) = process_path(graph, pattern, btd, path, &tables, config);
+                (pidx, node_tables, rounds)
+            })
+            .collect();
+        for (_pidx, node_tables, rounds) in results {
+            stats.max_rounds_per_path = stats.max_rounds_per_path.max(rounds);
+            for (node, table) in node_tables {
+                tables[node] = Some(table);
+            }
+        }
+    }
+    let tables: Vec<NodeTable> = tables.into_iter().map(|t| t.expect("all nodes processed")).collect();
+    let total_states = tables.iter().map(|t| t.len()).sum();
+    (DpResult { tables, root: btd.root, total_states }, stats)
+}
+
+/// Processes one path (bottom node first). Returns the tables of the path's nodes and
+/// the number of rounds used.
+fn process_path(
+    graph: &CsrGraph,
+    pattern: &Pattern,
+    btd: &BinaryTreeDecomposition,
+    path: &[usize],
+    done: &[Option<NodeTable>],
+    config: ParallelDpConfig,
+) -> (Vec<(usize, NodeTable)>, usize) {
+    let p = path.len();
+    let k = pattern.k();
+    let mut tables: Vec<NodeTable> = vec![NodeTable::default(); p];
+
+    // Bottom node: both children (if any) are in lower layers and already computed.
+    tables[0] = match btd.children[path[0]] {
+        None => compute_node(&btd.bags[path[0]], graph, pattern, None, None, false),
+        Some([l, r]) => compute_node(
+            &btd.bags[path[0]],
+            graph,
+            pattern,
+            Some(done[l].as_ref().expect("lower-layer child computed")),
+            Some(done[r].as_ref().expect("lower-layer child computed")),
+            false,
+        ),
+    };
+
+    // For every higher node of the path, identify the off-path child table.
+    let off_path: Vec<Option<&NodeTable>> = (1..p)
+        .map(|m| {
+            let node = path[m];
+            let [l, r] = btd.children[node].expect("interior path node has two children");
+            let on_path_child = path[m - 1];
+            let off = if l == on_path_child { r } else { l };
+            Some(done[off].as_ref().expect("off-path child computed"))
+        })
+        .collect();
+
+    // delta[m] = states of node m added but not yet expanded at node m+1.
+    let mut delta: Vec<Vec<MatchState>> = vec![Vec::new(); p];
+    delta[0] = tables[0].states.clone();
+
+    // Identity closure of the initial states.
+    if config.use_shortcuts {
+        closure(&mut tables, &mut delta, path, btd, pattern, 0);
+    }
+
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        // Expansion: node m consumes delta[m-1]. Collect the raw outputs first (the
+        // expansion of different nodes is independent), then merge.
+        let consumed: Vec<Vec<MatchState>> = std::mem::take(&mut delta);
+        let expansions: Vec<(usize, Vec<MatchState>)> = (1..p)
+            .into_par_iter()
+            .filter(|&m| !consumed[m - 1].is_empty())
+            .map(|m| {
+                let node = path[m];
+                let bag = &btd.bags[node];
+                let off = off_path[m - 1].expect("off-path table");
+                let mut out = Vec::new();
+                for child_state in &consumed[m - 1] {
+                    if let Some(lifted_child) = lift(child_state, bag, pattern) {
+                        for off_state in &off.states {
+                            if let Some(lifted_off) = lift(off_state, bag, pattern) {
+                                if let Some(joined) = join(&lifted_child, &lifted_off, pattern, graph) {
+                                    extend_all(&joined, bag, pattern, graph, &mut |s| out.push(s));
+                                }
+                            }
+                        }
+                    }
+                }
+                (m, out)
+            })
+            .collect();
+        let mut delta_new: Vec<Vec<MatchState>> = vec![Vec::new(); p];
+        let mut any_new = false;
+        for (m, states) in expansions {
+            for s in states {
+                if !tables[m].contains(&s) {
+                    tables[m].insert(s.clone(), Derivation::Leaf);
+                    delta_new[m].push(s);
+                    any_new = true;
+                }
+            }
+        }
+        delta = delta_new;
+        if any_new && config.use_shortcuts {
+            for m in 0..p {
+                if !delta[m].is_empty() {
+                    closure(&mut tables, &mut delta, path, btd, pattern, m);
+                }
+            }
+        }
+        if !any_new {
+            break;
+        }
+        // Safety bound: with shortcuts each round adds at least one new match along any
+        // chain, so k + 2 rounds suffice; without shortcuts states move one node per
+        // round, so the path length bounds the rounds.
+        if rounds > p + k + 4 {
+            panic!("parallel DP failed to converge on a path of length {p}");
+        }
+    }
+
+    (path.iter().copied().zip(tables).collect(), rounds)
+}
+
+/// Lifts every state of `delta[from]` to all ancestors on the path, recording the new
+/// states and adding them to the delta of their node (they still need expansion).
+fn closure(
+    tables: &mut [NodeTable],
+    delta: &mut [Vec<MatchState>],
+    path: &[usize],
+    btd: &BinaryTreeDecomposition,
+    pattern: &Pattern,
+    from: usize,
+) {
+    let p = path.len();
+    // The lifts of different source states are independent; compute them in parallel
+    // and merge sequentially (the merge is cheap compared to the lifts).
+    let sources = delta[from].clone();
+    let lifted: Vec<Vec<(usize, MatchState)>> = sources
+        .par_iter()
+        .map(|state| {
+            let mut out = Vec::new();
+            let mut current = state.clone();
+            for j in (from + 1)..p {
+                match lift(&current, &btd.bags[path[j]], pattern) {
+                    Some(next) => {
+                        out.push((j, next.clone()));
+                        current = next;
+                    }
+                    None => break,
+                }
+            }
+            out
+        })
+        .collect();
+    for chain in lifted {
+        for (j, state) in chain {
+            if !tables[j].contains(&state) {
+                tables[j].insert(state.clone(), Derivation::Leaf);
+                delta[j].push(state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::run_sequential;
+    use psi_graph::generators;
+    use psi_treedecomp::min_degree_decomposition;
+
+    fn both(graph: &CsrGraph, pattern: &Pattern) -> (bool, bool, ParallelDpStats) {
+        let td = min_degree_decomposition(graph);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        let seq = run_sequential(graph, pattern, &btd, false);
+        let (par, stats) = run_parallel(graph, pattern, &btd, ParallelDpConfig::default());
+        (seq.found(), par.found(), stats)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_grids() {
+        let g = generators::grid(6, 6);
+        for pattern in [Pattern::cycle(4), Pattern::cycle(6), Pattern::triangle(), Pattern::path(7), Pattern::star(5)] {
+            let (s, p, _) = both(&g, &pattern);
+            assert_eq!(s, p, "disagreement for pattern with k={}", pattern.k());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_triangulations() {
+        for seed in 0..4u64 {
+            let g = generators::random_stacked_triangulation(60, seed);
+            for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::clique(5), Pattern::cycle(5)] {
+                let (s, p, _) = both(&g, &pattern);
+                assert_eq!(s, p, "seed {seed} k={}", pattern.k());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_state_tables_match_sequential_exactly() {
+        let g = generators::triangulated_grid(5, 4);
+        let pattern = Pattern::cycle(4);
+        let td = min_degree_decomposition(&g);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        let seq = run_sequential(&g, &pattern, &btd, false);
+        let (par, _) = run_parallel(&g, &pattern, &btd, ParallelDpConfig::default());
+        assert_eq!(seq.tables.len(), par.tables.len());
+        for (node, (s, p)) in seq.tables.iter().zip(par.tables.iter()).enumerate() {
+            let mut a: Vec<_> = s.states.clone();
+            let mut b: Vec<_> = p.states.clone();
+            a.sort_by(|x, y| x.words().cmp(y.words()));
+            b.sort_by(|x, y| x.words().cmp(y.words()));
+            assert_eq!(a, b, "state tables differ at node {node}");
+        }
+    }
+
+    #[test]
+    fn shortcuts_reduce_rounds_on_path_like_decompositions() {
+        // A long path graph has a path-like decomposition tree; without shortcuts the
+        // rounds grow with the path length, with shortcuts they stay O(k).
+        let g = generators::path(200);
+        let pattern = Pattern::path(4);
+        let td = min_degree_decomposition(&g);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        let (res_fast, fast) = run_parallel(&g, &pattern, &btd, ParallelDpConfig { use_shortcuts: true });
+        let (res_slow, slow) = run_parallel(&g, &pattern, &btd, ParallelDpConfig { use_shortcuts: false });
+        assert_eq!(res_fast.found(), res_slow.found());
+        assert!(res_fast.found());
+        assert!(
+            fast.max_rounds_per_path <= pattern.k() + 3,
+            "shortcut rounds {} not O(k)",
+            fast.max_rounds_per_path
+        );
+        assert!(
+            slow.max_rounds_per_path >= fast.max_rounds_per_path,
+            "naive propagation should need at least as many rounds"
+        );
+        assert!(slow.max_rounds_per_path > 3 * fast.max_rounds_per_path, "expected a large gap on a long path");
+    }
+
+    #[test]
+    fn stats_report_layers_and_paths() {
+        let g = generators::grid(8, 8);
+        let td = min_degree_decomposition(&g);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        let (_, stats) = run_parallel(&g, &Pattern::triangle(), &btd, ParallelDpConfig::default());
+        assert!(stats.num_paths >= 1);
+        assert!(stats.num_layers >= 1);
+        assert!(stats.longest_path >= 1);
+        let max_layers = (btd.num_nodes() as f64).log2().floor() as usize + 1;
+        assert!(stats.num_layers <= max_layers);
+    }
+}

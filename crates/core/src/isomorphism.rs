@@ -1,0 +1,260 @@
+//! Top-level planar subgraph isomorphism API (Theorem 2.1 / Corollary 2.2).
+//!
+//! A query combines the k-d cover (Section 2.1) with the bounded-treewidth DP
+//! (Section 3): every cover run catches any fixed occurrence with probability at least
+//! 1/2, so `O(log n)` independent runs decide the problem with high probability. Cover
+//! pieces are solved in parallel (and, optionally, each piece's DP itself uses the
+//! path-parallel algorithm of Section 3.3).
+
+use crate::cover::build_cover;
+use crate::dp::{recover_occurrences, run_sequential};
+use crate::dp_parallel::{run_parallel, ParallelDpConfig};
+use crate::pattern::{verify_occurrence, Pattern};
+use psi_graph::{CsrGraph, Vertex};
+use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
+use rayon::prelude::*;
+
+/// Which DP engine runs inside each cover piece.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DpStrategy {
+    /// Sequential bottom-up DP per piece (pieces still run in parallel).
+    Sequential,
+    /// Path-parallel DP with shortcuts per piece (Section 3.3).
+    PathParallel,
+}
+
+/// Options of a subgraph isomorphism query.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryConfig {
+    /// Base random seed (each repetition derives its own seed from it).
+    pub seed: u64,
+    /// Number of independent cover repetitions before answering "no occurrence".
+    /// `None` chooses `⌈4 log2 n⌉ + 1`, giving a high-probability guarantee.
+    pub repetitions: Option<usize>,
+    /// DP engine per cover piece.
+    pub strategy: DpStrategy,
+    /// Treat the whole graph as a single "cover piece" (skip clustering). Intended for
+    /// small targets and for deterministic cross-checking in tests.
+    pub whole_graph: bool,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig { seed: 0xC0FFEE, repetitions: None, strategy: DpStrategy::Sequential, whole_graph: false }
+    }
+}
+
+impl QueryConfig {
+    fn rounds(&self, n: usize) -> usize {
+        self.repetitions
+            .unwrap_or_else(|| 4 * (n.max(2) as f64).log2().ceil() as usize + 1)
+            .max(1)
+    }
+}
+
+/// A subgraph isomorphism query for a fixed pattern.
+#[derive(Clone, Debug)]
+pub struct SubgraphIsomorphism {
+    pattern: Pattern,
+    config: QueryConfig,
+}
+
+impl SubgraphIsomorphism {
+    /// Creates a query with default configuration.
+    pub fn new(pattern: Pattern) -> Self {
+        SubgraphIsomorphism { pattern, config: QueryConfig::default() }
+    }
+
+    /// Creates a query with explicit configuration.
+    pub fn with_config(pattern: Pattern, config: QueryConfig) -> Self {
+        SubgraphIsomorphism { pattern, config }
+    }
+
+    /// The pattern being searched for.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &QueryConfig {
+        &self.config
+    }
+
+    /// Decides (with high probability on the "no" side; "yes" answers are certain)
+    /// whether the pattern occurs in `target`.
+    pub fn decide(&self, target: &CsrGraph) -> bool {
+        self.find_one(target).is_some() || self.pattern.k() == 0
+    }
+
+    /// Finds one occurrence (a mapping pattern vertex → target vertex), if any.
+    ///
+    /// Returned mappings are always verified genuine occurrences; a `None` answer is
+    /// correct with high probability (Theorem 2.1).
+    pub fn find_one(&self, target: &CsrGraph) -> Option<Vec<Vertex>> {
+        let k = self.pattern.k();
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        if k > target.num_vertices() {
+            return None;
+        }
+        if !self.pattern.is_connected() {
+            return crate::disconnected::find_one_disconnected(&self.pattern, target, &self.config);
+        }
+        if self.config.whole_graph {
+            return self.search_piece(target, None);
+        }
+        let d = self.pattern.diameter();
+        for round in 0..self.config.rounds(target.num_vertices()) {
+            let seed = self.config.seed.wrapping_add(round as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let cover = build_cover(target, k, d, seed);
+            let hit = cover
+                .pieces
+                .par_iter()
+                .filter(|p| p.sub.num_vertices() >= k)
+                .find_map_any(|piece| {
+                    self.search_piece(&piece.sub.graph, Some(&piece.sub.local_to_global))
+                });
+            if let Some(occ) = hit {
+                debug_assert!(verify_occurrence(&self.pattern, target, &occ));
+                return Some(occ);
+            }
+        }
+        None
+    }
+
+    /// Runs the DP on one piece; translates local vertex ids back through `map`.
+    fn search_piece(&self, graph: &CsrGraph, map: Option<&[Vertex]>) -> Option<Vec<Vertex>> {
+        let td = min_degree_decomposition(graph);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        let found = match self.config.strategy {
+            DpStrategy::PathParallel => {
+                let (result, _) = run_parallel(graph, &self.pattern, &btd, ParallelDpConfig::default());
+                if !result.found() {
+                    return None;
+                }
+                // the parallel DP does not track derivations; re-run sequentially to
+                // extract a witness (only on pieces that are known to contain one)
+                run_sequential(graph, &self.pattern, &btd, true)
+            }
+            DpStrategy::Sequential => {
+                let result = run_sequential(graph, &self.pattern, &btd, true);
+                if !result.found() {
+                    return None;
+                }
+                result
+            }
+        };
+        let occ = recover_occurrences(&found, &btd, 1).into_iter().next()?;
+        Some(match map {
+            Some(map) => occ.into_iter().map(|local| map[local as usize]).collect(),
+            None => occ,
+        })
+    }
+
+    /// Lists all occurrences with high probability (Section 4.2). See
+    /// [`crate::listing::list_all`] for the iteration/termination details.
+    pub fn list_all(&self, target: &CsrGraph) -> Vec<Vec<Vertex>> {
+        crate::listing::list_all(&self.pattern, target, &self.config)
+    }
+
+    /// Counts the occurrences (by listing them; the paper notes counting is not
+    /// work-efficient with this approach).
+    pub fn count(&self, target: &CsrGraph) -> usize {
+        self.list_all(target).len()
+    }
+}
+
+/// Convenience wrapper: decide with default configuration.
+pub fn decide(pattern: &Pattern, target: &CsrGraph) -> bool {
+    SubgraphIsomorphism::new(pattern.clone()).decide(target)
+}
+
+/// Convenience wrapper: find one occurrence with default configuration.
+pub fn find_one(pattern: &Pattern, target: &CsrGraph) -> Option<Vec<Vertex>> {
+    SubgraphIsomorphism::new(pattern.clone()).find_one(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::generators;
+
+    #[test]
+    fn finds_planted_cycles_in_grids() {
+        for k in [4usize, 6, 8] {
+            let (g, _planted) = generators::grid_with_planted_cycle(14, 14, k);
+            let query = SubgraphIsomorphism::new(Pattern::cycle(k));
+            let occ = query.find_one(&g).unwrap_or_else(|| panic!("C{k} not found"));
+            assert!(verify_occurrence(&Pattern::cycle(k), &g, &occ));
+        }
+    }
+
+    #[test]
+    fn rejects_absent_patterns() {
+        let g = generators::grid(12, 12);
+        // grids are bipartite and triangle-free
+        assert!(!decide(&Pattern::triangle(), &g));
+        assert!(!decide(&Pattern::cycle(5), &g));
+        assert!(!decide(&Pattern::star(6), &g));
+        assert!(!decide(&Pattern::clique(4), &g));
+    }
+
+    #[test]
+    fn whole_graph_mode_matches_cover_mode() {
+        let g = generators::random_stacked_triangulation(80, 3);
+        for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::cycle(4), Pattern::clique(5)] {
+            let cover_ans = decide(&pattern, &g);
+            let whole = SubgraphIsomorphism::with_config(
+                pattern.clone(),
+                QueryConfig { whole_graph: true, ..QueryConfig::default() },
+            )
+            .decide(&g);
+            assert_eq!(cover_ans, whole, "k={}", pattern.k());
+        }
+    }
+
+    #[test]
+    fn path_parallel_strategy_agrees() {
+        let g = generators::triangulated_grid(10, 10);
+        for pattern in [Pattern::triangle(), Pattern::cycle(4), Pattern::path(5)] {
+            let seq = decide(&pattern, &g);
+            let par = SubgraphIsomorphism::with_config(
+                pattern.clone(),
+                QueryConfig { strategy: DpStrategy::PathParallel, ..QueryConfig::default() },
+            )
+            .decide(&g);
+            assert_eq!(seq, par);
+        }
+    }
+
+    #[test]
+    fn trivial_patterns() {
+        let g = generators::path(5);
+        assert!(decide(&Pattern::empty(), &g));
+        assert!(decide(&Pattern::single_vertex(), &g));
+        assert!(decide(&Pattern::path(2), &g));
+        assert!(!decide(&Pattern::path(6), &g));
+        // pattern larger than the target
+        assert!(!decide(&Pattern::clique(7), &g));
+    }
+
+    #[test]
+    fn found_mappings_are_verified_occurrences() {
+        let g = generators::random_stacked_triangulation(150, 9);
+        for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::star(4), Pattern::path(6)] {
+            if let Some(occ) = find_one(&pattern, &g) {
+                assert!(verify_occurrence(&pattern, &g, &occ));
+            }
+        }
+    }
+
+    #[test]
+    fn octahedron_contains_wheel_pattern() {
+        // every octahedron vertex together with its 4 neighbours induces a wheel W5
+        let g = psi_planar::generators::octahedron().graph;
+        let pattern = Pattern::new(generators::wheel(5));
+        let occ = find_one(&pattern, &g).expect("W5 occurs in the octahedron");
+        assert!(verify_occurrence(&pattern, &g, &occ));
+    }
+}

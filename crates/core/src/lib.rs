@@ -1,0 +1,56 @@
+//! # planar-subiso
+//!
+//! A reproduction of **"Parallel Planar Subgraph Isomorphism and Vertex Connectivity"**
+//! (Gianinazzi & Hoefler, SPAA 2020): a fixed-parameter, low-depth parallel algorithm
+//! deciding whether a small pattern graph `H` occurs as a subgraph of a planar target
+//! graph `G`, plus the application of that machinery to deciding planar vertex
+//! connectivity in `O(n log n)` work and `O(log² n)` depth.
+//!
+//! ## Pipeline
+//!
+//! 1. [`cover`] — the Parallel Treewidth k-d Cover (Section 2.1): an exponential start
+//!    time clustering followed by per-cluster BFS level windows turns the target into
+//!    `O(n d)` total size worth of bounded-treewidth pieces such that each fixed
+//!    occurrence survives with probability ≥ 1/2.
+//! 2. [`dp`] / [`dp_parallel`] — the bounded-treewidth partial-match dynamic program
+//!    (Sections 3.2 and 3.3), sequential and path-parallel with shortcuts.
+//! 3. [`isomorphism`] — the public query API: decide / find one / list all / count, with
+//!    `O(log n)` cover repetitions for the high-probability guarantee.
+//! 4. [`disconnected`] — colour-coding reduction for disconnected patterns (Section 4.1).
+//! 5. [`listing`] — the listing loop with the coin-flip stopping rule (Section 4.2).
+//! 6. [`separating`] / [`connectivity`] — S-separating subgraph isomorphism
+//!    (Section 5.2) and planar vertex connectivity via separating cycles in the
+//!    face–vertex graph (Sections 5.1, Lemma 5.2).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use planar_subiso::{Pattern, SubgraphIsomorphism};
+//!
+//! // Search for a 4-cycle in a triangulated grid.
+//! let target = psi_graph::generators::triangulated_grid(16, 16);
+//! let query = SubgraphIsomorphism::new(Pattern::cycle(4));
+//! let occurrence = query.find_one(&target).expect("grids are full of 4-cycles");
+//! assert!(planar_subiso::verify_occurrence(&Pattern::cycle(4), &target, &occurrence));
+//! ```
+
+pub mod connectivity;
+pub mod cover;
+pub mod disconnected;
+pub mod dp;
+pub mod dp_parallel;
+pub mod isomorphism;
+pub mod listing;
+pub mod pattern;
+pub mod separating;
+pub mod state;
+
+pub use connectivity::{vertex_connectivity, ConnectivityMode, ConnectivityResult};
+pub use cover::{build_cover, build_separating_cover, Cover, CoverPiece, SeparatingCoverPiece};
+pub use dp::{run_sequential, DpResult, NodeTable};
+pub use dp_parallel::{run_parallel, ParallelDpConfig, ParallelDpStats};
+pub use isomorphism::{decide, find_one, DpStrategy, QueryConfig, SubgraphIsomorphism};
+pub use listing::{count_distinct_images, list_all};
+pub use pattern::{verify_occurrence, Pattern};
+pub use separating::{find_separating_occurrence, is_separating, SeparatingInstance};
+pub use state::MatchState;

@@ -1,0 +1,220 @@
+//! Pattern graphs (the small graph `H` searched for inside the target).
+
+use psi_graph::{CsrGraph, GraphBuilder, Vertex};
+
+/// A pattern graph `H` with `k` vertices.
+///
+/// Patterns are ordinary simple graphs, but the algorithms need a few derived
+/// quantities (diameter, connected components, adjacency masks) often enough that this
+/// wrapper precomputes them. Patterns are limited to 63 vertices (far beyond anything
+/// the FPT algorithm can process anyway) so adjacency fits in a `u64` bitmask.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    graph: CsrGraph,
+    adj_mask: Vec<u64>,
+    diameter: usize,
+    components: Vec<Vec<Vertex>>,
+}
+
+impl Pattern {
+    /// Wraps a graph as a pattern.
+    ///
+    /// # Panics
+    /// Panics if the pattern has more than 63 vertices.
+    pub fn new(graph: CsrGraph) -> Self {
+        let k = graph.num_vertices();
+        assert!(k <= 63, "patterns are limited to 63 vertices (got {k})");
+        let adj_mask = (0..k)
+            .map(|v| {
+                graph
+                    .neighbors(v as Vertex)
+                    .iter()
+                    .fold(0u64, |m, &w| m | (1u64 << w))
+            })
+            .collect();
+        let diameter = if k == 0 {
+            0
+        } else {
+            (0..k as Vertex)
+                .map(|v| {
+                    let t = psi_graph::bfs(&graph, v);
+                    (0..k).map(|u| t.dist[u]).filter(|&d| d != u32::MAX).max().unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0) as usize
+        };
+        let components = psi_graph::connected_components(&graph).components();
+        Pattern { graph, adj_mask, diameter, components }
+    }
+
+    /// Builds a pattern from an edge list over `k` vertices.
+    pub fn from_edges(k: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        Pattern::new(GraphBuilder::from_edges(k, edges))
+    }
+
+    /// Number of pattern vertices `k`.
+    pub fn k(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of pattern edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Diameter of the pattern (largest finite pairwise distance; 0 for `k ≤ 1`).
+    pub fn diameter(&self) -> usize {
+        self.diameter
+    }
+
+    /// Whether the pattern is connected (the empty pattern counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.components.len() <= 1
+    }
+
+    /// The connected components (each a sorted list of pattern vertices).
+    pub fn components(&self) -> &[Vec<Vertex>] {
+        &self.components
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Whether pattern vertices `a` and `b` are adjacent.
+    #[inline]
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        (self.adj_mask[a] >> b) & 1 == 1
+    }
+
+    /// Neighbours of pattern vertex `a`.
+    #[inline]
+    pub fn neighbors(&self, a: usize) -> &[Vertex] {
+        self.graph.neighbors(a as Vertex)
+    }
+
+    /// Adjacency bitmask of pattern vertex `a`.
+    #[inline]
+    pub fn adj_mask(&self, a: usize) -> u64 {
+        self.adj_mask[a]
+    }
+
+    /// Pattern edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.graph.edges().map(|(a, b)| (a as usize, b as usize)).collect()
+    }
+
+    /// Extracts the sub-pattern induced by one connected component, together with the
+    /// map from component-local pattern vertices back to the original pattern vertices.
+    pub fn component_pattern(&self, idx: usize) -> (Pattern, Vec<Vertex>) {
+        let sub = psi_graph::induced_subgraph(&self.graph, &self.components[idx]);
+        (Pattern::new(sub.graph.clone()), sub.local_to_global.clone())
+    }
+
+    // ---- common named patterns -------------------------------------------------
+
+    /// Path pattern `P_k`.
+    pub fn path(k: usize) -> Self {
+        Pattern::new(psi_graph::generators::path(k))
+    }
+
+    /// Cycle pattern `C_k` (`k ≥ 3`).
+    pub fn cycle(k: usize) -> Self {
+        Pattern::new(psi_graph::generators::cycle(k))
+    }
+
+    /// Star pattern `K_{1,k−1}`.
+    pub fn star(k: usize) -> Self {
+        Pattern::new(psi_graph::generators::star(k))
+    }
+
+    /// Triangle pattern `K_3`.
+    pub fn triangle() -> Self {
+        Pattern::cycle(3)
+    }
+
+    /// Complete pattern `K_k`.
+    pub fn clique(k: usize) -> Self {
+        Pattern::new(psi_graph::generators::complete(k))
+    }
+
+    /// A single-vertex pattern.
+    pub fn single_vertex() -> Self {
+        Pattern::new(CsrGraph::empty(1))
+    }
+
+    /// The empty pattern (zero vertices) — trivially present in every target.
+    pub fn empty() -> Self {
+        Pattern::new(CsrGraph::empty(0))
+    }
+}
+
+/// Checks whether `mapping` (pattern vertex `i` ↦ `mapping[i]`) is a subgraph
+/// isomorphism from `pattern` into `target`: injective and edge-preserving.
+pub fn verify_occurrence(pattern: &Pattern, target: &CsrGraph, mapping: &[Vertex]) -> bool {
+    if mapping.len() != pattern.k() {
+        return false;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(mapping.len());
+    for &t in mapping {
+        if (t as usize) >= target.num_vertices() || !seen.insert(t) {
+            return false;
+        }
+    }
+    pattern
+        .edges()
+        .iter()
+        .all(|&(a, b)| target.has_edge(mapping[a], mapping[b]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_basics() {
+        let p = Pattern::cycle(5);
+        assert_eq!(p.k(), 5);
+        assert_eq!(p.num_edges(), 5);
+        assert_eq!(p.diameter(), 2);
+        assert!(p.is_connected());
+        assert!(p.adjacent(0, 1));
+        assert!(!p.adjacent(0, 2));
+    }
+
+    #[test]
+    fn path_and_star_diameters() {
+        assert_eq!(Pattern::path(6).diameter(), 5);
+        assert_eq!(Pattern::star(6).diameter(), 2);
+        assert_eq!(Pattern::triangle().diameter(), 1);
+        assert_eq!(Pattern::single_vertex().diameter(), 0);
+        assert_eq!(Pattern::empty().k(), 0);
+    }
+
+    #[test]
+    fn disconnected_pattern_components() {
+        let p = Pattern::from_edges(5, &[(0, 1), (2, 3)]);
+        assert!(!p.is_connected());
+        assert_eq!(p.components().len(), 3);
+        let (c0, map) = p.component_pattern(0);
+        assert_eq!(c0.k(), 2);
+        assert_eq!(map, vec![0, 1]);
+    }
+
+    #[test]
+    fn occurrence_verification() {
+        let target = psi_graph::generators::grid(3, 3);
+        let p = Pattern::path(3);
+        assert!(verify_occurrence(&p, &target, &[0, 1, 2]));
+        assert!(!verify_occurrence(&p, &target, &[0, 2, 1])); // 0-2 not an edge
+        assert!(!verify_occurrence(&p, &target, &[0, 1, 0])); // not injective
+        assert!(!verify_occurrence(&p, &target, &[0, 1])); // wrong arity
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 63")]
+    fn oversized_pattern_rejected() {
+        Pattern::new(CsrGraph::empty(64));
+    }
+}

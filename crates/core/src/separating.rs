@@ -1,0 +1,539 @@
+//! S-separating subgraph isomorphism (Section 5.2, Lemma 5.3).
+//!
+//! Decides whether a connected pattern `H` occurs in the target graph such that removing
+//! the occurrence leaves at least two connected components each containing a vertex of a
+//! marked set `S`. The dynamic program of Section 3 is extended with a per-bag-vertex
+//! side label:
+//!
+//! * `Image` — the vertex is (or will be, before it leaves the bags) used by the
+//!   occurrence; only *allowed* vertices may carry it, and a vertex may only be
+//!   forgotten with this label if a pattern vertex is actually mapped to it,
+//! * `Inside` / `Outside` — the side of the separation the vertex ends up on; an edge of
+//!   the target never connects an `Inside` vertex to an `Outside` vertex (checked in the
+//!   bag containing the edge), which is exactly the condition that the occurrence
+//!   separates the two sides,
+//!
+//! plus two booleans recording whether some `S`-vertex has already been committed to the
+//! inside respectively outside (the paper's `ix` / `ox`). A complete root state with
+//! both booleans set certifies an S-separating occurrence.
+
+use crate::pattern::Pattern;
+use crate::state::{MatchState, ST_IN_CHILD, ST_UNMATCHED};
+use psi_graph::{CsrGraph, Vertex};
+use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
+use std::collections::{HashMap, HashSet};
+
+/// Side label of a bag vertex.
+pub const LABEL_IMAGE: u8 = 0;
+/// Side label: the vertex ends up in the "inside" part of the separation.
+pub const LABEL_INSIDE: u8 = 1;
+/// Side label: the vertex ends up in the "outside" part of the separation.
+pub const LABEL_OUTSIDE: u8 = 2;
+
+/// An extended partial match of the S-separating DP.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SepState {
+    /// Pattern-vertex statuses (as in the plain DP).
+    pub base: MatchState,
+    /// Side labels, one per bag vertex (aligned with the node's sorted bag).
+    pub labels: Box<[u8]>,
+    /// Some `S` vertex already committed (forgotten) on the inside.
+    pub ix: bool,
+    /// Some `S` vertex already committed (forgotten) on the outside.
+    pub ox: bool,
+}
+
+/// The problem instance: which target vertices are in `S` and which may be used by the
+/// pattern image.
+#[derive(Clone, Debug)]
+pub struct SeparatingInstance<'a> {
+    /// The target graph (possibly a minor produced by the separating cover).
+    pub graph: &'a CsrGraph,
+    /// `S` membership per target vertex.
+    pub in_s: &'a [bool],
+    /// Whether each target vertex may be used by the occurrence.
+    pub allowed: &'a [bool],
+}
+
+type Table = HashSet<SepState>;
+
+/// Decides whether an S-separating occurrence of `pattern` exists in the instance, and
+/// returns a witness mapping if one does.
+///
+/// The search runs on a single tree decomposition of the instance graph; callers that
+/// need the near-linear-work pipeline combine it with
+/// [`crate::cover::build_separating_cover`].
+pub fn find_separating_occurrence(
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+) -> Option<Vec<Vertex>> {
+    let graph = instance.graph;
+    let k = pattern.k();
+    if k == 0 || k > graph.num_vertices() {
+        return None;
+    }
+    let td = min_degree_decomposition(graph);
+    let btd = BinaryTreeDecomposition::from_decomposition(&td);
+
+    // Bottom-up tables; to recover a witness we also remember, for every state, one
+    // derivation (child states + nothing else — the mapping is reconstructed by a second
+    // pass like in the plain DP, but here we only need the mapped targets, which can be
+    // collected from the chain of states directly).
+    let mut tables: Vec<Table> = vec![Table::new(); btd.num_nodes()];
+    let mut parents: Vec<HashMap<SepState, (Option<SepState>, Option<SepState>)>> =
+        vec![HashMap::new(); btd.num_nodes()];
+
+    for node in btd.postorder() {
+        let bag = &btd.bags[node];
+        let mut table = Table::new();
+        let mut derivation = HashMap::new();
+        match btd.children[node] {
+            None => {
+                for state in fresh_states(bag, instance, pattern) {
+                    derivation.entry(state.clone()).or_insert((None, None));
+                    table.insert(state);
+                }
+            }
+            Some([l, r]) => {
+                // Only a witness is needed, so child states that lift to the same
+                // parent-bag state are interchangeable: deduplicate the lifted sets
+                // (keeping one representative original state each) and also skip joined
+                // states that were already extended — both prune the quadratic pairing
+                // substantially.
+                let lift_side = |child: usize| -> Vec<(SepState, SepState)> {
+                    let mut seen: HashSet<SepState> = HashSet::new();
+                    tables[child]
+                        .iter()
+                        .filter_map(|s| {
+                            lift(s, &btd.bags[child], bag, instance, pattern).map(|ls| (ls, s.clone()))
+                        })
+                        .filter(|(ls, _)| seen.insert(ls.clone()))
+                        .collect()
+                };
+                let lifted_left = lift_side(l);
+                let lifted_right = lift_side(r);
+                let mut joined_seen: HashSet<SepState> = HashSet::new();
+                for (ls, lorig) in &lifted_left {
+                    for (rs, rorig) in &lifted_right {
+                        if let Some(joined) = join(ls, rs, bag, instance, pattern) {
+                            if !joined_seen.insert(joined.clone()) {
+                                continue;
+                            }
+                            for extended in extend(&joined, bag, instance, pattern) {
+                                derivation
+                                    .entry(extended.clone())
+                                    .or_insert((Some(lorig.clone()), Some(rorig.clone())));
+                                table.insert(extended);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        tables[node] = table;
+        parents[node] = derivation;
+    }
+
+    // Root acceptance: complete base, and both sides hold an S vertex (counting the
+    // root-bag vertices that were never forgotten).
+    let root = btd.root;
+    let root_bag = &btd.bags[root];
+    let accept = tables[root].iter().find(|state| {
+        if !state.base.is_complete() {
+            return false;
+        }
+        let (mut ix, mut ox) = (state.ix, state.ox);
+        for (pos, &v) in root_bag.iter().enumerate() {
+            if instance.in_s[v as usize] {
+                match state.labels[pos] {
+                    LABEL_INSIDE => ix = true,
+                    LABEL_OUTSIDE => ox = true,
+                    _ => {}
+                }
+            }
+        }
+        // every Image-labelled root vertex must actually be used
+        for (pos, &v) in root_bag.iter().enumerate() {
+            if state.labels[pos] == LABEL_IMAGE && !state.base.mapped_pairs().any(|(_, t)| t == v) {
+                return false;
+            }
+        }
+        ix && ox
+    })?;
+
+    // Witness reconstruction: walk the derivation chain collecting mapped targets.
+    let mut mapping = vec![u32::MAX; k];
+    let mut stack = vec![(root, accept.clone())];
+    let mut guard = 0usize;
+    while let Some((node, state)) = stack.pop() {
+        guard += 1;
+        if guard > 4 * btd.num_nodes() * (k + 2) {
+            break;
+        }
+        for (pv, t) in state.base.mapped_pairs() {
+            mapping[pv] = t;
+        }
+        if let Some((l, r)) = parents[node].get(&state) {
+            if let Some([lc, rc]) = btd.children[node] {
+                if let Some(ls) = l {
+                    stack.push((lc, ls.clone()));
+                }
+                if let Some(rs) = r {
+                    stack.push((rc, rs.clone()));
+                }
+            }
+        }
+    }
+    if mapping.iter().any(|&t| t == u32::MAX) {
+        // The derivation chain lost a mapping (should not happen); report no witness
+        // rather than a bogus one.
+        return None;
+    }
+    Some(mapping)
+}
+
+/// Enumerates the states of a leaf node (or the label/extension enumeration shared with
+/// interior nodes when starting from the all-unmatched base with no labels fixed).
+fn fresh_states(bag: &[Vertex], instance: &SeparatingInstance<'_>, pattern: &Pattern) -> Vec<SepState> {
+    let joined = SepState {
+        base: MatchState::all_unmatched(pattern.k()),
+        labels: vec![u8::MAX; bag.len()].into_boxed_slice(),
+        ix: false,
+        ox: false,
+    };
+    extend(&joined, bag, instance, pattern)
+}
+
+/// Lifts a child state to the parent bag. Forgotten bag vertices must be "finished":
+/// `Image` vertices must actually be mapped (their pattern vertex becomes `C`, with the
+/// same forget-safety rule as the plain DP), and `Inside`/`Outside` vertices in `S`
+/// set the corresponding boolean.
+fn lift(
+    state: &SepState,
+    child_bag: &[Vertex],
+    parent_bag: &[Vertex],
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+) -> Option<SepState> {
+    let k = state.base.k();
+    let mut ix = state.ix;
+    let mut ox = state.ox;
+    // Handle leaving bag vertices.
+    for (pos, &v) in child_bag.iter().enumerate() {
+        if parent_bag.binary_search(&v).is_ok() {
+            continue;
+        }
+        match state.labels[pos] {
+            LABEL_IMAGE => {
+                if !state.base.mapped_pairs().any(|(_, t)| t == v) {
+                    return None; // promised to be used by the occurrence but never was
+                }
+            }
+            LABEL_INSIDE => {
+                if instance.in_s[v as usize] {
+                    ix = true;
+                }
+            }
+            LABEL_OUTSIDE => {
+                if instance.in_s[v as usize] {
+                    ox = true;
+                }
+            }
+            _ => return None,
+        }
+    }
+    // Lift the base state with forget-safety.
+    let mut words = Vec::with_capacity(k);
+    for i in 0..k {
+        match state.base.word(i) {
+            ST_UNMATCHED => words.push(ST_UNMATCHED),
+            ST_IN_CHILD => words.push(ST_IN_CHILD),
+            t => {
+                if parent_bag.binary_search(&t).is_ok() {
+                    words.push(t);
+                } else {
+                    if pattern.neighbors(i).iter().any(|&b| state.base.is_unmatched(b as usize)) {
+                        return None;
+                    }
+                    words.push(ST_IN_CHILD);
+                }
+            }
+        }
+    }
+    // Labels of the parent bag: keep labels of shared vertices, leave new vertices
+    // undecided (u8::MAX) for the parent's extension step to fill in.
+    let labels: Vec<u8> = parent_bag
+        .iter()
+        .map(|&v| match child_bag.binary_search(&v) {
+            Ok(pos) => state.labels[pos],
+            Err(_) => u8::MAX,
+        })
+        .collect();
+    Some(SepState { base: MatchState::from_raw(words), labels: labels.into_boxed_slice(), ix, ox })
+}
+
+/// Joins two lifted states at a common bag.
+fn join(
+    a: &SepState,
+    b: &SepState,
+    bag: &[Vertex],
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+) -> Option<SepState> {
+    let base = crate::dp::join(&a.base, &b.base, pattern, instance.graph)?;
+    let mut labels = Vec::with_capacity(bag.len());
+    for pos in 0..bag.len() {
+        let (la, lb) = (a.labels[pos], b.labels[pos]);
+        let combined = match (la, lb) {
+            (u8::MAX, l) | (l, u8::MAX) => l,
+            (x, y) if x == y => x,
+            _ => return None,
+        };
+        labels.push(combined);
+    }
+    Some(SepState {
+        base,
+        labels: labels.into_boxed_slice(),
+        ix: a.ix || b.ix,
+        ox: a.ox || b.ox,
+    })
+}
+
+/// Completes a joined state: assigns labels to still-undecided bag vertices and newly
+/// maps unmatched pattern vertices into `Image`-labelled, allowed, unused bag vertices,
+/// enforcing the separation edge constraint and the pattern adjacency constraints.
+fn extend(
+    joined: &SepState,
+    bag: &[Vertex],
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+) -> Vec<SepState> {
+    // Step 1: enumerate label completions. Mapped targets force LABEL_IMAGE.
+    let mut forced = joined.labels.clone();
+    for (_, t) in joined.base.mapped_pairs() {
+        if let Ok(pos) = bag.binary_search(&t) {
+            if forced[pos] != u8::MAX && forced[pos] != LABEL_IMAGE {
+                return Vec::new();
+            }
+            forced[pos] = LABEL_IMAGE;
+        }
+    }
+    // Every Image label that is not already backed by a mapped pattern vertex is a
+    // promise that one of the still-unmatched pattern vertices will map there, so the
+    // number of such labels is bounded by the number of unmatched pattern vertices.
+    let image_budget = joined.base.num_unmatched();
+    let mut label_choices: Vec<Box<[u8]>> = Vec::new();
+    let mut current = forced.clone();
+    enumerate_labels(0, &mut current, bag, instance, image_budget, &mut label_choices);
+
+    // Step 2: for each labelling, check the separation edge constraint and enumerate
+    // pattern extensions into Image-labelled vertices.
+    let mut out = Vec::new();
+    for labels in label_choices {
+        if !edge_constraint_ok(&labels, bag, instance.graph) {
+            continue;
+        }
+        let allowed_targets: Vec<Vertex> = bag
+            .iter()
+            .enumerate()
+            .filter(|&(pos, &v)| labels[pos] == LABEL_IMAGE && instance.allowed[v as usize])
+            .map(|(_, &v)| v)
+            .collect();
+        // Image-labelled vertices that are not allowed can never be used: prune.
+        if bag
+            .iter()
+            .enumerate()
+            .any(|(pos, &v)| labels[pos] == LABEL_IMAGE && !instance.allowed[v as usize])
+        {
+            continue;
+        }
+        let base_state = SepState { base: joined.base.clone(), labels: labels.clone(), ix: joined.ix, ox: joined.ox };
+        crate::dp::extend_all(&joined.base, &allowed_targets, pattern, instance.graph, &mut |ms| {
+            out.push(SepState { base: ms, ..base_state.clone() });
+        });
+    }
+    out
+}
+
+fn enumerate_labels(
+    pos: usize,
+    current: &mut Box<[u8]>,
+    bag: &[Vertex],
+    instance: &SeparatingInstance<'_>,
+    image_budget: usize,
+    out: &mut Vec<Box<[u8]>>,
+) {
+    if pos == current.len() {
+        out.push(current.clone());
+        return;
+    }
+    if current[pos] != u8::MAX {
+        enumerate_labels(pos + 1, current, bag, instance, image_budget, out);
+        return;
+    }
+    let v = bag[pos] as usize;
+    // Incremental separation constraint: an Inside/Outside choice must not contradict an
+    // already-labelled neighbour within the bag.
+    fn side_conflicts(
+        current: &[u8],
+        bag: &[Vertex],
+        graph: &CsrGraph,
+        pos: usize,
+        label: u8,
+    ) -> bool {
+        (0..current.len()).any(|other| {
+            other != pos
+                && current[other] != u8::MAX
+                && current[other] != LABEL_IMAGE
+                && current[other] != label
+                && graph.has_edge(bag[pos], bag[other])
+        })
+    }
+    for label in [LABEL_INSIDE, LABEL_OUTSIDE] {
+        if side_conflicts(current, bag, instance.graph, pos, label) {
+            continue;
+        }
+        current[pos] = label;
+        enumerate_labels(pos + 1, current, bag, instance, image_budget, out);
+        current[pos] = u8::MAX;
+    }
+    if instance.allowed[v] && image_budget > 0 {
+        current[pos] = LABEL_IMAGE;
+        enumerate_labels(pos + 1, current, bag, instance, image_budget - 1, out);
+        current[pos] = u8::MAX;
+    }
+}
+
+/// No edge of the bag may connect an `Inside` vertex to an `Outside` vertex.
+fn edge_constraint_ok(labels: &[u8], bag: &[Vertex], graph: &CsrGraph) -> bool {
+    for i in 0..bag.len() {
+        if labels[i] == LABEL_IMAGE {
+            continue;
+        }
+        for j in (i + 1)..bag.len() {
+            if labels[j] == LABEL_IMAGE || labels[i] == labels[j] {
+                continue;
+            }
+            if graph.has_edge(bag[i], bag[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that removing `occurrence` from the graph separates `S`: at least two
+/// connected components of the remainder contain `S` vertices. Used to verify witnesses
+/// and as a brute-force reference in tests.
+pub fn is_separating(graph: &CsrGraph, in_s: &[bool], occurrence: &[Vertex]) -> bool {
+    let removed: HashSet<Vertex> = occurrence.iter().copied().collect();
+    let mask: Vec<bool> = (0..graph.num_vertices() as Vertex).map(|v| !removed.contains(&v)).collect();
+    let comps = psi_graph::connectivity::connected_components_masked(graph, Some(&mask));
+    let mut with_s = HashSet::new();
+    for v in 0..graph.num_vertices() {
+        if mask[v] && in_s[v] && comps.label[v] != u32::MAX {
+            with_s.insert(comps.label[v]);
+        }
+    }
+    with_s.len() >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::verify_occurrence;
+    use psi_graph::generators;
+
+    fn all_true(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn separating_cycle_in_a_cycle_with_chord_free_graph() {
+        // In C6 itself, removing any occurrence of C6 removes everything: not separating.
+        let g = generators::cycle(6);
+        let in_s = all_true(6);
+        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(6) };
+        assert!(find_separating_occurrence(&inst, &Pattern::cycle(6)).is_none());
+    }
+
+    #[test]
+    fn separating_square_in_grid() {
+        // In a 5x5 grid, the 4-cycle around the centre... a unit square does not separate
+        // the grid, but the 8-cycle around the centre vertex does.
+        let g = generators::grid(5, 5);
+        let n = g.num_vertices();
+        let in_s = all_true(n);
+        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(n) };
+        // C4 (a unit square) never separates a 5x5 grid
+        assert!(find_separating_occurrence(&inst, &Pattern::cycle(4)).is_none());
+        // C8 around an interior vertex separates it from the boundary
+        let occ = find_separating_occurrence(&inst, &Pattern::cycle(8)).expect("separating C8 exists");
+        assert!(verify_occurrence(&Pattern::cycle(8), &g, &occ));
+        assert!(is_separating(&g, &in_s, &occ));
+    }
+
+    #[test]
+    fn separating_star_cut() {
+        // A path 0-1-2-3-4: the single vertex 2 separates S = {0, 4}.
+        let g = generators::path(5);
+        let mut in_s = vec![false; 5];
+        in_s[0] = true;
+        in_s[4] = true;
+        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(5) };
+        let occ = find_separating_occurrence(&inst, &Pattern::single_vertex()).expect("cut vertex");
+        assert!(is_separating(&g, &in_s, &occ));
+        assert_eq!(occ.len(), 1);
+        assert!((1..=3).contains(&occ[0]));
+    }
+
+    #[test]
+    fn allowed_set_is_respected() {
+        let g = generators::path(5);
+        let mut in_s = vec![false; 5];
+        in_s[0] = true;
+        in_s[4] = true;
+        // only vertex 3 is allowed: a single allowed vertex that separates 0 from 4
+        let mut allowed = vec![false; 5];
+        allowed[3] = true;
+        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &allowed };
+        let occ = find_separating_occurrence(&inst, &Pattern::single_vertex()).unwrap();
+        assert_eq!(occ, vec![3]);
+        // forbidding every interior vertex makes separation impossible
+        let allowed_none = vec![false; 5];
+        let inst2 = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &allowed_none };
+        assert!(find_separating_occurrence(&inst2, &Pattern::single_vertex()).is_none());
+    }
+
+    #[test]
+    fn separating_edge_pattern() {
+        // Two triangles sharing an edge (a "bowtie" without the shared vertex): removing
+        // the shared edge's endpoints separates the two apexes.
+        let mut b = psi_graph::GraphBuilder::new(4);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let mut in_s = vec![false; 4];
+        in_s[0] = true;
+        in_s[3] = true;
+        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(4) };
+        let occ = find_separating_occurrence(&inst, &Pattern::path(2)).expect("edge {1,2} separates");
+        let mut set = occ.clone();
+        set.sort_unstable();
+        assert_eq!(set, vec![1, 2]);
+        assert!(is_separating(&g, &in_s, &occ));
+    }
+
+    #[test]
+    fn non_separating_when_s_is_on_one_side() {
+        let g = generators::grid(5, 5);
+        let n = g.num_vertices();
+        // S entirely in the top-left corner: the C8 around the centre does not split S
+        let mut in_s = vec![false; n];
+        in_s[0] = true;
+        in_s[1] = true;
+        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(n) };
+        assert!(find_separating_occurrence(&inst, &Pattern::cycle(8)).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Partial matches (Section 3.1).
+//!
+//! A partial match of a decomposition-tree node `X` is a triple `(φ, C, U)`: pattern
+//! vertices are either *unmatched* (`U`), *matched in a child* (`C` — matched somewhere
+//! strictly below `X`, to a target vertex that no longer appears in the bag), or mapped
+//! by `φ` to a concrete vertex of the bag. [`MatchState`] stores one status word per
+//! pattern vertex; mapped vertices store the target vertex id directly (rather than a
+//! bag slot) so states of different nodes can be compared and lifted cheaply.
+
+use psi_graph::Vertex;
+
+/// Status word: the pattern vertex is unmatched.
+pub const ST_UNMATCHED: u32 = u32::MAX;
+/// Status word: the pattern vertex is matched in a child (image outside the bag).
+pub const ST_IN_CHILD: u32 = u32::MAX - 1;
+
+/// A partial match `(φ, C, U)`, one status word per pattern vertex.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MatchState(Box<[u32]>);
+
+impl MatchState {
+    /// The trivial partial match marking every pattern vertex unmatched.
+    pub fn all_unmatched(k: usize) -> Self {
+        MatchState(vec![ST_UNMATCHED; k].into_boxed_slice())
+    }
+
+    /// Builds a state from raw status words.
+    pub fn from_raw(words: Vec<u32>) -> Self {
+        MatchState(words.into_boxed_slice())
+    }
+
+    /// Number of pattern vertices.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw status word of pattern vertex `i`.
+    #[inline]
+    pub fn word(&self, i: usize) -> u32 {
+        self.0[i]
+    }
+
+    /// Whether pattern vertex `i` is unmatched.
+    #[inline]
+    pub fn is_unmatched(&self, i: usize) -> bool {
+        self.0[i] == ST_UNMATCHED
+    }
+
+    /// Whether pattern vertex `i` is matched in a child.
+    #[inline]
+    pub fn is_in_child(&self, i: usize) -> bool {
+        self.0[i] == ST_IN_CHILD
+    }
+
+    /// The bag vertex pattern vertex `i` is mapped to, if any.
+    #[inline]
+    pub fn mapped(&self, i: usize) -> Option<Vertex> {
+        let w = self.0[i];
+        (w < ST_IN_CHILD).then_some(w)
+    }
+
+    /// Whether pattern vertex `i` is matched (mapped or matched in a child).
+    #[inline]
+    pub fn is_matched(&self, i: usize) -> bool {
+        self.0[i] != ST_UNMATCHED
+    }
+
+    /// Number of unmatched pattern vertices.
+    pub fn num_unmatched(&self) -> usize {
+        self.0.iter().filter(|&&w| w == ST_UNMATCHED).count()
+    }
+
+    /// Number of matched (non-`U`) pattern vertices.
+    pub fn num_matched(&self) -> usize {
+        self.k() - self.num_unmatched()
+    }
+
+    /// Whether no pattern vertex is unmatched — a complete match (an occurrence).
+    pub fn is_complete(&self) -> bool {
+        self.0.iter().all(|&w| w != ST_UNMATCHED)
+    }
+
+    /// Whether the state marks no vertex as matched in a child (`C = ∅`).
+    pub fn has_no_child_matches(&self) -> bool {
+        self.0.iter().all(|&w| w != ST_IN_CHILD)
+    }
+
+    /// Returns a copy with pattern vertex `i` set to `word`.
+    pub fn with(&self, i: usize, word: u32) -> Self {
+        let mut v = self.0.clone();
+        v[i] = word;
+        MatchState(v)
+    }
+
+    /// Iterator over `(pattern vertex, target vertex)` pairs currently mapped by `φ`.
+    pub fn mapped_pairs(&self) -> impl Iterator<Item = (usize, Vertex)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &w)| (w < ST_IN_CHILD).then_some((i, w)))
+    }
+
+    /// Raw access to all status words.
+    pub fn words(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_queries() {
+        let mut s = MatchState::all_unmatched(4);
+        assert_eq!(s.num_unmatched(), 4);
+        assert!(!s.is_complete());
+        assert!(s.has_no_child_matches());
+        s = s.with(1, 17).with(2, ST_IN_CHILD);
+        assert_eq!(s.mapped(1), Some(17));
+        assert!(s.is_in_child(2));
+        assert!(s.is_unmatched(0));
+        assert!(s.is_matched(1) && s.is_matched(2) && !s.is_matched(3));
+        assert_eq!(s.num_matched(), 2);
+        assert!(!s.has_no_child_matches());
+        let pairs: Vec<_> = s.mapped_pairs().collect();
+        assert_eq!(pairs, vec![(1, 17)]);
+    }
+
+    #[test]
+    fn complete_state() {
+        let s = MatchState::from_raw(vec![3, ST_IN_CHILD, 5]);
+        assert!(s.is_complete());
+        assert_eq!(s.num_unmatched(), 0);
+    }
+
+    #[test]
+    fn equality_and_hashing() {
+        use std::collections::HashSet;
+        let a = MatchState::from_raw(vec![1, ST_UNMATCHED]);
+        let b = MatchState::all_unmatched(2).with(0, 1);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

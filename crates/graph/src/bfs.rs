@@ -1,0 +1,218 @@
+//! Breadth-first search: sequential, restricted-to-a-subset, and level-synchronous parallel.
+//!
+//! The paper's *Parallel Treewidth k-d Cover* (Section 2.1) runs a "naive parallel BFS"
+//! inside every low-diameter cluster; because the clusters have diameter `O(β log n)`
+//! the level-synchronous frontier expansion below has poly-logarithmic depth.
+
+use crate::csr::{CsrGraph, Vertex, INVALID_VERTEX};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Result of a breadth-first search from a single root.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// Root vertex the search started at.
+    pub root: Vertex,
+    /// Parent of each vertex in the BFS tree; `INVALID_VERTEX` for the root and for
+    /// unreached vertices.
+    pub parent: Vec<Vertex>,
+    /// BFS distance from the root; `u32::MAX` for unreached vertices.
+    pub dist: Vec<u32>,
+    /// Vertices in visitation order (root first).
+    pub order: Vec<Vertex>,
+}
+
+impl BfsTree {
+    /// Whether `v` was reached by the search.
+    #[inline]
+    pub fn reached(&self, v: Vertex) -> bool {
+        self.dist[v as usize] != u32::MAX
+    }
+
+    /// The largest finite distance (eccentricity of the root within its component).
+    pub fn max_dist(&self) -> u32 {
+        self.order.iter().map(|&v| self.dist[v as usize]).max().unwrap_or(0)
+    }
+
+    /// Vertices grouped by BFS level (level `i` at index `i`).
+    pub fn levels(&self) -> Vec<Vec<Vertex>> {
+        let max = self.max_dist() as usize;
+        let mut levels = vec![Vec::new(); max + 1];
+        for &v in &self.order {
+            levels[self.dist[v as usize] as usize].push(v);
+        }
+        levels
+    }
+}
+
+/// Sequential BFS over the whole graph from `root`.
+pub fn bfs(graph: &CsrGraph, root: Vertex) -> BfsTree {
+    bfs_restricted(graph, root, |_| true)
+}
+
+/// Sequential BFS restricted to vertices accepted by `allowed`.
+///
+/// The root is always visited (even if `allowed(root)` is false the search starts there,
+/// matching the cover construction where the cluster root is a member by definition).
+pub fn bfs_restricted<F: Fn(Vertex) -> bool>(graph: &CsrGraph, root: Vertex, allowed: F) -> BfsTree {
+    let n = graph.num_vertices();
+    let mut parent = vec![INVALID_VERTEX; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    dist[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let du = dist[u as usize];
+        for &v in graph.neighbors(u) {
+            if dist[v as usize] == u32::MAX && allowed(v) {
+                dist[v as usize] = du + 1;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsTree { root, parent, dist, order }
+}
+
+/// Level-synchronous parallel BFS restricted to a vertex mask.
+///
+/// `mask[v]` decides whether `v` may be visited; pass `None` to search the whole graph.
+/// Each level expands its frontier with a parallel flat-map; visitation is claimed with
+/// an atomic test-and-set so every vertex is assigned exactly one parent.
+pub fn parallel_bfs(graph: &CsrGraph, root: Vertex, mask: Option<&[bool]>) -> BfsTree {
+    let n = graph.num_vertices();
+    let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let mut parent = vec![INVALID_VERTEX; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut order = Vec::with_capacity(64);
+
+    let allowed = |v: Vertex| mask.map_or(true, |m| m[v as usize]);
+
+    visited[root as usize].store(true, Ordering::Relaxed);
+    dist[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut level: u32 = 0;
+    while !frontier.is_empty() {
+        order.extend_from_slice(&frontier);
+        level += 1;
+        // Discover the next frontier in parallel; ties for a vertex are broken by the
+        // atomic swap, so exactly one discovering edge wins.
+        let next: Vec<(Vertex, Vertex)> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| allowed(v) && !visited[v as usize].load(Ordering::Relaxed))
+                    .map(move |v| (v, u))
+            })
+            .filter(|&(v, _)| !visited[v as usize].swap(true, Ordering::Relaxed))
+            .collect();
+        frontier = Vec::with_capacity(next.len());
+        for (v, p) in next {
+            parent[v as usize] = p;
+            dist[v as usize] = level;
+            frontier.push(v);
+        }
+    }
+    BfsTree { root, parent, dist, order }
+}
+
+/// Eccentricity of `root` (largest BFS distance) within its connected component.
+pub fn eccentricity(graph: &CsrGraph, root: Vertex) -> u32 {
+    bfs(graph, root).max_dist()
+}
+
+/// Exact diameter by running a BFS from every vertex (intended for tests and small graphs).
+pub fn exact_diameter(graph: &CsrGraph) -> u32 {
+    (0..graph.num_vertices() as Vertex)
+        .into_par_iter()
+        .map(|v| eccentricity(graph, v))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(6);
+        let t = bfs(&g, 0);
+        assert_eq!(t.dist, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.parent[5], 4);
+        assert_eq!(t.max_dist(), 5);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let t = bfs(&g, 0);
+        assert!(t.reached(1));
+        assert!(!t.reached(2));
+        assert_eq!(t.order.len(), 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_distances() {
+        let g = generators::grid(17, 13);
+        let s = bfs(&g, 0);
+        let p = parallel_bfs(&g, 0, None);
+        assert_eq!(s.dist, p.dist);
+    }
+
+    #[test]
+    fn parallel_parents_are_consistent() {
+        let g = generators::triangulated_grid(12, 12);
+        let p = parallel_bfs(&g, 5, None);
+        for v in g.vertices() {
+            if v != 5 && p.reached(v) {
+                let par = p.parent[v as usize];
+                assert!(g.has_edge(v, par));
+                assert_eq!(p.dist[v as usize], p.dist[par as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_bfs_respects_mask() {
+        let g = generators::path(10);
+        // forbid vertex 5: nothing beyond it is reachable
+        let t = bfs_restricted(&g, 0, |v| v != 5);
+        assert!(t.reached(4));
+        assert!(!t.reached(5));
+        assert!(!t.reached(6));
+
+        let mask: Vec<bool> = (0..10).map(|v| v != 5).collect();
+        let tp = parallel_bfs(&g, 0, Some(&mask));
+        assert_eq!(t.dist, tp.dist);
+    }
+
+    #[test]
+    fn bfs_levels_partition_reached_vertices() {
+        let g = generators::grid(8, 8);
+        let t = bfs(&g, 0);
+        let levels = t.levels();
+        let total: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(total, 64);
+        for (i, level) in levels.iter().enumerate() {
+            for &v in level {
+                assert_eq!(t.dist[v as usize] as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let g = generators::cycle(10);
+        assert_eq!(exact_diameter(&g), 5);
+    }
+}

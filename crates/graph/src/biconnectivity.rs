@@ -1,0 +1,230 @@
+//! Articulation points, bridges and biconnected components (iterative Hopcroft–Tarjan).
+//!
+//! The vertex-connectivity pipeline (paper Section 5.1) first decides 1- and
+//! 2-connectivity with "existing algorithms" [38, 50]; this module is that substrate.
+//! We use the classical lowpoint computation — executed per connected component — which
+//! is linear work. (The Tarjan–Vishkin parallel formulation has the same interface; the
+//! sequential lowpoint pass is not the bottleneck of any experiment.)
+
+use crate::csr::{CsrGraph, Vertex, INVALID_VERTEX};
+
+/// Output of the biconnectivity analysis.
+#[derive(Clone, Debug)]
+pub struct Biconnectivity {
+    /// Vertices whose removal disconnects their component.
+    pub articulation_points: Vec<Vertex>,
+    /// Bridge edges `(u, v)` with `u < v`.
+    pub bridges: Vec<(Vertex, Vertex)>,
+    /// For every undirected edge (in `CsrGraph::edges` order) the id of its biconnected
+    /// component.
+    pub edge_component: Vec<u32>,
+    /// Number of biconnected components.
+    pub num_components: usize,
+}
+
+/// Computes articulation points, bridges and biconnected components.
+pub fn biconnected_components(graph: &CsrGraph) -> Biconnectivity {
+    let n = graph.num_vertices();
+    // Map each undirected edge (u,v), u<v, to its index in edges() order.
+    let mut edge_index = std::collections::HashMap::new();
+    for (i, (u, v)) in graph.edges().enumerate() {
+        edge_index.insert((u, v), i as u32);
+    }
+    let m = edge_index.len();
+    let mut edge_component = vec![u32::MAX; m];
+    let mut articulation = vec![false; n];
+    let mut bridges = Vec::new();
+
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut parent = vec![INVALID_VERTEX; n];
+    let mut timer = 0u32;
+    let mut comp_count = 0u32;
+    // Stack of edges for biconnected component extraction.
+    let mut edge_stack: Vec<(Vertex, Vertex)> = Vec::new();
+
+    let canon = |u: Vertex, v: Vertex| (u.min(v), u.max(v));
+
+    for start in 0..n as Vertex {
+        if disc[start as usize] != u32::MAX {
+            continue;
+        }
+        // Iterative DFS: (vertex, neighbor cursor).
+        let mut stack: Vec<(Vertex, usize)> = vec![(start, 0)];
+        disc[start as usize] = timer;
+        low[start as usize] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            let neigh = graph.neighbors(u);
+            if *cursor < neigh.len() {
+                let v = neigh[*cursor];
+                *cursor += 1;
+                if disc[v as usize] == u32::MAX {
+                    parent[v as usize] = u;
+                    if u == start {
+                        root_children += 1;
+                    }
+                    disc[v as usize] = timer;
+                    low[v as usize] = timer;
+                    timer += 1;
+                    edge_stack.push(canon(u, v));
+                    stack.push((v, 0));
+                } else if v != parent[u as usize] && disc[v as usize] < disc[u as usize] {
+                    // back edge
+                    edge_stack.push(canon(u, v));
+                    low[u as usize] = low[u as usize].min(disc[v as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[u as usize]);
+                    if low[u as usize] >= disc[p as usize] {
+                        // p is an articulation point (unless it is the root, handled below);
+                        // pop the biconnected component ending at edge (p, u).
+                        if p != start {
+                            articulation[p as usize] = true;
+                        }
+                        let target = canon(p, u);
+                        let mut popped_any = false;
+                        while let Some(e) = edge_stack.pop() {
+                            popped_any = true;
+                            edge_component[edge_index[&e] as usize] = comp_count;
+                            if e == target {
+                                break;
+                            }
+                        }
+                        if popped_any {
+                            comp_count += 1;
+                        }
+                    }
+                    if low[u as usize] > disc[p as usize] {
+                        bridges.push(canon(p, u));
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            articulation[start as usize] = true;
+        }
+    }
+
+    // Any leftover edges (whole component was biconnected and flushed above) — in the
+    // standard formulation the stack is emptied at articulation pops; flush remainder.
+    if !edge_stack.is_empty() {
+        for e in edge_stack.drain(..) {
+            edge_component[edge_index[&e] as usize] = comp_count;
+        }
+        comp_count += 1;
+    }
+
+    let articulation_points: Vec<Vertex> =
+        (0..n as Vertex).filter(|&v| articulation[v as usize]).collect();
+    bridges.sort_unstable();
+    bridges.dedup();
+    Biconnectivity {
+        articulation_points,
+        bridges,
+        edge_component,
+        num_components: comp_count as usize,
+    }
+}
+
+/// Articulation points only.
+pub fn articulation_points(graph: &CsrGraph) -> Vec<Vertex> {
+    biconnected_components(graph).articulation_points
+}
+
+/// Whether the graph is biconnected: connected, at least 3 vertices, and no
+/// articulation point. (`K_2` is conventionally *not* 2-vertex-connected under the
+/// `c+1`-vertices definition used by the paper.)
+pub fn is_biconnected(graph: &CsrGraph) -> bool {
+    graph.num_vertices() >= 3
+        && crate::connectivity::is_connected(graph)
+        && articulation_points(graph).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn cycle_is_biconnected() {
+        let g = generators::cycle(6);
+        assert!(is_biconnected(&g));
+        assert!(articulation_points(&g).is_empty());
+        assert!(biconnected_components(&g).bridges.is_empty());
+    }
+
+    #[test]
+    fn path_has_internal_articulation_points() {
+        let g = generators::path(5);
+        let aps = articulation_points(&g);
+        assert_eq!(aps, vec![1, 2, 3]);
+        assert!(!is_biconnected(&g));
+        let b = biconnected_components(&g);
+        assert_eq!(b.bridges.len(), 4);
+        assert_eq!(b.num_components, 4);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // 0-1-2 triangle and 2-3-4 triangle share vertex 2.
+        let mut b = GraphBuilder::new(5);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let bc = biconnected_components(&g);
+        assert_eq!(bc.articulation_points, vec![2]);
+        assert_eq!(bc.num_components, 2);
+        assert!(bc.bridges.is_empty());
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn grid_is_biconnected() {
+        let g = generators::grid(5, 4);
+        assert!(is_biconnected(&g));
+    }
+
+    #[test]
+    fn disconnected_graph_is_not_biconnected() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        b.add_edge(3, 5);
+        let g = b.build();
+        assert!(!is_biconnected(&g));
+        let bc = biconnected_components(&g);
+        assert_eq!(bc.num_components, 2);
+        assert!(bc.articulation_points.is_empty());
+    }
+
+    #[test]
+    fn bridge_detection() {
+        // two triangles joined by a bridge 2-3
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let bc = biconnected_components(&g);
+        assert_eq!(bc.bridges, vec![(2, 3)]);
+        assert_eq!(bc.articulation_points, vec![2, 3]);
+        assert_eq!(bc.num_components, 3);
+    }
+
+    #[test]
+    fn every_edge_gets_a_component() {
+        let g = generators::triangulated_grid(6, 5);
+        let bc = biconnected_components(&g);
+        assert!(bc.edge_component.iter().all(|&c| c != u32::MAX));
+    }
+}

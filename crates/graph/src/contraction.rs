@@ -1,0 +1,142 @@
+//! Contraction of vertex groups into super-vertices (graph minors).
+//!
+//! The S-separating variant of the cover (paper Section 5.2.1, Figure 7) replaces each
+//! neighbouring cluster and each removed component by a single merged vertex, producing
+//! a *minor* of the original graph. [`contract_groups`] implements exactly that
+//! operation: vertices sharing a group id collapse to one super-vertex, ungrouped
+//! vertices survive unchanged, and parallel edges / self loops created by the
+//! contraction are removed.
+
+use crate::csr::{CsrGraph, Vertex, INVALID_VERTEX};
+
+/// Result of a contraction.
+#[derive(Clone, Debug)]
+pub struct ContractionResult {
+    /// The contracted graph (a minor of the input).
+    pub graph: CsrGraph,
+    /// For every original vertex, the vertex of the contracted graph it maps to.
+    pub vertex_map: Vec<Vertex>,
+    /// For every contracted vertex, `true` if it is a merged super-vertex (was a group),
+    /// `false` if it corresponds to exactly one original vertex.
+    pub is_merged: Vec<bool>,
+    /// For every contracted vertex that is *not* merged, the original vertex id
+    /// (`INVALID_VERTEX` for merged super-vertices).
+    pub original_of: Vec<Vertex>,
+}
+
+/// Contracts each group of vertices into a single super-vertex.
+///
+/// `group_of[v] = Some(g)` places `v` into group `g`; `None` keeps `v` as an individual
+/// vertex. Group ids need not be dense. Only groups with at least one member produce a
+/// super-vertex (a group with a single member still counts as "merged").
+pub fn contract_groups(graph: &CsrGraph, group_of: &[Option<u32>]) -> ContractionResult {
+    let n = graph.num_vertices();
+    assert_eq!(group_of.len(), n, "group_of must cover every vertex");
+
+    // Assign contracted ids: first the surviving individual vertices, then one per group.
+    let mut vertex_map = vec![INVALID_VERTEX; n];
+    let mut original_of = Vec::new();
+    let mut is_merged = Vec::new();
+    for v in 0..n {
+        if group_of[v].is_none() {
+            vertex_map[v] = original_of.len() as Vertex;
+            original_of.push(v as Vertex);
+            is_merged.push(false);
+        }
+    }
+    let mut group_ids: Vec<u32> = group_of.iter().flatten().copied().collect();
+    group_ids.sort_unstable();
+    group_ids.dedup();
+    let mut group_to_new = std::collections::HashMap::new();
+    for g in group_ids {
+        group_to_new.insert(g, original_of.len() as Vertex);
+        original_of.push(INVALID_VERTEX);
+        is_merged.push(true);
+    }
+    for v in 0..n {
+        if let Some(g) = group_of[v] {
+            vertex_map[v] = group_to_new[&g];
+        }
+    }
+
+    let new_n = original_of.len();
+    let mut adjacency: Vec<Vec<Vertex>> = vec![Vec::new(); new_n];
+    for (u, v) in graph.edges() {
+        let (nu, nv) = (vertex_map[u as usize], vertex_map[v as usize]);
+        if nu != nv {
+            adjacency[nu as usize].push(nv);
+            adjacency[nv as usize].push(nu);
+        }
+    }
+    for a in adjacency.iter_mut() {
+        a.sort_unstable();
+        a.dedup();
+    }
+    ContractionResult {
+        graph: CsrGraph::from_sorted_adjacency(adjacency),
+        vertex_map,
+        is_merged,
+        original_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn contract_path_endpoints() {
+        let g = generators::path(5); // 0-1-2-3-4
+        let groups = vec![Some(0), None, None, None, Some(0)];
+        let c = contract_groups(&g, &groups);
+        assert_eq!(c.graph.num_vertices(), 4);
+        // merged vertex adjacent to 1 and 3 -> a cycle of length 4 results
+        assert_eq!(c.graph.num_edges(), 4);
+        let merged = c.vertex_map[0];
+        assert_eq!(merged, c.vertex_map[4]);
+        assert!(c.is_merged[merged as usize]);
+        assert_eq!(c.original_of[merged as usize], INVALID_VERTEX);
+    }
+
+    #[test]
+    fn contraction_removes_parallel_edges_and_loops() {
+        let g = generators::cycle(4); // 0-1-2-3-0
+        let groups = vec![Some(7), Some(7), None, None];
+        let c = contract_groups(&g, &groups);
+        // vertices {0,1} merge; resulting graph is a triangle minus nothing: merged-2, 2-3, 3-merged
+        assert_eq!(c.graph.num_vertices(), 3);
+        assert_eq!(c.graph.num_edges(), 3);
+        assert!(c.graph.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn identity_contraction() {
+        let g = generators::grid(3, 3);
+        let groups = vec![None; 9];
+        let c = contract_groups(&g, &groups);
+        assert_eq!(c.graph.num_vertices(), 9);
+        assert_eq!(c.graph.num_edges(), g.num_edges());
+        for v in 0..9u32 {
+            assert_eq!(c.original_of[c.vertex_map[v as usize] as usize], v);
+            assert!(!c.is_merged[c.vertex_map[v as usize] as usize]);
+        }
+    }
+
+    #[test]
+    fn multiple_groups() {
+        let g = generators::grid(4, 4);
+        // Merge left column into group 0, right column into group 1.
+        let groups: Vec<Option<u32>> = (0..16)
+            .map(|v| match v % 4 {
+                0 => Some(0),
+                3 => Some(1),
+                _ => None,
+            })
+            .collect();
+        let c = contract_groups(&g, &groups);
+        assert_eq!(c.graph.num_vertices(), 8 + 2);
+        let merged_count = c.is_merged.iter().filter(|&&b| b).count();
+        assert_eq!(merged_count, 2);
+    }
+}

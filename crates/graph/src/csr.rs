@@ -1,0 +1,186 @@
+//! Immutable compressed-sparse-row (CSR) representation of a simple undirected graph.
+
+use std::fmt;
+
+/// Dense vertex identifier. Graphs in this workspace index vertices as `0..n`.
+pub type Vertex = u32;
+
+/// Sentinel used for "no vertex" (e.g. the parent of a BFS root).
+pub const INVALID_VERTEX: Vertex = u32::MAX;
+
+/// A simple undirected graph in compressed-sparse-row form.
+///
+/// The neighbour list of every vertex is sorted, which allows `O(log deg)` adjacency
+/// queries via binary search. The structure is immutable after construction; use
+/// [`crate::GraphBuilder`] to assemble graphs incrementally.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<Vertex>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from per-vertex sorted adjacency lists.
+    ///
+    /// Callers must guarantee the lists are symmetric (if `v ∈ adj[u]` then `u ∈ adj[v]`),
+    /// sorted, deduplicated, and free of self loops. [`crate::GraphBuilder`] produces
+    /// exactly this shape; the constructor re-checks the invariants in debug builds.
+    pub fn from_sorted_adjacency(adjacency: Vec<Vec<Vertex>>) -> Self {
+        let n = adjacency.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let total: usize = adjacency.iter().map(|a| a.len()).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        for (u, adj) in adjacency.into_iter().enumerate() {
+            debug_assert!(adj.windows(2).all(|w| w[0] < w[1]), "adjacency of {u} not sorted/deduped");
+            debug_assert!(adj.iter().all(|&v| (v as usize) < n && v as usize != u));
+            neighbors.extend_from_slice(&adj);
+            offsets.push(neighbors.len());
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// An empty graph on `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted slice of the neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    #[inline]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search from the lower-degree endpoint.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        (0..self.num_vertices() as Vertex).into_iter()
+    }
+
+    /// Iterator over undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v as Vertex)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all vertices (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v as Vertex)).min().unwrap_or(0)
+    }
+
+    /// Collects the adjacency lists back into a vector-of-vectors (mostly for tests).
+    pub fn to_adjacency(&self) -> Vec<Vec<Vertex>> {
+        (0..self.num_vertices()).map(|v| self.neighbors(v as Vertex).to_vec()).collect()
+    }
+
+    /// The sum of degrees (`2m`); convenient for work estimates.
+    #[inline]
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CsrGraph(n={}, m={})", self.num_vertices(), self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree_sum(), 6);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = triangle();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn degree_extremes() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        let g = b.build();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Graph substrate for the `planar-subiso` workspace.
+//!
+//! This crate provides the shared graph machinery used by every other crate in the
+//! reproduction of *Parallel Planar Subgraph Isomorphism and Vertex Connectivity*
+//! (Gianinazzi & Hoefler, SPAA 2020):
+//!
+//! * [`CsrGraph`] — an immutable compressed-sparse-row undirected graph,
+//! * [`GraphBuilder`] — a mutable edge-list builder that deduplicates and sorts,
+//! * breadth-first search (sequential and level-synchronous parallel) in [`bfs`],
+//! * connected components and a union–find in [`connectivity`] and [`union_find`],
+//! * articulation points / biconnectivity in [`biconnectivity`],
+//! * induced-subgraph views with vertex maps in [`view`],
+//! * vertex-group contraction (graph minors) in [`contraction`],
+//! * a zoo of deterministic and random generators in [`generators`].
+//!
+//! Vertices are dense `u32` indices (`Vertex`). All graphs are simple and undirected;
+//! builders reject self loops and deduplicate parallel edges.
+
+pub mod bfs;
+pub mod biconnectivity;
+pub mod builder;
+pub mod connectivity;
+pub mod contraction;
+pub mod csr;
+pub mod generators;
+pub mod spanning;
+pub mod union_find;
+pub mod view;
+
+pub use bfs::{bfs, bfs_restricted, parallel_bfs, BfsTree};
+pub use biconnectivity::{articulation_points, biconnected_components, is_biconnected, Biconnectivity};
+pub use builder::GraphBuilder;
+pub use connectivity::{connected_components, is_connected, parallel_connected_components, ComponentLabels};
+pub use contraction::{contract_groups, ContractionResult};
+pub use csr::{CsrGraph, Vertex, INVALID_VERTEX};
+pub use spanning::{spanning_forest, SpanningForest};
+pub use union_find::UnionFind;
+pub use view::{induced_subgraph, InducedSubgraph};

@@ -1,0 +1,103 @@
+//! Spanning forests.
+//!
+//! Observation 1 of the paper argues about an arbitrary spanning tree of a pattern
+//! occurrence surviving the clustering; the clustering tests and the cover experiments
+//! need spanning forests of small graphs, provided here.
+
+use crate::csr::{CsrGraph, Vertex, INVALID_VERTEX};
+use crate::union_find::UnionFind;
+
+/// A spanning forest given by one parent pointer per vertex (roots point to themselves
+/// via `INVALID_VERTEX`) plus the explicit tree edge list.
+#[derive(Clone, Debug)]
+pub struct SpanningForest {
+    /// Tree edges `(u, v)` with `u < v`.
+    pub edges: Vec<(Vertex, Vertex)>,
+    /// Parent of each vertex in its tree (roots and isolated vertices get `INVALID_VERTEX`).
+    pub parent: Vec<Vertex>,
+    /// Number of trees in the forest (equals the number of connected components).
+    pub num_trees: usize,
+}
+
+/// Computes a BFS spanning forest of the graph.
+pub fn spanning_forest(graph: &CsrGraph) -> SpanningForest {
+    let n = graph.num_vertices();
+    let mut parent = vec![INVALID_VERTEX; n];
+    let mut visited = vec![false; n];
+    let mut edges = Vec::new();
+    let mut num_trees = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as Vertex {
+        if visited[s as usize] {
+            continue;
+        }
+        num_trees += 1;
+        visited[s as usize] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    parent[v as usize] = u;
+                    edges.push((u.min(v), u.max(v)));
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    SpanningForest { edges, parent, num_trees }
+}
+
+/// A spanning tree of the subgraph induced by `vertices`, as an edge list over the
+/// original vertex ids. Returns `None` if the induced subgraph is not connected.
+pub fn spanning_tree_of_subset(graph: &CsrGraph, vertices: &[Vertex]) -> Option<Vec<(Vertex, Vertex)>> {
+    if vertices.is_empty() {
+        return Some(Vec::new());
+    }
+    let set: std::collections::HashSet<Vertex> = vertices.iter().copied().collect();
+    let mut uf = UnionFind::new(graph.num_vertices());
+    let mut edges = Vec::new();
+    for &u in vertices {
+        for &v in graph.neighbors(u) {
+            if u < v && set.contains(&v) && uf.union(u as usize, v as usize) {
+                edges.push((u, v));
+            }
+        }
+    }
+    (edges.len() == set.len() - 1).then_some(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn spanning_forest_of_connected_graph_is_a_tree() {
+        let g = generators::grid(5, 5);
+        let f = spanning_forest(&g);
+        assert_eq!(f.num_trees, 1);
+        assert_eq!(f.edges.len(), 24);
+    }
+
+    #[test]
+    fn spanning_forest_counts_components() {
+        let mut b = crate::GraphBuilder::new(7);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let f = spanning_forest(&g);
+        assert_eq!(f.num_trees, 4); // {0,1},{2,3,4},{5},{6}
+        assert_eq!(f.edges.len(), 3);
+    }
+
+    #[test]
+    fn subset_spanning_tree() {
+        let g = generators::cycle(6);
+        let t = spanning_tree_of_subset(&g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(t.len(), 3);
+        // A disconnected subset has no spanning tree.
+        assert!(spanning_tree_of_subset(&g, &[0, 3]).is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Induced subgraphs with explicit old↔new vertex maps.
+//!
+//! The cover construction (paper Section 2.1) repeatedly extracts induced subgraphs
+//! `G_i` of the target graph and later needs to translate matches found inside a `G_i`
+//! back to original vertex ids; [`InducedSubgraph`] carries that translation.
+
+use crate::csr::{CsrGraph, Vertex, INVALID_VERTEX};
+use rayon::prelude::*;
+
+/// An induced subgraph together with the mapping between its dense local vertex ids and
+/// the vertex ids of the graph it was extracted from.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The extracted graph over local ids `0..k`.
+    pub graph: CsrGraph,
+    /// `local_to_global[i]` is the original id of local vertex `i`.
+    pub local_to_global: Vec<Vertex>,
+    /// `global_to_local[v]` is the local id of original vertex `v`, or `INVALID_VERTEX`.
+    pub global_to_local: Vec<Vertex>,
+}
+
+impl InducedSubgraph {
+    /// Translates a local vertex back to the original graph.
+    #[inline]
+    pub fn to_global(&self, local: Vertex) -> Vertex {
+        self.local_to_global[local as usize]
+    }
+
+    /// Translates an original vertex to its local id, if present.
+    #[inline]
+    pub fn to_local(&self, global: Vertex) -> Option<Vertex> {
+        let l = self.global_to_local[global as usize];
+        (l != INVALID_VERTEX).then_some(l)
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+}
+
+/// Extracts the subgraph induced by `vertices` (duplicates are ignored).
+pub fn induced_subgraph(graph: &CsrGraph, vertices: &[Vertex]) -> InducedSubgraph {
+    let n = graph.num_vertices();
+    let mut global_to_local = vec![INVALID_VERTEX; n];
+    let mut local_to_global = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        if global_to_local[v as usize] == INVALID_VERTEX {
+            global_to_local[v as usize] = local_to_global.len() as Vertex;
+            local_to_global.push(v);
+        }
+    }
+    let adjacency: Vec<Vec<Vertex>> = local_to_global
+        .par_iter()
+        .map(|&orig| {
+            let mut adj: Vec<Vertex> = graph
+                .neighbors(orig)
+                .iter()
+                .filter_map(|&w| {
+                    let l = global_to_local[w as usize];
+                    (l != INVALID_VERTEX).then_some(l)
+                })
+                .collect();
+            adj.sort_unstable();
+            adj
+        })
+        .collect();
+    InducedSubgraph {
+        graph: CsrGraph::from_sorted_adjacency(adjacency),
+        local_to_global,
+        global_to_local,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn induced_subgraph_of_grid_row() {
+        let g = generators::grid(4, 3); // 12 vertices, vertex = r*4+c
+        let row: Vec<Vertex> = vec![0, 1, 2, 3];
+        let sub = induced_subgraph(&g, &row);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.graph.num_edges(), 3); // a path
+        assert_eq!(sub.to_global(0), 0);
+        assert_eq!(sub.to_local(2), Some(2));
+        assert_eq!(sub.to_local(7), None);
+    }
+
+    #[test]
+    fn preserves_internal_edges_only() {
+        let g = generators::cycle(6);
+        let sub = induced_subgraph(&g, &[0, 1, 3, 4]);
+        assert_eq!(sub.graph.num_edges(), 2); // edges (0,1) and (3,4) survive
+        assert!(sub.graph.has_edge(sub.to_local(0).unwrap(), sub.to_local(1).unwrap()));
+        assert!(!sub.graph.has_edge(sub.to_local(1).unwrap(), sub.to_local(3).unwrap()));
+    }
+
+    #[test]
+    fn duplicate_vertices_ignored() {
+        let g = generators::path(5);
+        let sub = induced_subgraph(&g, &[2, 2, 3, 3]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = generators::path(5);
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+}

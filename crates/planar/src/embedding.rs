@@ -1,0 +1,199 @@
+//! Combinatorial embeddings given by their facial walks.
+
+use psi_graph::{CsrGraph, Vertex};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Problems detected while validating an embedding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmbeddingError {
+    /// A face walk contains two consecutive vertices that are not adjacent in the graph.
+    NonEdgeOnFace { face: usize, u: Vertex, v: Vertex },
+    /// An edge does not appear on exactly two facial sides.
+    WrongEdgeMultiplicity { u: Vertex, v: Vertex, count: usize },
+    /// A face walk is too short to be a facial cycle.
+    DegenerateFace { face: usize },
+    /// Euler's formula gives a negative or non-integral genus.
+    InconsistentEuler { n: usize, m: usize, f: usize },
+}
+
+impl fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbeddingError::NonEdgeOnFace { face, u, v } => {
+                write!(f, "face {face} uses non-edge ({u},{v})")
+            }
+            EmbeddingError::WrongEdgeMultiplicity { u, v, count } => {
+                write!(f, "edge ({u},{v}) lies on {count} facial sides, expected 2")
+            }
+            EmbeddingError::DegenerateFace { face } => write!(f, "face {face} has fewer than 3 vertices"),
+            EmbeddingError::InconsistentEuler { n, m, f: faces } => {
+                write!(f, "Euler characteristic of n={n}, m={m}, f={faces} is not an even nonnegative genus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {}
+
+/// A graph together with an embedding on an orientable surface, represented by the list
+/// of its facial walks.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// The underlying simple graph.
+    pub graph: CsrGraph,
+    /// The facial walks; each face is a cyclic vertex sequence (the last vertex is
+    /// implicitly adjacent to the first).
+    pub faces: Vec<Vec<Vertex>>,
+}
+
+impl Embedding {
+    /// Wraps a graph and face list without validating; call [`Embedding::validate`] to check.
+    pub fn new(graph: CsrGraph, faces: Vec<Vec<Vertex>>) -> Self {
+        Embedding { graph, faces }
+    }
+
+    /// Number of faces.
+    pub fn num_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Euler characteristic `n − m + f`.
+    pub fn euler_characteristic(&self) -> i64 {
+        self.graph.num_vertices() as i64 - self.graph.num_edges() as i64 + self.faces.len() as i64
+    }
+
+    /// Genus of the embedding surface (`0` for a planar embedding).
+    pub fn genus(&self) -> i64 {
+        (2 - self.euler_characteristic()) / 2
+    }
+
+    /// Whether the embedding is planar (genus 0).
+    pub fn is_planar(&self) -> bool {
+        self.euler_characteristic() == 2
+    }
+
+    /// Validates the facial structure: every consecutive face pair is an edge, every
+    /// edge lies on exactly two facial sides, and Euler's formula yields a nonnegative
+    /// integral genus.
+    pub fn validate(&self) -> Result<(), EmbeddingError> {
+        let mut edge_count: HashMap<(Vertex, Vertex), usize> = HashMap::new();
+        for (fi, face) in self.faces.iter().enumerate() {
+            if face.len() < 3 {
+                return Err(EmbeddingError::DegenerateFace { face: fi });
+            }
+            for i in 0..face.len() {
+                let u = face[i];
+                let v = face[(i + 1) % face.len()];
+                if !self.graph.has_edge(u, v) {
+                    return Err(EmbeddingError::NonEdgeOnFace { face: fi, u, v });
+                }
+                *edge_count.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+            }
+        }
+        for (u, v) in self.graph.edges() {
+            let count = edge_count.get(&(u, v)).copied().unwrap_or(0);
+            if count != 2 {
+                return Err(EmbeddingError::WrongEdgeMultiplicity { u, v, count });
+            }
+        }
+        let chi = self.euler_characteristic();
+        if chi > 2 || (2 - chi) % 2 != 0 {
+            return Err(EmbeddingError::InconsistentEuler {
+                n: self.graph.num_vertices(),
+                m: self.graph.num_edges(),
+                f: self.faces.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Quick necessary condition for planarity of a simple graph (`m ≤ 3n − 6` for `n ≥ 3`).
+    pub fn passes_euler_bound(graph: &CsrGraph) -> bool {
+        let n = graph.num_vertices();
+        let m = graph.num_edges();
+        n < 3 || m <= 3 * n - 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangle_embedding() {
+        let e = generators::cycle_embedded(3);
+        e.validate().unwrap();
+        assert_eq!(e.num_faces(), 2);
+        assert!(e.is_planar());
+        assert_eq!(e.genus(), 0);
+    }
+
+    #[test]
+    fn grid_embedding_is_planar() {
+        let e = generators::grid_embedded(5, 4);
+        e.validate().unwrap();
+        assert!(e.is_planar());
+        // faces = inner squares + outer face
+        assert_eq!(e.num_faces(), 4 * 3 + 1);
+    }
+
+    #[test]
+    fn triangulated_grid_embedding_is_planar() {
+        let e = generators::triangulated_grid_embedded(6, 5);
+        e.validate().unwrap();
+        assert!(e.is_planar());
+    }
+
+    #[test]
+    fn stacked_triangulation_embedding_is_planar_and_maximal() {
+        for n in [4usize, 10, 60] {
+            let e = generators::stacked_triangulation_embedded(n, 3);
+            e.validate().unwrap();
+            assert!(e.is_planar(), "n={n}");
+            assert_eq!(e.graph.num_edges(), 3 * n - 6);
+            assert_eq!(e.num_faces(), 2 * n - 4);
+            assert!(e.faces.iter().all(|f| f.len() == 3));
+        }
+    }
+
+    #[test]
+    fn platonic_solids_are_planar() {
+        for (name, e) in [
+            ("tetrahedron", generators::tetrahedron()),
+            ("cube", generators::cube()),
+            ("octahedron", generators::octahedron()),
+            ("icosahedron", generators::icosahedron()),
+        ] {
+            e.validate().unwrap_or_else(|err| panic!("{name}: {err}"));
+            assert!(e.is_planar(), "{name}");
+        }
+    }
+
+    #[test]
+    fn torus_embedding_has_genus_one() {
+        let e = generators::torus_grid_embedded(4, 4);
+        e.validate().unwrap();
+        assert_eq!(e.genus(), 1);
+        assert!(!e.is_planar());
+    }
+
+    #[test]
+    fn invalid_embedding_detected() {
+        let g = psi_graph::generators::cycle(4);
+        // A face using a chord that is not an edge.
+        let bad = Embedding::new(g.clone(), vec![vec![0, 1, 2], vec![0, 2, 3]]);
+        assert!(matches!(bad.validate(), Err(EmbeddingError::NonEdgeOnFace { .. })));
+        // Missing the outer face: each edge appears only once.
+        let bad2 = Embedding::new(g, vec![vec![0, 1, 2, 3]]);
+        assert!(matches!(bad2.validate(), Err(EmbeddingError::WrongEdgeMultiplicity { .. })));
+    }
+
+    #[test]
+    fn euler_bound_filter() {
+        assert!(Embedding::passes_euler_bound(&psi_graph::generators::grid(5, 5)));
+        assert!(!Embedding::passes_euler_bound(&psi_graph::generators::complete(6)));
+        assert!(Embedding::passes_euler_bound(&psi_graph::generators::complete(2)));
+    }
+}

@@ -1,0 +1,19 @@
+//! Planarity substrate: combinatorial embeddings, the face–vertex (Nishizeki) bipartite
+//! graph, and planar generators that carry their embedding.
+//!
+//! The paper assumes a planar embedding is available (computable with the Klein–Reif
+//! parallel algorithm in `O(n)` work and `O(log^2 n)` depth); as documented in
+//! `DESIGN.md` we substitute generators that produce their embedding natively plus an
+//! exact embedding verifier. An embedding is represented by its **face list**: the set
+//! of facial walks, each a cyclic vertex sequence. A face list in which every edge lies
+//! on exactly two facial sides determines the embedding, allows the exact genus to be
+//! computed from Euler's formula, and is precisely the input the vertex-connectivity
+//! construction of Section 5.1 needs (one new vertex per face, connected to the face's
+//! vertices).
+
+pub mod embedding;
+pub mod face_vertex;
+pub mod generators;
+
+pub use embedding::{Embedding, EmbeddingError};
+pub use face_vertex::{face_vertex_graph, FaceVertexGraph};

@@ -1,0 +1,192 @@
+//! Work/depth (PRAM) cost-model instrumentation.
+//!
+//! The paper states its bounds in the work–depth model (CREW PRAM, scheduled by Brent's
+//! theorem). A shared-memory fork–join runtime such as rayon realises the same
+//! asymptotics, but wall-clock time alone cannot separate "work" from "depth". This
+//! crate provides:
+//!
+//! * [`WorkDepth`] — an algebraic cost: sequential composition adds both coordinates,
+//!   parallel composition adds work and takes the maximum depth, exactly as in the
+//!   work–depth calculus,
+//! * [`join`] and [`par_map`] — fork–join combinators that *execute* closures with
+//!   rayon while composing their reported costs with the parallel rule, so instrumented
+//!   algorithms can return a measured `(result, cost)` pair,
+//! * [`Counter`] — a cheap atomic work counter for code paths where only total work is
+//!   of interest,
+//! * [`WorkDepth::brent_time`] — the `W/P + D` predictor used to sanity-check strong
+//!   scaling results in experiment F8.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cost in the work–depth model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkDepth {
+    /// Total number of operations performed by all processors.
+    pub work: u64,
+    /// Length of the critical path.
+    pub depth: u64,
+}
+
+impl WorkDepth {
+    /// Zero cost.
+    pub const ZERO: WorkDepth = WorkDepth { work: 0, depth: 0 };
+
+    /// A single unit of sequential work.
+    pub fn unit() -> Self {
+        WorkDepth { work: 1, depth: 1 }
+    }
+
+    /// A block of `w` operations executed sequentially.
+    pub fn sequential_block(w: u64) -> Self {
+        WorkDepth { work: w, depth: w }
+    }
+
+    /// A block of `w` operations executed as a fully parallel loop of depth `d`.
+    pub fn parallel_block(w: u64, d: u64) -> Self {
+        WorkDepth { work: w, depth: d }
+    }
+
+    /// Sequential composition: work and depth both add.
+    pub fn then(self, other: WorkDepth) -> WorkDepth {
+        WorkDepth { work: self.work + other.work, depth: self.depth + other.depth }
+    }
+
+    /// Parallel composition: work adds, depth is the maximum.
+    pub fn beside(self, other: WorkDepth) -> WorkDepth {
+        WorkDepth { work: self.work + other.work, depth: self.depth.max(other.depth) }
+    }
+
+    /// Parallel composition of many costs.
+    pub fn beside_all<I: IntoIterator<Item = WorkDepth>>(costs: I) -> WorkDepth {
+        costs.into_iter().fold(WorkDepth::ZERO, WorkDepth::beside)
+    }
+
+    /// Brent's bound on the execution time with `p` processors: `W/p + D`.
+    pub fn brent_time(self, p: u64) -> u64 {
+        assert!(p > 0);
+        self.work.div_ceil(p) + self.depth
+    }
+}
+
+/// Runs two closures in parallel (rayon join) and combines their costs with the
+/// parallel-composition rule.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> ((RA, RB), WorkDepth)
+where
+    A: FnOnce() -> (RA, WorkDepth) + Send,
+    B: FnOnce() -> (RB, WorkDepth) + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ((ra, ca), (rb, cb)) = rayon::join(a, b);
+    ((ra, rb), ca.beside(cb))
+}
+
+/// Maps a function over items in parallel, combining the per-item costs with the
+/// parallel rule and adding one unit of depth for the fork/join itself.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> (Vec<R>, WorkDepth)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> (R, WorkDepth) + Sync + Send,
+{
+    let pairs: Vec<(R, WorkDepth)> = items.into_par_iter().map(f).collect();
+    let mut results = Vec::with_capacity(pairs.len());
+    let mut cost = WorkDepth::ZERO;
+    for (r, c) in pairs {
+        results.push(r);
+        cost = cost.beside(c);
+    }
+    (results, cost.then(WorkDepth::unit()))
+}
+
+/// A shared atomic work counter for code that only tracks total work.
+#[derive(Debug, Default)]
+pub struct Counter {
+    work: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter { work: AtomicU64::new(0) }
+    }
+
+    /// Adds `w` units of work.
+    #[inline]
+    pub fn add(&self, w: u64) {
+        self.work.fetch_add(w, Ordering::Relaxed);
+    }
+
+    /// Reads the accumulated work.
+    pub fn total(&self) -> u64 {
+        self.work.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_composition() {
+        let a = WorkDepth::sequential_block(10);
+        let b = WorkDepth::sequential_block(20);
+        assert_eq!(a.then(b), WorkDepth { work: 30, depth: 30 });
+        assert_eq!(a.beside(b), WorkDepth { work: 30, depth: 20 });
+    }
+
+    #[test]
+    fn beside_all_takes_max_depth() {
+        let costs = vec![
+            WorkDepth::parallel_block(5, 2),
+            WorkDepth::parallel_block(7, 9),
+            WorkDepth::parallel_block(1, 1),
+        ];
+        assert_eq!(WorkDepth::beside_all(costs), WorkDepth { work: 13, depth: 9 });
+    }
+
+    #[test]
+    fn brent_bound() {
+        let c = WorkDepth { work: 1000, depth: 10 };
+        assert_eq!(c.brent_time(1), 1010);
+        assert_eq!(c.brent_time(10), 110);
+        assert_eq!(c.brent_time(1000), 11);
+        // more processors never hurt
+        assert!(c.brent_time(4) >= c.brent_time(8));
+    }
+
+    #[test]
+    fn join_combines_costs_and_results() {
+        let ((a, b), cost) = join(
+            || (2 + 2, WorkDepth::sequential_block(4)),
+            || ("x".repeat(3), WorkDepth::sequential_block(6)),
+        );
+        assert_eq!(a, 4);
+        assert_eq!(b, "xxx");
+        assert_eq!(cost, WorkDepth { work: 10, depth: 6 });
+    }
+
+    #[test]
+    fn par_map_cost_is_max_depth_plus_one() {
+        let items: Vec<u64> = (1..=100).collect();
+        let (results, cost) = par_map(items, |x| (x * x, WorkDepth::parallel_block(x, x)));
+        assert_eq!(results.len(), 100);
+        assert_eq!(results[9], 100);
+        assert_eq!(cost.work, (1..=100u64).sum::<u64>());
+        assert_eq!(cost.depth, 101);
+    }
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = Counter::new();
+        (0..1000u64).collect::<Vec<_>>().par_iter().for_each(|_| c.add(3));
+        assert_eq!(c.total(), 3000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn brent_requires_processors() {
+        WorkDepth::unit().brent_time(0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Rooted, binarised tree decompositions.
+//!
+//! The partial-match dynamic program (paper Section 3) assumes that every interior node
+//! of the decomposition tree has exactly two children; the paper notes that splitting
+//! high-degree nodes and adding empty leaves achieves this without changing the width.
+//! [`BinaryTreeDecomposition::from_decomposition`] performs exactly that normalisation.
+
+use crate::decomposition::TreeDecomposition;
+use psi_graph::Vertex;
+
+/// A rooted tree decomposition in which every node has zero or exactly two children.
+#[derive(Clone, Debug)]
+pub struct BinaryTreeDecomposition {
+    /// Sorted bag of every node.
+    pub bags: Vec<Vec<Vertex>>,
+    /// `children[i]` is `Some([left, right])` for interior nodes, `None` for leaves.
+    pub children: Vec<Option<[usize; 2]>>,
+    /// Parent of every node (`usize::MAX` for the root).
+    pub parent: Vec<usize>,
+    /// The root node index.
+    pub root: usize,
+    /// Number of vertices of the decomposed graph.
+    pub num_graph_vertices: usize,
+}
+
+impl BinaryTreeDecomposition {
+    /// Number of nodes of the binarised tree.
+    pub fn num_nodes(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Width (`max |bag| − 1`).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Whether `node` is a leaf.
+    pub fn is_leaf(&self, node: usize) -> bool {
+        self.children[node].is_none()
+    }
+
+    /// Nodes in post-order (children before parents); the root is last.
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.num_nodes());
+        let mut stack = vec![(self.root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                order.push(node);
+            } else {
+                stack.push((node, true));
+                if let Some([l, r]) = self.children[node] {
+                    stack.push((r, false));
+                    stack.push((l, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Builds a rooted binary decomposition from an arbitrary tree decomposition.
+    ///
+    /// Nodes with one child get an extra empty leaf; nodes with `c > 2` children are
+    /// split into a chain of `c − 1` copies of the same bag. The width is unchanged.
+    pub fn from_decomposition(td: &TreeDecomposition) -> Self {
+        assert!(td.num_bags() > 0, "cannot binarise an empty decomposition");
+        let adj = td.tree_adjacency();
+        let n = td.num_bags();
+
+        // Root the original tree at node 0 and collect children lists.
+        let root = 0usize;
+        let mut orig_children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut visited = vec![false; n];
+        let mut stack = vec![root];
+        visited[root] = true;
+        let mut order = Vec::new();
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    orig_children[u].push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(
+            visited.iter().all(|&v| v),
+            "decomposition tree is disconnected; validate() it first"
+        );
+
+        let mut bags: Vec<Vec<Vertex>> = Vec::with_capacity(2 * n);
+        let mut children: Vec<Option<[usize; 2]>> = Vec::with_capacity(2 * n);
+        let mut parent: Vec<usize> = Vec::with_capacity(2 * n);
+
+        // new_of[orig] = index of the top copy of the original node in the new tree
+        let mut new_of = vec![usize::MAX; n];
+
+        fn push_node(
+            bags: &mut Vec<Vec<Vertex>>,
+            children: &mut Vec<Option<[usize; 2]>>,
+            parent: &mut Vec<usize>,
+            bag: Vec<Vertex>,
+        ) -> usize {
+            bags.push(bag);
+            children.push(None);
+            parent.push(usize::MAX);
+            bags.len() - 1
+        }
+
+        // Create nodes top-down so parents exist before children are attached.
+        for &u in &order {
+            let top = push_node(&mut bags, &mut children, &mut parent, td.bags[u].clone());
+            new_of[u] = top;
+        }
+        // Attach children, splitting as needed.
+        for &u in &order {
+            let kids: Vec<usize> = orig_children[u].iter().map(|&c| new_of[c]).collect();
+            let mut attach_point = new_of[u];
+            match kids.len() {
+                0 => {}
+                1 => {
+                    let empty = push_node(&mut bags, &mut children, &mut parent, Vec::new());
+                    children[attach_point] = Some([kids[0], empty]);
+                    parent[kids[0]] = attach_point;
+                    parent[empty] = attach_point;
+                }
+                _ => {
+                    // chain: each copy of u's bag takes one real child on the left and
+                    // either the next copy or the last real child on the right.
+                    for (i, &kid) in kids.iter().enumerate() {
+                        if i + 1 == kids.len() {
+                            // last child becomes the right child of the current attach point;
+                            // but the attach point already has a left child from the previous
+                            // iteration, except when there is exactly one remaining.
+                            unreachable!("handled below");
+                        }
+                        let right: usize = if i + 2 == kids.len() {
+                            kids[i + 1]
+                        } else {
+                            push_node(&mut bags, &mut children, &mut parent, td.bags[u].clone())
+                        };
+                        children[attach_point] = Some([kid, right]);
+                        parent[kid] = attach_point;
+                        parent[right] = attach_point;
+                        if i + 2 == kids.len() {
+                            break;
+                        }
+                        attach_point = right;
+                    }
+                }
+            }
+        }
+
+        BinaryTreeDecomposition {
+            bags,
+            children,
+            parent,
+            root: new_of[root],
+            num_graph_vertices: td.num_graph_vertices,
+        }
+    }
+
+    /// Converts back to a plain [`TreeDecomposition`] (used by validation in tests).
+    pub fn to_decomposition(&self) -> TreeDecomposition {
+        let mut edges = Vec::new();
+        for (i, &p) in self.parent.iter().enumerate() {
+            if p != usize::MAX {
+                edges.push((p, i));
+            }
+        }
+        TreeDecomposition::new(self.bags.clone(), edges, self.num_graph_vertices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::min_degree_decomposition;
+    use psi_graph::generators;
+
+    fn check_binary(b: &BinaryTreeDecomposition) {
+        for node in 0..b.num_nodes() {
+            match b.children[node] {
+                None => {}
+                Some([l, r]) => {
+                    assert_ne!(l, r);
+                    assert_eq!(b.parent[l], node);
+                    assert_eq!(b.parent[r], node);
+                }
+            }
+        }
+        assert_eq!(b.parent[b.root], usize::MAX);
+        // postorder visits every node exactly once, root last
+        let po = b.postorder();
+        assert_eq!(po.len(), b.num_nodes());
+        assert_eq!(*po.last().unwrap(), b.root);
+        let unique: std::collections::HashSet<_> = po.iter().collect();
+        assert_eq!(unique.len(), po.len());
+    }
+
+    #[test]
+    fn binarise_grid_decomposition() {
+        let g = generators::grid(5, 5);
+        let td = min_degree_decomposition(&g);
+        let b = BinaryTreeDecomposition::from_decomposition(&td);
+        check_binary(&b);
+        assert_eq!(b.width(), td.width());
+        b.to_decomposition().validate(&g).unwrap();
+    }
+
+    #[test]
+    fn binarise_star_shaped_decomposition() {
+        // A decomposition tree that is a star: one centre bag adjacent to 5 leaf bags.
+        let g = generators::star(6);
+        let bags = vec![
+            vec![0],
+            vec![0, 1],
+            vec![0, 2],
+            vec![0, 3],
+            vec![0, 4],
+            vec![0, 5],
+        ];
+        let edges = vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)];
+        let td = TreeDecomposition::new(bags, edges, 6);
+        td.validate(&g).unwrap();
+        let b = BinaryTreeDecomposition::from_decomposition(&td);
+        check_binary(&b);
+        assert_eq!(b.width(), 1);
+        b.to_decomposition().validate(&g).unwrap();
+        // every interior node has exactly two children by construction
+        for node in 0..b.num_nodes() {
+            if let Some([_, _]) = b.children[node] {
+                assert!(b.children[node].unwrap().len() == 2);
+            }
+        }
+    }
+
+    #[test]
+    fn binarise_path_decomposition_adds_empty_leaves() {
+        let g = generators::path(5);
+        let bags = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]];
+        let td = TreeDecomposition::new(bags, vec![(0, 1), (1, 2), (2, 3)], 5);
+        let b = BinaryTreeDecomposition::from_decomposition(&td);
+        check_binary(&b);
+        // chain of 4 bags: 3 nodes have one original child each -> 3 empty leaves added
+        let empties = b.bags.iter().filter(|bag| bag.is_empty()).count();
+        assert_eq!(empties, 3);
+        b.to_decomposition().validate(&g).unwrap();
+    }
+
+    #[test]
+    fn single_bag_decomposition() {
+        let g = generators::complete(4);
+        let td = TreeDecomposition::trivial(&g);
+        let b = BinaryTreeDecomposition::from_decomposition(&td);
+        check_binary(&b);
+        assert_eq!(b.num_nodes(), 1);
+        assert!(b.is_leaf(b.root));
+    }
+
+    #[test]
+    fn width_preserved_on_random_planar() {
+        let g = generators::random_stacked_triangulation(80, 2);
+        let td = min_degree_decomposition(&g);
+        let b = BinaryTreeDecomposition::from_decomposition(&td);
+        check_binary(&b);
+        assert_eq!(b.width(), td.width());
+        b.to_decomposition().validate(&g).unwrap();
+    }
+}

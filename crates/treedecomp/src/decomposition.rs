@@ -1,0 +1,223 @@
+//! Tree decomposition data structure and validity checking.
+
+use psi_graph::{CsrGraph, UnionFind, Vertex};
+
+/// A tree decomposition of a graph: a tree whose nodes ("bags") are vertex subsets.
+///
+/// The three defining conditions (Section 1.1 of the paper):
+/// 1. every graph vertex appears in at least one bag,
+/// 2. for every vertex the bags containing it form a contiguous subtree,
+/// 3. for every graph edge some bag contains both endpoints.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// The bags; `bags[i]` is sorted and deduplicated.
+    pub bags: Vec<Vec<Vertex>>,
+    /// Undirected tree edges between bag indices.
+    pub tree_edges: Vec<(usize, usize)>,
+    /// Number of vertices of the decomposed graph.
+    pub num_graph_vertices: usize,
+}
+
+impl TreeDecomposition {
+    /// Creates a decomposition, normalising each bag to sorted/deduplicated form.
+    pub fn new(mut bags: Vec<Vec<Vertex>>, tree_edges: Vec<(usize, usize)>, num_graph_vertices: usize) -> Self {
+        for b in bags.iter_mut() {
+            b.sort_unstable();
+            b.dedup();
+        }
+        TreeDecomposition { bags, tree_edges, num_graph_vertices }
+    }
+
+    /// A single-bag decomposition containing all vertices (width `n − 1`).
+    pub fn trivial(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        TreeDecomposition::new(vec![(0..n as Vertex).collect()], Vec::new(), n)
+    }
+
+    /// Number of bags.
+    pub fn num_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Width of the decomposition: `max |bag| − 1` (`0` for an empty decomposition).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Adjacency lists of the decomposition tree.
+    pub fn tree_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.bags.len()];
+        for &(a, b) in &self.tree_edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    /// Checks the three tree-decomposition conditions plus tree-ness of the bag graph.
+    /// Returns `Ok(())` or a human-readable description of the first violation.
+    pub fn validate(&self, graph: &CsrGraph) -> Result<(), String> {
+        let nb = self.bags.len();
+        if nb == 0 {
+            return if graph.num_vertices() == 0 && graph.num_edges() == 0 {
+                Ok(())
+            } else {
+                Err("empty decomposition of a nonempty graph".into())
+            };
+        }
+        // The decomposition tree must be a tree (connected, nb-1 edges).
+        if self.tree_edges.len() != nb - 1 {
+            return Err(format!(
+                "decomposition tree has {} edges, expected {}",
+                self.tree_edges.len(),
+                nb - 1
+            ));
+        }
+        let mut uf = UnionFind::new(nb);
+        for &(a, b) in &self.tree_edges {
+            if a >= nb || b >= nb {
+                return Err(format!("tree edge ({a},{b}) out of range"));
+            }
+            if !uf.union(a, b) {
+                return Err(format!("tree edge ({a},{b}) creates a cycle"));
+            }
+        }
+        if nb > 1 && uf.num_sets() != 1 {
+            return Err("decomposition tree is disconnected".into());
+        }
+        // Condition 1: every vertex covered.
+        let n = graph.num_vertices();
+        let mut covered = vec![false; n];
+        for bag in &self.bags {
+            for &v in bag {
+                if (v as usize) >= n {
+                    return Err(format!("bag contains out-of-range vertex {v}"));
+                }
+                covered[v as usize] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|&c| !c) {
+            return Err(format!("vertex {v} is in no bag"));
+        }
+        // Condition 3: every edge in some bag.
+        'edges: for (u, v) in graph.edges() {
+            for bag in &self.bags {
+                if bag.binary_search(&u).is_ok() && bag.binary_search(&v).is_ok() {
+                    continue 'edges;
+                }
+            }
+            return Err(format!("edge ({u},{v}) is in no bag"));
+        }
+        // Condition 2: contiguity. For each vertex, the bags containing it must induce a
+        // connected subtree.
+        let adj = self.tree_adjacency();
+        for v in 0..n as Vertex {
+            let holders: Vec<usize> =
+                (0..nb).filter(|&i| self.bags[i].binary_search(&v).is_ok()).collect();
+            if holders.is_empty() {
+                continue;
+            }
+            let holder_set: std::collections::HashSet<usize> = holders.iter().copied().collect();
+            // BFS within holder bags.
+            let mut seen = std::collections::HashSet::new();
+            let mut stack = vec![holders[0]];
+            seen.insert(holders[0]);
+            while let Some(b) = stack.pop() {
+                for &nbq in &adj[b] {
+                    if holder_set.contains(&nbq) && seen.insert(nbq) {
+                        stack.push(nbq);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return Err(format!("bags containing vertex {v} are not contiguous"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::generators;
+
+    /// The example decomposition from Figure 1 of the paper.
+    fn figure1() -> (CsrGraph, TreeDecomposition) {
+        // vertices a..g = 0..6
+        let (a, b, c, d, e, f, g) = (0, 1, 2, 3, 4, 5, 6);
+        let mut gb = psi_graph::GraphBuilder::new(7);
+        for &(u, v) in &[(a, b), (a, c), (b, c), (c, d), (c, e), (d, e), (c, f), (e, f), (a, f), (f, g), (a, g)] {
+            gb.add_edge(u, v);
+        }
+        let graph = gb.build();
+        let td = TreeDecomposition::new(
+            vec![
+                vec![c, e, f],
+                vec![c, d, e],
+                vec![a, c, f],
+                vec![a, b, c],
+                vec![a, f, g],
+            ],
+            vec![(0, 1), (0, 2), (2, 3), (2, 4)],
+            7,
+        );
+        (graph, td)
+    }
+
+    #[test]
+    fn figure1_decomposition_is_valid_of_width_2() {
+        let (g, td) = figure1();
+        assert_eq!(td.width(), 2);
+        td.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn trivial_decomposition_is_valid() {
+        let g = generators::triangulated_grid(4, 4);
+        let td = TreeDecomposition::trivial(&g);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 15);
+    }
+
+    #[test]
+    fn detects_missing_vertex() {
+        let g = generators::path(3);
+        let td = TreeDecomposition::new(vec![vec![0, 1]], vec![], 3);
+        assert!(td.validate(&g).unwrap_err().contains("vertex 2"));
+    }
+
+    #[test]
+    fn detects_missing_edge() {
+        let g = generators::cycle(3);
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![1, 2], vec![0, 2]], vec![(0, 1), (1, 2)], 3);
+        // all vertices covered, all edges covered actually... 0-1 in bag0, 1-2 in bag1, 0-2 in bag2: covered.
+        // but vertex 0 appears in bags 0 and 2 which are not adjacent -> contiguity violation
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("contiguous"), "{err}");
+    }
+
+    #[test]
+    fn detects_non_tree() {
+        let g = generators::path(2);
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![0, 1], vec![0, 1]], vec![(0, 1), (1, 2), (0, 2)], 2);
+        assert!(td.validate(&g).is_err());
+    }
+
+    #[test]
+    fn detects_missing_edge_cover() {
+        let g = generators::complete(3);
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![1, 2]], vec![(0, 1)], 3);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("edge"), "{err}");
+    }
+
+    #[test]
+    fn path_graph_width_one_decomposition() {
+        let g = generators::path(5);
+        let bags = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]];
+        let td = TreeDecomposition::new(bags, vec![(0, 1), (1, 2), (2, 3)], 5);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Elimination-ordering heuristics for building tree decompositions.
+//!
+//! A perfect elimination game yields a valid tree decomposition of any graph: eliminate
+//! vertices one by one, each time turning the current neighbourhood of the eliminated
+//! vertex into a clique; the bag of an eliminated vertex is the vertex plus its
+//! neighbourhood at elimination time, and it hangs off the bag of the first of those
+//! neighbours to be eliminated later. The width equals the largest such neighbourhood.
+//!
+//! The paper obtains width-`3d` decompositions of `d`-level planar slabs from the
+//! Baker/Eppstein construction and width-`8τ+7` decompositions from Lagergren's parallel
+//! algorithm; as documented in `DESIGN.md` we substitute the classical min-degree and
+//! min-fill heuristics, which always produce *valid* decompositions (checked by
+//! [`TreeDecomposition::validate`]) and empirically stay within the `3d` bound on the
+//! cover subgraphs (experiment F1). Only constants in the running time depend on this
+//! substitution; correctness of the subgraph-isomorphism DP does not.
+
+use crate::decomposition::TreeDecomposition;
+use psi_graph::{CsrGraph, Vertex};
+use std::collections::{BTreeSet, HashSet};
+
+/// Which greedy criterion selects the next vertex to eliminate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EliminationStrategy {
+    /// Eliminate a vertex of minimum current degree (fast, good on planar slabs).
+    MinDegree,
+    /// Eliminate a vertex adding the fewest fill edges (slower, usually smaller width).
+    MinFill,
+}
+
+struct EliminationGame {
+    /// Current neighbourhoods (as sets) of the not-yet-eliminated vertices.
+    adj: Vec<BTreeSet<Vertex>>,
+    eliminated: Vec<bool>,
+}
+
+impl EliminationGame {
+    fn new(graph: &CsrGraph) -> Self {
+        let adj = (0..graph.num_vertices())
+            .map(|v| graph.neighbors(v as Vertex).iter().copied().collect())
+            .collect();
+        EliminationGame { adj, eliminated: vec![false; graph.num_vertices()] }
+    }
+
+    fn fill_cost(&self, v: usize) -> usize {
+        let neigh: Vec<Vertex> = self.adj[v].iter().copied().collect();
+        let mut missing = 0;
+        for i in 0..neigh.len() {
+            for j in (i + 1)..neigh.len() {
+                if !self.adj[neigh[i] as usize].contains(&neigh[j]) {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    }
+
+    fn eliminate(&mut self, v: usize) -> Vec<Vertex> {
+        let neigh: Vec<Vertex> = self.adj[v].iter().copied().collect();
+        // make the neighbourhood a clique
+        for i in 0..neigh.len() {
+            for j in (i + 1)..neigh.len() {
+                let (a, b) = (neigh[i] as usize, neigh[j] as usize);
+                self.adj[a].insert(neigh[j]);
+                self.adj[b].insert(neigh[i]);
+            }
+        }
+        for &w in &neigh {
+            self.adj[w as usize].remove(&(v as Vertex));
+        }
+        self.adj[v].clear();
+        self.eliminated[v] = true;
+        neigh
+    }
+}
+
+/// Builds a tree decomposition from a greedy elimination ordering.
+pub fn elimination_decomposition(graph: &CsrGraph, strategy: EliminationStrategy) -> TreeDecomposition {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return TreeDecomposition::new(vec![Vec::new()], Vec::new(), 0);
+    }
+    let mut game = EliminationGame::new(graph);
+    // order[i] = i-th eliminated vertex; bag_of_vertex[v] = index of the bag created for v
+    let mut order = Vec::with_capacity(n);
+    let mut position = vec![usize::MAX; n];
+    let mut bags: Vec<Vec<Vertex>> = Vec::with_capacity(n);
+    let mut neighbours_at_elim: Vec<Vec<Vertex>> = Vec::with_capacity(n);
+
+    for step in 0..n {
+        // pick next vertex
+        let candidate = (0..n)
+            .filter(|&v| !game.eliminated[v])
+            .min_by_key(|&v| match strategy {
+                EliminationStrategy::MinDegree => (game.adj[v].len(), 0usize, v),
+                EliminationStrategy::MinFill => (game.fill_cost(v), game.adj[v].len(), v),
+            })
+            .expect("some vertex remains");
+        position[candidate] = step;
+        order.push(candidate as Vertex);
+        let neigh = game.eliminate(candidate);
+        let mut bag = neigh.clone();
+        bag.push(candidate as Vertex);
+        bags.push(bag);
+        neighbours_at_elim.push(neigh);
+    }
+
+    // Tree edges: the bag of vertex v connects to the bag of the earliest-eliminated
+    // neighbour that is eliminated after v (the standard construction).
+    let mut tree_edges = Vec::with_capacity(n.saturating_sub(1));
+    for step in 0..n {
+        let later = neighbours_at_elim[step]
+            .iter()
+            .copied()
+            .filter(|&w| position[w as usize] > step)
+            .min_by_key(|&w| position[w as usize]);
+        if let Some(w) = later {
+            tree_edges.push((step, position[w as usize]));
+        } else if step + 1 < n {
+            // Vertex had no later neighbours (its component is finished); attach to the
+            // next bag to keep the decomposition a single tree.
+            tree_edges.push((step, step + 1));
+        }
+    }
+    TreeDecomposition::new(bags, tree_edges, n)
+}
+
+/// Min-degree heuristic decomposition.
+pub fn min_degree_decomposition(graph: &CsrGraph) -> TreeDecomposition {
+    elimination_decomposition(graph, EliminationStrategy::MinDegree)
+}
+
+/// Min-fill heuristic decomposition.
+pub fn min_fill_decomposition(graph: &CsrGraph) -> TreeDecomposition {
+    elimination_decomposition(graph, EliminationStrategy::MinFill)
+}
+
+/// Upper bound on the treewidth: the width of the min-degree decomposition.
+pub fn treewidth_upper_bound(graph: &CsrGraph) -> usize {
+    min_degree_decomposition(graph).width()
+}
+
+/// Sanity helper used by tests: a set of vertices forming a clique forces width ≥ |clique| − 1.
+pub fn clique_lower_bound(graph: &CsrGraph) -> usize {
+    // greedy: find a maximal clique by repeatedly adding the highest-degree compatible vertex
+    let mut best = 0;
+    for start in 0..graph.num_vertices() as Vertex {
+        let mut clique: Vec<Vertex> = vec![start];
+        let mut candidates: HashSet<Vertex> = graph.neighbors(start).iter().copied().collect();
+        while let Some(&next) = candidates.iter().max_by_key(|&&v| graph.degree(v)) {
+            clique.push(next);
+            let neigh: HashSet<Vertex> = graph.neighbors(next).iter().copied().collect();
+            candidates = candidates.intersection(&neigh).copied().collect();
+            candidates.remove(&next);
+        }
+        best = best.max(clique.len().saturating_sub(1));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::generators;
+
+    #[test]
+    fn tree_has_width_one() {
+        let g = generators::random_tree(60, 3);
+        let td = min_degree_decomposition(&g);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn cycle_has_width_two() {
+        let g = generators::cycle(20);
+        let td = min_degree_decomposition(&g);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn complete_graph_width() {
+        let g = generators::complete(6);
+        let td = min_fill_decomposition(&g);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 5);
+    }
+
+    #[test]
+    fn grid_width_is_small() {
+        let g = generators::grid(6, 6);
+        let td = min_fill_decomposition(&g);
+        td.validate(&g).unwrap();
+        // treewidth of the 6x6 grid is 6; heuristics may overshoot slightly
+        assert!(td.width() >= 6 && td.width() <= 9, "width {}", td.width());
+    }
+
+    #[test]
+    fn min_fill_not_worse_than_min_degree_on_small_planar() {
+        let g = generators::random_stacked_triangulation(40, 11);
+        let a = min_degree_decomposition(&g);
+        let b = min_fill_decomposition(&g);
+        a.validate(&g).unwrap();
+        b.validate(&g).unwrap();
+        assert!(b.width() <= a.width() + 2);
+    }
+
+    #[test]
+    fn disconnected_graph_still_valid() {
+        let a = generators::cycle(5);
+        let b = generators::path(4);
+        let g = generators::disjoint_union(&[&a, &b]);
+        let td = min_degree_decomposition(&g);
+        td.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn width_bounds_are_consistent() {
+        let g = generators::triangulated_grid(5, 5);
+        let ub = treewidth_upper_bound(&g);
+        let lb = clique_lower_bound(&g);
+        assert!(lb <= ub, "lower bound {lb} exceeds upper bound {ub}");
+        assert!(lb >= 2); // contains triangles
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = CsrGraph::empty(1);
+        let td = min_degree_decomposition(&g);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 0);
+
+        let g0 = CsrGraph::empty(0);
+        let td0 = min_degree_decomposition(&g0);
+        td0.validate(&g0).unwrap();
+    }
+}

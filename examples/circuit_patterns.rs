@@ -1,0 +1,56 @@
+//! Sub-circuit identification: look for wiring motifs in a planar circuit-like layout,
+//! the electronic-design-automation use case (Ohlrich et al.'s SubGemini) cited by the
+//! paper's introduction.
+//!
+//! The "circuit" is a grid of cells where some cells carry a diagonal shortcut; the
+//! motifs are the local wiring shapes a designer might search for, including a
+//! disconnected one (two independent shortcut cells), which exercises the colour-coding
+//! reduction of Section 4.1.
+//!
+//! Run with: `cargo run --release --example circuit_patterns`
+
+use planar_subiso::{Pattern, QueryConfig, SubgraphIsomorphism};
+use psi_graph::{GraphBuilder, Vertex};
+
+/// A w x h grid where every third cell gets a diagonal "via".
+fn circuit(w: usize, h: usize) -> psi_graph::CsrGraph {
+    let idx = |r: usize, c: usize| (r * w + c) as Vertex;
+    let mut b = GraphBuilder::new(w * h);
+    for r in 0..h {
+        for c in 0..w {
+            if c + 1 < w {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < h {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+            if c + 1 < w && r + 1 < h && (r * w + c) % 3 == 0 {
+                b.add_edge(idx(r, c), idx(r + 1, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let layout = circuit(24, 24);
+    println!("circuit layout: n = {}, m = {}", layout.num_vertices(), layout.num_edges());
+
+    // A "via cell": a square with one diagonal (a triangle sharing an edge with a 4-cycle).
+    let via_cell = Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+    // A "bus segment": a path of 6 junctions.
+    let bus = Pattern::path(6);
+    // A "double via": two independent via diagonals (disconnected pattern).
+    let double_via = Pattern::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+
+    for (name, pattern) in [("via cell", via_cell), ("bus segment", bus), ("double via", double_via)] {
+        let query = SubgraphIsomorphism::with_config(pattern.clone(), QueryConfig::default());
+        match query.find_one(&layout) {
+            Some(occurrence) => {
+                assert!(planar_subiso::verify_occurrence(&pattern, &layout, &occurrence));
+                println!("{name:<12} found at {occurrence:?}");
+            }
+            None => println!("{name:<12} not present"),
+        }
+    }
+}

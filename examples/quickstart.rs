@@ -1,0 +1,40 @@
+//! Quickstart: decide, find, and list occurrences of a small pattern in a planar graph.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use planar_subiso::{count_distinct_images, Pattern, SubgraphIsomorphism};
+
+fn main() {
+    // A planar target: a 20x20 triangulated grid (400 vertices).
+    let target = psi_graph::generators::triangulated_grid(20, 20);
+    println!(
+        "target: triangulated 20x20 grid, n = {}, m = {}",
+        target.num_vertices(),
+        target.num_edges()
+    );
+
+    // Decide whether a 4-cycle occurs.
+    let c4 = Pattern::cycle(4);
+    let query = SubgraphIsomorphism::new(c4.clone());
+    println!("contains C4? {}", query.decide(&target));
+
+    // Find one occurrence and print the mapping.
+    if let Some(occurrence) = query.find_one(&target) {
+        println!("one C4 occurrence (pattern vertex -> target vertex): {occurrence:?}");
+        assert!(planar_subiso::verify_occurrence(&c4, &target, &occurrence));
+    }
+
+    // Patterns that cannot occur are rejected (grids with diagonals still have no K5:
+    // planar graphs exclude it).
+    let k5 = Pattern::clique(5);
+    println!("contains K5? {}", SubgraphIsomorphism::new(k5).decide(&target));
+
+    // List all triangles in a smaller target and count distinct images.
+    let small = psi_graph::generators::triangulated_grid(6, 6);
+    let triangles = SubgraphIsomorphism::new(Pattern::triangle()).list_all(&small);
+    println!(
+        "6x6 triangulated grid: {} triangle mappings over {} distinct triangles",
+        triangles.len(),
+        count_distinct_images(&triangles)
+    );
+}

@@ -1,0 +1,66 @@
+//! Integration tests for planar vertex connectivity: the separating-cycle algorithm
+//! (core) against the max-flow and brute-force baselines over the generator zoo.
+
+use planar_subiso::{vertex_connectivity, ConnectivityMode};
+use psi_baselines::{brute_force_vertex_connectivity, flow_vertex_connectivity};
+use psi_planar::generators as pg;
+use psi_planar::Embedding;
+
+fn check(name: &str, e: &Embedding) {
+    e.validate().unwrap_or_else(|err| panic!("{name}: invalid embedding: {err}"));
+    let ours = vertex_connectivity(e, ConnectivityMode::WholeGraph, 1).connectivity;
+    let flow = flow_vertex_connectivity(&e.graph, 6);
+    assert_eq!(ours, flow, "{name}: separating-cycle {ours} vs flow {flow}");
+    if e.graph.num_vertices() <= 20 {
+        assert_eq!(ours, brute_force_vertex_connectivity(&e.graph), "{name} vs brute force");
+    }
+}
+
+#[test]
+fn connectivity_zoo_matches_baselines() {
+    check("cycle C9", &pg::cycle_embedded(9));
+    check("wheel W9", &pg::wheel_embedded(9));
+    check("tetrahedron", &pg::tetrahedron());
+    check("cube", &pg::cube());
+    check("octahedron", &pg::octahedron());
+    check("double wheel rim 6", &pg::double_wheel(6));
+    check("grid 5x4", &pg::grid_embedded(5, 4));
+    check("triangulated grid 5x5", &pg::triangulated_grid_embedded(5, 5));
+}
+
+#[test]
+fn connectivity_on_random_triangulations_matches_flow() {
+    for seed in 0..3u64 {
+        let e = pg::stacked_triangulation_embedded(16, seed);
+        check(&format!("stacked triangulation seed {seed}"), &e);
+    }
+}
+
+/// The most expensive cases (5-connected icosahedron, larger triangulations); run with
+/// `cargo test -- --ignored`.
+#[test]
+#[ignore = "expensive separating-C8 searches (minutes)"]
+fn connectivity_zoo_expensive_cases() {
+    check("icosahedron", &pg::icosahedron());
+    check("stacked triangulation 40", &pg::stacked_triangulation_embedded(40, 0));
+}
+
+#[test]
+fn witness_cuts_disconnect_the_graph() {
+    for e in [pg::cycle_embedded(10), pg::wheel_embedded(8), pg::octahedron()] {
+        let result = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 2);
+        if !result.cut.is_empty() {
+            assert_eq!(result.cut.len(), result.connectivity);
+            assert!(planar_subiso::connectivity::is_vertex_cut(&e.graph, &result.cut));
+        }
+    }
+}
+
+#[test]
+fn cover_mode_monte_carlo_agrees_on_small_zoo() {
+    for (name, e) in [("cycle C12", pg::cycle_embedded(12)), ("wheel W8", pg::wheel_embedded(8))] {
+        let whole = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 5).connectivity;
+        let cover = vertex_connectivity(&e, ConnectivityMode::Cover { repetitions: 16 }, 5).connectivity;
+        assert_eq!(whole, cover, "{name}");
+    }
+}

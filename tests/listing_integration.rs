@@ -1,0 +1,51 @@
+//! Integration tests for occurrence listing and counting: the randomised listing loop
+//! against the exact backtracking counter.
+
+use planar_subiso::{count_distinct_images, Pattern, QueryConfig, SubgraphIsomorphism};
+use psi_baselines::ullmann_count;
+use psi_graph::generators;
+
+#[test]
+fn listing_matches_exact_counts_on_triangulations() {
+    for seed in 0..3u64 {
+        let g = generators::random_stacked_triangulation(28, seed);
+        for p in [Pattern::triangle(), Pattern::clique(4)] {
+            let query = SubgraphIsomorphism::new(p.clone());
+            let listed = query.list_all(&g);
+            let exact = ullmann_count(&p, &g);
+            assert_eq!(listed.len(), exact, "seed {seed} k={}", p.k());
+            // every listed mapping is a genuine, distinct occurrence
+            let unique: std::collections::HashSet<_> = listed.iter().collect();
+            assert_eq!(unique.len(), listed.len());
+            for occ in &listed {
+                assert!(planar_subiso::verify_occurrence(&p, &g, occ));
+            }
+        }
+    }
+}
+
+#[test]
+fn listing_matches_exact_counts_on_grids() {
+    let g = generators::grid(5, 4);
+    let query = SubgraphIsomorphism::new(Pattern::cycle(4));
+    let listed = query.list_all(&g);
+    assert_eq!(listed.len(), ullmann_count(&Pattern::cycle(4), &g));
+    // unit squares of a 5x4 grid
+    assert_eq!(count_distinct_images(&listed), 4 * 3);
+}
+
+#[test]
+fn counting_via_listing() {
+    let g = generators::triangulated_grid(5, 5);
+    let query = SubgraphIsomorphism::new(Pattern::triangle());
+    assert_eq!(query.count(&g), ullmann_count(&Pattern::triangle(), &g));
+}
+
+#[test]
+fn listing_respects_seed_stability() {
+    let g = generators::triangulated_grid(6, 6);
+    let q1 = SubgraphIsomorphism::with_config(Pattern::triangle(), QueryConfig { seed: 5, ..QueryConfig::default() });
+    let q2 = SubgraphIsomorphism::with_config(Pattern::triangle(), QueryConfig { seed: 6, ..QueryConfig::default() });
+    // different seeds must produce the same (complete) set of occurrences
+    assert_eq!(q1.list_all(&g), q2.list_all(&g));
+}

@@ -1,0 +1,106 @@
+//! End-to-end integration tests of the subgraph-isomorphism pipeline across crates:
+//! generators (psi-graph / psi-planar) → clustering (psi-cluster) → cover → tree
+//! decomposition (psi-treedecomp) → DP → verified occurrences.
+
+use planar_subiso::{decide, find_one, verify_occurrence, DpStrategy, Pattern, QueryConfig, SubgraphIsomorphism};
+use psi_graph::generators;
+
+#[test]
+fn planted_patterns_are_found_and_verified() {
+    for (k, seed) in [(4usize, 1u64), (6, 2), (8, 3)] {
+        let (g, planted) = generators::grid_with_planted_cycle(20, 20, k);
+        // sanity: the planted vertex set really carries a k-cycle
+        for i in 0..k {
+            assert!(g.has_edge(planted[i], planted[(i + 1) % k]));
+        }
+        let query = SubgraphIsomorphism::with_config(
+            Pattern::cycle(k),
+            QueryConfig { seed, ..QueryConfig::default() },
+        );
+        let occ = query.find_one(&g).unwrap_or_else(|| panic!("planted C{k} not found"));
+        assert!(verify_occurrence(&Pattern::cycle(k), &g, &occ));
+    }
+}
+
+#[test]
+fn pipeline_agrees_with_backtracking_oracle_on_random_planar_graphs() {
+    let patterns = vec![
+        Pattern::triangle(),
+        Pattern::cycle(4),
+        Pattern::cycle(5),
+        Pattern::path(5),
+        Pattern::star(4),
+        Pattern::clique(4),
+        Pattern::clique(5),
+    ];
+    for seed in 0..3u64 {
+        let g = generators::random_stacked_triangulation(70, seed);
+        for p in &patterns {
+            let expected = psi_baselines::ullmann_decide(p, &g);
+            assert_eq!(decide(p, &g), expected, "seed {seed}, k={}", p.k());
+        }
+    }
+}
+
+#[test]
+fn pipeline_agrees_with_eppstein_sequential_baseline() {
+    let g = generators::triangulated_grid(12, 10);
+    for p in [Pattern::triangle(), Pattern::cycle(4), Pattern::cycle(6), Pattern::path(6)] {
+        assert_eq!(decide(&p, &g), psi_baselines::eppstein_sequential_decide(&p, &g));
+    }
+}
+
+#[test]
+fn strategies_and_modes_agree() {
+    let g = generators::random_stacked_triangulation(90, 17);
+    for p in [Pattern::triangle(), Pattern::clique(4), Pattern::cycle(5)] {
+        let default = decide(&p, &g);
+        let parallel = SubgraphIsomorphism::with_config(
+            p.clone(),
+            QueryConfig { strategy: DpStrategy::PathParallel, ..QueryConfig::default() },
+        )
+        .decide(&g);
+        let whole = SubgraphIsomorphism::with_config(
+            p.clone(),
+            QueryConfig { whole_graph: true, ..QueryConfig::default() },
+        )
+        .decide(&g);
+        assert_eq!(default, parallel);
+        assert_eq!(default, whole);
+    }
+}
+
+#[test]
+fn bounded_genus_targets_are_supported() {
+    // The cover + heuristic decomposition pipeline never requires planarity; a torus
+    // grid (genus 1, apex-minor-free) works end to end (Section 4.3).
+    let g = generators::torus_grid(12, 12);
+    assert!(decide(&Pattern::cycle(4), &g));
+    assert!(!decide(&Pattern::triangle(), &g));
+    let occ = find_one(&Pattern::path(6), &g).expect("P6 in torus grid");
+    assert!(verify_occurrence(&Pattern::path(6), &g, &occ));
+}
+
+#[test]
+fn disconnected_patterns_end_to_end() {
+    let g = generators::triangulated_grid(12, 12);
+    let two_triangles = Pattern::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+    let occ = find_one(&two_triangles, &g).expect("two disjoint triangles exist");
+    assert!(verify_occurrence(&two_triangles, &g, &occ));
+
+    // impossible: a triangle component on a triangle-free target
+    let grid = generators::grid(8, 8);
+    let tri_plus_edge = Pattern::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+    assert!(!decide(&tri_plus_edge, &grid));
+}
+
+#[test]
+fn empty_and_degenerate_inputs() {
+    let empty = psi_graph::CsrGraph::empty(0);
+    assert!(decide(&Pattern::empty(), &empty));
+    assert!(!decide(&Pattern::single_vertex(), &empty));
+
+    let isolated = psi_graph::CsrGraph::empty(5);
+    assert!(decide(&Pattern::single_vertex(), &isolated));
+    assert!(!decide(&Pattern::path(2), &isolated));
+}
