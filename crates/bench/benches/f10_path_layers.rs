@@ -10,8 +10,8 @@ use rand::{Rng, SeedableRng};
 fn random_tree(n: usize, seed: u64) -> RootedTree {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut parent = vec![usize::MAX; n];
-    for v in 1..n {
-        parent[v] = rng.gen_range(0..v);
+    for (v, p) in parent.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..v);
     }
     RootedTree::from_parents(parent)
 }

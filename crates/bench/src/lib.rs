@@ -40,7 +40,7 @@ mod tests {
     fn workloads_have_requested_magnitude() {
         let g = target_with_n(10_000);
         let n = g.num_vertices();
-        assert!(n >= 10_000 && n < 11_000);
+        assert!((10_000..11_000).contains(&n));
         assert_eq!(table1_patterns().len(), 4);
         assert_eq!(size_sweep(20_000), vec![1024, 4096, 16384]);
     }

@@ -145,9 +145,9 @@ pub fn cluster(graph: &CsrGraph, beta: f64, seed: u64) -> Clustering {
     let mut center = vec![INVALID_VERTEX; n];
     let mut arrival = vec![f64::INFINITY; n];
     let mut heap = BinaryHeap::with_capacity(n);
-    for v in 0..n {
+    for (v, &shift) in shifts.iter().enumerate() {
         heap.push(HeapEntry {
-            arrival: delta_max - shifts[v],
+            arrival: delta_max - shift,
             vertex: v as Vertex,
             center: v as Vertex,
         });

@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn stacked_triangulation_is_three_connected() {
-        let e = pg::stacked_triangulation_embedded(30, 5);
+        let e = pg::stacked_triangulation_embedded(18, 5);
         let result = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 1);
         assert_eq!(result.connectivity, 3);
         assert!(is_vertex_cut(&e.graph, &result.cut));

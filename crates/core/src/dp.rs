@@ -330,18 +330,24 @@ pub fn run_sequential(
 /// Reconstructs occurrences (full pattern → target mappings) from a DP run with
 /// derivation tracking, starting from the complete states of the root.
 ///
-/// At most `limit` occurrences are returned (use `usize::MAX` for all).
+/// At most `limit` occurrences are returned; `usize::MAX` enumerates all of them
+/// exactly. For a finite `limit` the enumeration is bounded (every intermediate
+/// result set is capped at `limit` entries) and deterministic, but which `limit`
+/// occurrences are kept is unspecified.
 pub fn recover_occurrences(
     result: &DpResult,
     btd: &BinaryTreeDecomposition,
     limit: usize,
 ) -> Vec<Vec<Vertex>> {
+    let mut memo: HashMap<(usize, u32), Vec<Vec<u32>>> = HashMap::new();
     let mut out = Vec::new();
     for root_state in result.tables[result.root].complete_states() {
         if out.len() >= limit {
             break;
         }
-        let partials = assignments(result, btd, result.root, root_state, limit - out.len());
+        assignments_memo(result, btd, result.root, root_state, limit, &mut memo);
+        // root entries are never read again; move them out instead of cloning
+        let partials = memo.remove(&(result.root, root_state)).expect("just computed");
         for p in partials {
             debug_assert!(p.iter().all(|&w| w != ST_UNMATCHED));
             out.push(p);
@@ -353,72 +359,90 @@ pub fn recover_occurrences(
     out
 }
 
-/// Enumerates, for a given (node, state), the possible assignments of the pattern
-/// vertices matched within this node's subtree (`ST_UNMATCHED` marks vertices matched
-/// elsewhere). Requires derivation tracking.
-fn assignments(
+/// All matched vertices of a leaf state are mapped in the bag.
+fn leaf_assignment(state: &MatchState) -> Vec<u32> {
+    let mut assign = vec![ST_UNMATCHED; state.k()];
+    for (i, t) in state.mapped_pairs() {
+        assign[i] = t;
+    }
+    assign
+}
+
+/// This node's own mapping wins; the children fill in the vertices matched strictly
+/// below. For a valid join the three sources never conflict (the separator property),
+/// so simple priority merging is enough.
+fn merge_join_assignment(state: &MatchState, lp: &[u32], rp: &[u32]) -> Vec<u32> {
+    (0..state.k())
+        .map(|i| {
+            if let Some(t) = state.mapped(i) {
+                t
+            } else if lp[i] != ST_UNMATCHED {
+                lp[i]
+            } else {
+                rp[i]
+            }
+        })
+        .collect()
+}
+
+/// Memoised, capped enumeration of the assignments of `(node, state_idx)`: the possible
+/// assignments of the pattern vertices matched within this node's subtree
+/// (`ST_UNMATCHED` marks vertices matched elsewhere). Requires derivation tracking.
+///
+/// Every pair is computed exactly once (the memo makes the walk linear in the
+/// decomposition size instead of exponential in its depth), and every stored result set
+/// holds at most `cap` *distinct* assignments, which bounds both work and memory for
+/// finite limits. Any assignment of a valid derivation is a genuine realisation, so a
+/// capped child set still yields valid (if not exhaustive) parent assignments.
+fn assignments_memo(
     result: &DpResult,
     btd: &BinaryTreeDecomposition,
     node: usize,
     state_idx: u32,
-    limit: usize,
-) -> Vec<Vec<u32>> {
+    cap: usize,
+    memo: &mut HashMap<(usize, u32), Vec<Vec<u32>>>,
+) {
+    if memo.contains_key(&(node, state_idx)) {
+        return;
+    }
     let table = &result.tables[node];
     let state = &table.states[state_idx as usize];
-    let k = state.k();
-    let derivs = table
+    let derivs = &table
         .derivations
         .as_ref()
-        .expect("occurrence recovery requires derivation tracking")[state_idx as usize]
-        .clone();
-    let mut results: Vec<Vec<u32>> = Vec::new();
-    for derivation in derivs {
-        if results.len() >= limit {
+        .expect("occurrence recovery requires derivation tracking")[state_idx as usize];
+    // Different derivations can reconstruct the same assignment; dedupe on insertion so
+    // the cap counts *distinct* assignments (duplicates must not consume cap slots).
+    let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    for &derivation in derivs.iter() {
+        if seen.len() >= cap {
             break;
         }
         match derivation {
             Derivation::Leaf => {
-                // all matched vertices of a leaf state are mapped in the bag
-                let mut assign = vec![ST_UNMATCHED; k];
-                for (i, t) in state.mapped_pairs() {
-                    assign[i] = t;
-                }
-                results.push(assign);
+                seen.insert(leaf_assignment(state));
             }
             Derivation::Join { left, right } => {
                 let [l, r] = btd.children[node].expect("join derivation at a leaf");
-                let left_parts = assignments(result, btd, l, left, limit);
-                let right_parts = assignments(result, btd, r, right, limit);
-                'outer: for lp in &left_parts {
-                    for rp in &right_parts {
-                        if results.len() >= limit {
+                // compute both children first, then reborrow them shared
+                assignments_memo(result, btd, l, left, cap, memo);
+                assignments_memo(result, btd, r, right, cap, memo);
+                let left_parts = memo.get(&(l, left)).expect("just computed");
+                let right_parts = memo.get(&(r, right)).expect("just computed");
+                'outer: for lp in left_parts {
+                    for rp in right_parts {
+                        if seen.len() >= cap {
                             break 'outer;
                         }
-                        // This node's own mapping wins; the children fill in the
-                        // vertices matched strictly below. For a valid join the three
-                        // sources never conflict (the separator property), so simple
-                        // priority merging is enough.
-                        let mut assign = vec![ST_UNMATCHED; k];
-                        for i in 0..k {
-                            assign[i] = if let Some(t) = state.mapped(i) {
-                                t
-                            } else if lp[i] != ST_UNMATCHED {
-                                lp[i]
-                            } else {
-                                rp[i]
-                            };
-                        }
-                        results.push(assign);
+                        seen.insert(merge_join_assignment(state, lp, rp));
                     }
                 }
             }
         }
     }
-    // dedupe (different derivations can reconstruct the same assignment)
+    let mut results: Vec<Vec<u32>> = seen.into_iter().collect();
     results.sort_unstable();
-    results.dedup();
-    results.truncate(limit);
-    results
+    memo.insert((node, state_idx), results);
 }
 
 #[cfg(test)]

@@ -86,8 +86,10 @@ pub fn run_parallel(
     // of strictly lower layers, so they can be processed in parallel. We use an
     // interior-mutability-free pattern: collect each layer's results and merge.
     let mut tables: Vec<Option<NodeTable>> = vec![None; num_nodes];
+    // (path index, tables of the path's nodes, rounds the path needed)
+    type PathResult = (usize, Vec<(usize, NodeTable)>, usize);
     for layer_paths in &pd.layers {
-        let results: Vec<(usize, Vec<(usize, NodeTable)>, usize)> = layer_paths
+        let results: Vec<PathResult> = layer_paths
             .par_iter()
             .map(|&pidx| {
                 let path = &pd.paths[pidx];
@@ -225,7 +227,6 @@ fn closure(
     pattern: &Pattern,
     from: usize,
 ) {
-    let p = path.len();
     // The lifts of different source states are independent; compute them in parallel
     // and merge sequentially (the merge is cheap compared to the lifts).
     let sources = delta[from].clone();
@@ -234,8 +235,8 @@ fn closure(
         .map(|state| {
             let mut out = Vec::new();
             let mut current = state.clone();
-            for j in (from + 1)..p {
-                match lift(&current, &btd.bags[path[j]], pattern) {
+            for (j, &path_node) in path.iter().enumerate().skip(from + 1) {
+                match lift(&current, &btd.bags[path_node], pattern) {
                     Some(next) => {
                         out.push((j, next.clone()));
                         current = next;
@@ -273,7 +274,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_on_grids() {
-        let g = generators::grid(6, 6);
+        let g = generators::grid(5, 5);
         for pattern in [Pattern::cycle(4), Pattern::cycle(6), Pattern::triangle(), Pattern::path(7), Pattern::star(5)] {
             let (s, p, _) = both(&g, &pattern);
             assert_eq!(s, p, "disagreement for pattern with k={}", pattern.k());
@@ -282,8 +283,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_on_triangulations() {
-        for seed in 0..4u64 {
-            let g = generators::random_stacked_triangulation(60, seed);
+        for seed in 0..3u64 {
+            let g = generators::random_stacked_triangulation(40, seed);
             for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::clique(5), Pattern::cycle(5)] {
                 let (s, p, _) = both(&g, &pattern);
                 assert_eq!(s, p, "seed {seed} k={}", pattern.k());

@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn listing_matches_whole_graph_reference() {
-        let g = generators::random_stacked_triangulation(40, 6);
+        let g = generators::random_stacked_triangulation(28, 6);
         let pattern = Pattern::triangle();
         let via_cover = list_all(&pattern, &g, &config());
         let whole = list_all(

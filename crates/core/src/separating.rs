@@ -79,9 +79,10 @@ pub fn find_separating_occurrence(
     // derivation (child states + nothing else — the mapping is reconstructed by a second
     // pass like in the plain DP, but here we only need the mapped targets, which can be
     // collected from the chain of states directly).
+    // state -> the (left, right) child states it was derived from (None at leaves)
+    type Derivations = HashMap<SepState, (Option<SepState>, Option<SepState>)>;
     let mut tables: Vec<Table> = vec![Table::new(); btd.num_nodes()];
-    let mut parents: Vec<HashMap<SepState, (Option<SepState>, Option<SepState>)>> =
-        vec![HashMap::new(); btd.num_nodes()];
+    let mut parents: Vec<Derivations> = vec![HashMap::new(); btd.num_nodes()];
 
     for node in btd.postorder() {
         let bag = &btd.bags[node];
@@ -184,7 +185,7 @@ pub fn find_separating_occurrence(
             }
         }
     }
-    if mapping.iter().any(|&t| t == u32::MAX) {
+    if mapping.contains(&u32::MAX) {
         // The derivation chain lost a mapping (should not happen); report no witness
         // rather than a bogus one.
         return None;
@@ -459,13 +460,13 @@ mod tests {
 
     #[test]
     fn separating_square_in_grid() {
-        // In a 5x5 grid, the 4-cycle around the centre... a unit square does not separate
-        // the grid, but the 8-cycle around the centre vertex does.
-        let g = generators::grid(5, 5);
+        // In a 4x4 grid, a unit square (C4) does not separate the grid, but the 8-cycle
+        // around an interior vertex does (it isolates that vertex).
+        let g = generators::grid(4, 4);
         let n = g.num_vertices();
         let in_s = all_true(n);
         let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(n) };
-        // C4 (a unit square) never separates a 5x5 grid
+        // C4 (a unit square) never separates a 4x4 grid
         assert!(find_separating_occurrence(&inst, &Pattern::cycle(4)).is_none());
         // C8 around an interior vertex separates it from the boundary
         let occ = find_separating_occurrence(&inst, &Pattern::cycle(8)).expect("separating C8 exists");
@@ -527,9 +528,10 @@ mod tests {
 
     #[test]
     fn non_separating_when_s_is_on_one_side() {
-        let g = generators::grid(5, 5);
+        let g = generators::grid(4, 4);
         let n = g.num_vertices();
-        // S entirely in the top-left corner: the C8 around the centre does not split S
+        // S = two adjacent corner vertices: no occurrence can ever split S (an edge
+        // between the remaining S vertices survives any removal)
         let mut in_s = vec![false; n];
         in_s[0] = true;
         in_s[1] = true;

@@ -88,7 +88,7 @@ pub fn parallel_bfs(graph: &CsrGraph, root: Vertex, mask: Option<&[bool]>) -> Bf
     let mut dist = vec![u32::MAX; n];
     let mut order = Vec::with_capacity(64);
 
-    let allowed = |v: Vertex| mask.map_or(true, |m| m[v as usize]);
+    let allowed = |v: Vertex| mask.is_none_or(|m| m[v as usize]);
 
     visited[root as usize].store(true, Ordering::Relaxed);
     dist[root as usize] = 0;

@@ -44,7 +44,7 @@ pub fn connected_components(graph: &CsrGraph) -> ComponentLabels {
 /// `u32::MAX` and do not count as components).
 pub fn connected_components_masked(graph: &CsrGraph, mask: Option<&[bool]>) -> ComponentLabels {
     let n = graph.num_vertices();
-    let allowed = |v: usize| mask.map_or(true, |m| m[v]);
+    let allowed = |v: usize| mask.is_none_or(|m| m[v]);
     let mut label = vec![u32::MAX; n];
     let mut next = 0u32;
     let mut stack = Vec::new();

@@ -84,7 +84,7 @@ impl CsrGraph {
 
     /// Iterator over all vertices `0..n`.
     pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
-        (0..self.num_vertices() as Vertex).into_iter()
+        0..self.num_vertices() as Vertex
     }
 
     /// Iterator over undirected edges `(u, v)` with `u < v`.

@@ -253,7 +253,7 @@ pub fn grid_with_planted_cycle(w: usize, h: usize, k: usize) -> (CsrGraph, Vec<V
         return (g, vec![idx(0, 0), idx(0, 1), idx(1, 1)]);
     }
     // choose a = 2, b = k/2 for even k; odd k uses a diagonal to close.
-    if k % 2 == 0 {
+    if k.is_multiple_of(2) {
         let b_len = k / 2;
         let mut cyc = Vec::with_capacity(k);
         for c in 0..b_len {
@@ -264,7 +264,7 @@ pub fn grid_with_planted_cycle(w: usize, h: usize, k: usize) -> (CsrGraph, Vec<V
         }
         (g, cyc)
     } else {
-        let b_len = (k + 1) / 2;
+        let b_len = k.div_ceil(2);
         let mut cyc = Vec::with_capacity(k);
         for c in 0..b_len {
             cyc.push(idx(0, c));

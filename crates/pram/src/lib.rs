@@ -97,7 +97,7 @@ where
         results.push(r);
         cost = cost.beside(c);
     }
-    (results, cost.then(WorkDepth::unit()))
+    (results, cost.then(WorkDepth { work: 0, depth: 1 }))
 }
 
 /// A shared atomic work counter for code that only tracks total work.

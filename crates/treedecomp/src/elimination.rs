@@ -107,8 +107,8 @@ pub fn elimination_decomposition(graph: &CsrGraph, strategy: EliminationStrategy
     // Tree edges: the bag of vertex v connects to the bag of the earliest-eliminated
     // neighbour that is eliminated after v (the standard construction).
     let mut tree_edges = Vec::with_capacity(n.saturating_sub(1));
-    for step in 0..n {
-        let later = neighbours_at_elim[step]
+    for (step, neighbours) in neighbours_at_elim.iter().enumerate() {
+        let later = neighbours
             .iter()
             .copied()
             .filter(|&w| position[w as usize] > step)

@@ -114,8 +114,8 @@ pub fn layer_numbers_parallel(tree: &RootedTree) -> Vec<u32> {
         by_height[height[v] as usize].push(v);
     }
     let mut layer = vec![0u32; n];
-    for h in 0..=max_h as usize {
-        let computed: Vec<(usize, u32)> = by_height[h]
+    for bucket in &by_height {
+        let computed: Vec<(usize, u32)> = bucket
             .par_iter()
             .map(|&v| {
                 let child_layers: Vec<u32> = tree.children[v].iter().map(|&c| layer[c]).collect();
@@ -351,16 +351,16 @@ mod tests {
     fn random_tree(n: usize, seed: u64) -> RootedTree {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut parent = vec![usize::MAX; n];
-        for v in 1..n {
-            parent[v] = rng.gen_range(0..v);
+        for (v, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = rng.gen_range(0..v);
         }
         RootedTree::from_parents(parent)
     }
 
     fn path_tree(n: usize) -> RootedTree {
         let mut parent = vec![usize::MAX; n];
-        for v in 1..n {
-            parent[v] = v - 1;
+        for (v, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = v - 1;
         }
         RootedTree::from_parents(parent)
     }
@@ -368,8 +368,8 @@ mod tests {
     fn balanced_tree(levels: u32) -> RootedTree {
         let n = (1usize << levels) - 1;
         let mut parent = vec![usize::MAX; n];
-        for v in 1..n {
-            parent[v] = (v - 1) / 2;
+        for (v, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = (v - 1) / 2;
         }
         RootedTree::from_parents(parent)
     }

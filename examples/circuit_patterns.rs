@@ -24,7 +24,7 @@ fn circuit(w: usize, h: usize) -> psi_graph::CsrGraph {
             if r + 1 < h {
                 b.add_edge(idx(r, c), idx(r + 1, c));
             }
-            if c + 1 < w && r + 1 < h && (r * w + c) % 3 == 0 {
+            if c + 1 < w && r + 1 < h && (r * w + c).is_multiple_of(3) {
                 b.add_edge(idx(r, c), idx(r + 1, c + 1));
             }
         }

@@ -8,7 +8,7 @@ use planar_subiso::{count_distinct_images, Pattern, SubgraphIsomorphism};
 
 fn main() {
     // A random maximal planar graph stands in for a geometric/road-like network.
-    let target = psi_graph::generators::random_stacked_triangulation(300, 42);
+    let target = psi_graph::generators::random_stacked_triangulation(150, 42);
     println!(
         "target: random planar triangulation, n = {}, m = {}",
         target.num_vertices(),

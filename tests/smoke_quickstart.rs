@@ -1,0 +1,56 @@
+//! Workspace smoke test: the quickstart pipeline (triangulated-grid target and the
+//! triangle pattern) through decide / count / list, cross-checked against the exact
+//! Ullmann backtracking counter. If this test passes, the whole stack — generators,
+//! clustering, cover, tree decomposition, DP, listing — is wired together correctly.
+
+use planar_subiso::{count_distinct_images, Pattern, QueryConfig, SubgraphIsomorphism};
+use psi_baselines::ullmann_count;
+use psi_graph::generators;
+
+#[test]
+fn quickstart_pipeline_smoke() {
+    let target = generators::triangulated_grid(4, 4);
+    let pattern = Pattern::triangle();
+    let query = SubgraphIsomorphism::with_config(
+        pattern.clone(),
+        QueryConfig { seed: 42, ..QueryConfig::default() },
+    );
+
+    // decide: a triangulated grid clearly contains triangles
+    assert!(query.decide(&target));
+
+    // find: the returned mapping is a genuine occurrence
+    let occ = query.find_one(&target).expect("triangle exists");
+    assert!(planar_subiso::verify_occurrence(&pattern, &target, &occ));
+
+    // list + count: agree with the exact backtracking oracle
+    let listed = query.list_all(&target);
+    let exact = ullmann_count(&pattern, &target);
+    assert_eq!(listed.len(), exact);
+    assert_eq!(query.count(&target), exact);
+
+    // a 4x4 triangulated grid has 2 triangles per unit square and no others;
+    // each image admits 3! = 6 mappings
+    let images = count_distinct_images(&listed);
+    assert_eq!(images, 2 * 3 * 3);
+    assert_eq!(listed.len(), images * 6);
+
+    // a triangle-free target answers "no" on every API entry point
+    let grid = generators::grid(4, 4);
+    assert!(!query.decide(&grid));
+    assert!(query.find_one(&grid).is_none());
+    assert_eq!(query.count(&grid), 0);
+}
+
+#[test]
+fn quickstart_is_deterministic_for_a_fixed_seed() {
+    let target = generators::triangulated_grid(4, 4);
+    let query = || {
+        SubgraphIsomorphism::with_config(
+            Pattern::triangle(),
+            QueryConfig { seed: 7, ..QueryConfig::default() },
+        )
+    };
+    assert_eq!(query().find_one(&target), query().find_one(&target));
+    assert_eq!(query().list_all(&target), query().list_all(&target));
+}

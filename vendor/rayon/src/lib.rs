@@ -1,0 +1,274 @@
+//! Minimal, dependency-free shim for the subset of the `rayon` API used by this
+//! workspace. The build container has no access to crates.io, so the workspace vendors
+//! this stand-in; the root manifest points the `rayon` dependency here.
+//!
+//! Everything executes **sequentially** on the calling thread. That preserves exact
+//! semantics (the workspace's parallel algorithms are all deterministic-merge style:
+//! they collect per-item results and combine them, or write through atomics), while
+//! giving up actual parallel speedup until the real crate is swapped back in. The
+//! `ParIter` adaptor set mirrors the rayon names the code uses (`flat_map_iter`,
+//! `find_map_any`, identity-taking `reduce`, …) so no call site changes.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that carries
+/// rayon-flavoured adaptor names. Implements [`Iterator`] so every std consumer
+/// (`collect`, `max`, `sum`, `for_each`, …) works unchanged; the inherent methods
+/// below shadow the std adaptors so chains like `.par_iter().enumerate().flat_map_iter(…)`
+/// stay inside `ParIter`.
+pub struct ParIter<I>(pub I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter(self.0.zip(other))
+    }
+
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// rayon's `flat_map_iter`: like `flat_map` but the produced iterators are consumed
+    /// serially. Identical to `flat_map` in this sequential shim.
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// rayon's identity-taking `reduce` (std's `reduce` takes no identity).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// rayon's `find_map_any`: any matching result is acceptable. Sequentially this is
+    /// simply the first one.
+    pub fn find_map_any<T, F: FnMut(I::Item) -> Option<T>>(self, f: F) -> Option<T> {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.find_map(&mut f)
+    }
+
+    pub fn find_any<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.find(&mut f)
+    }
+}
+
+/// Owned conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Shared-reference conversion (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type Item = <&'a T as IntoIterator>::Item;
+    type Iter = <&'a T as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Mutable-reference conversion (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoIterator,
+{
+    type Item = <&'a mut T as IntoIterator>::Item;
+    type Iter = <&'a mut T as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b` on the calling thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "worker threads" — always 1 in the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Stand-in thread pool: `install` just runs the closure on the calling thread.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_adaptor_chain() {
+        let v = vec![1u32, 2, 3, 4, 5];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+
+        let flat: Vec<u32> = v
+            .par_iter()
+            .enumerate()
+            .flat_map_iter(|(i, &x)| std::iter::repeat_n(x, i))
+            .collect();
+        assert_eq!(flat.len(), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let any_true = (0..10usize)
+            .into_par_iter()
+            .map(|x| x == 7)
+            .reduce(|| false, |a, b| a || b);
+        assert!(any_true);
+    }
+
+    #[test]
+    fn find_map_any_finds() {
+        let hit = (0..100usize)
+            .into_par_iter()
+            .find_map_any(|x| (x * x == 49).then_some(x));
+        assert_eq!(hit, Some(7));
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn join_and_pool() {
+        let (a, b) = super::join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 21 * 2), 42);
+    }
+}
