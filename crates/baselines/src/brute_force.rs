@@ -13,7 +13,10 @@ pub fn brute_force_vertex_connectivity(graph: &CsrGraph) -> usize {
     if !psi_graph::is_connected(graph) {
         return 0;
     }
-    assert!(n <= 24, "brute force connectivity is limited to tiny graphs");
+    assert!(
+        n <= 24,
+        "brute force connectivity is limited to tiny graphs"
+    );
     for size in 0..n - 1 {
         if some_cut_of_size(graph, size) {
             return size;
@@ -26,7 +29,8 @@ fn some_cut_of_size(graph: &CsrGraph, size: usize) -> bool {
     let n = graph.num_vertices();
     let mut subset: Vec<usize> = (0..size).collect();
     loop {
-        let removed: std::collections::HashSet<Vertex> = subset.iter().map(|&v| v as Vertex).collect();
+        let removed: std::collections::HashSet<Vertex> =
+            subset.iter().map(|&v| v as Vertex).collect();
         let mask: Vec<bool> = (0..n as Vertex).map(|v| !removed.contains(&v)).collect();
         let comps = psi_graph::connectivity::connected_components_masked(graph, Some(&mask));
         if comps.num_components >= 2 {

@@ -21,7 +21,10 @@ pub fn eppstein_sequential_decide(pattern: &Pattern, target: &CsrGraph) -> bool 
     if k > target.num_vertices() {
         return false;
     }
-    assert!(pattern.is_connected(), "the sequential cover handles connected patterns");
+    assert!(
+        pattern.is_connected(),
+        "the sequential cover handles connected patterns"
+    );
     let d = pattern.diameter();
     let n = target.num_vertices();
     let mut visited = vec![false; n];

@@ -22,7 +22,13 @@ struct Dinic {
 
 impl Dinic {
     fn new(n: usize) -> Self {
-        Dinic { graph: vec![Vec::new(); n], to: Vec::new(), cap: Vec::new(), level: vec![0; n], iter: vec![0; n] }
+        Dinic {
+            graph: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
     }
 
     fn add_edge(&mut self, from: usize, to: usize, cap: i64) {

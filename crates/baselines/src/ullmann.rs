@@ -51,12 +51,14 @@ impl<'a> Search<'a> {
             if self.used[t as usize] || self.target.degree(t) < pdeg {
                 continue;
             }
-            let consistent = self.pattern.neighbors(pv).iter().all(|&q| {
-                match self.mapping[q as usize] {
-                    Some(tq) => self.target.has_edge(t, tq),
-                    None => true,
-                }
-            });
+            let consistent =
+                self.pattern
+                    .neighbors(pv)
+                    .iter()
+                    .all(|&q| match self.mapping[q as usize] {
+                        Some(tq) => self.target.has_edge(t, tq),
+                        None => true,
+                    });
             if !consistent {
                 continue;
             }
@@ -121,7 +123,12 @@ mod tests {
     #[test]
     fn finds_verified_occurrences() {
         let g = generators::triangulated_grid(5, 5);
-        for p in [Pattern::triangle(), Pattern::cycle(4), Pattern::path(6), Pattern::clique(4)] {
+        for p in [
+            Pattern::triangle(),
+            Pattern::cycle(4),
+            Pattern::path(6),
+            Pattern::clique(4),
+        ] {
             if let Some(occ) = ullmann_find(&p, &g) {
                 assert!(verify_occurrence(&p, &g, &occ));
             }
@@ -133,8 +140,19 @@ mod tests {
     #[test]
     fn agrees_with_core_pipeline() {
         let g = generators::random_stacked_triangulation(50, 8);
-        for p in [Pattern::triangle(), Pattern::cycle(4), Pattern::cycle(5), Pattern::star(5), Pattern::clique(4)] {
-            assert_eq!(ullmann_decide(&p, &g), planar_subiso::decide(&p, &g), "k={}", p.k());
+        for p in [
+            Pattern::triangle(),
+            Pattern::cycle(4),
+            Pattern::cycle(5),
+            Pattern::star(5),
+            Pattern::clique(4),
+        ] {
+            assert_eq!(
+                ullmann_decide(&p, &g),
+                planar_subiso::decide(&p, &g),
+                "k={}",
+                p.k()
+            );
         }
     }
 

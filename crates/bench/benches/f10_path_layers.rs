@@ -1,11 +1,11 @@
 //! F10 — Lemma 3.2: decomposing trees into layered paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use psi_treedecomp::path_layers::RootedTree;
 use psi_treedecomp::{layer_numbers, layer_numbers_parallel, tree_into_paths};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 fn random_tree(n: usize, seed: u64) -> RootedTree {
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -1,9 +1,9 @@
 //! F1 — Theorem 2.4: construction cost of the parallel treewidth k-d cover.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use planar_subiso::build_cover;
 use psi_bench::target_with_n;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f1_cover");

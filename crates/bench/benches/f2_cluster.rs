@@ -1,9 +1,9 @@
 //! F2 — Lemma 2.3: exponential start time clustering, sequential vs. parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use psi_bench::target_with_n;
 use psi_cluster::{cluster, cluster_parallel};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f2_cluster");
@@ -12,12 +12,16 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for n in [16384usize, 65536] {
         let g = target_with_n(n);
-        group.bench_with_input(BenchmarkId::new("sequential", g.num_vertices()), &g, |b, g| {
-            b.iter(|| cluster(g, 8.0, 3))
-        });
-        group.bench_with_input(BenchmarkId::new("parallel", g.num_vertices()), &g, |b, g| {
-            b.iter(|| cluster_parallel(g, 8.0, 3))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential", g.num_vertices()),
+            &g,
+            |b, g| b.iter(|| cluster(g, 8.0, 3)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", g.num_vertices()),
+            &g,
+            |b, g| b.iter(|| cluster_parallel(g, 8.0, 3)),
+        );
     }
     group.finish();
 }

@@ -1,9 +1,9 @@
 //! F3 — Theorem 2.1: near-linear work scaling in the target size n.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use planar_subiso::{Pattern, SubgraphIsomorphism};
 use psi_bench::{size_sweep, target_with_n};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f3_scaling_n");

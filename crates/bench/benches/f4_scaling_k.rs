@@ -1,9 +1,9 @@
 //! F4 — Corollary 2.2: dependence of the work on the pattern size k.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use planar_subiso::{Pattern, SubgraphIsomorphism};
 use psi_bench::target_with_n;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f4_scaling_k");
@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     let g = target_with_n(4096);
     for k in 3..=7usize {
         let query = SubgraphIsomorphism::new(Pattern::cycle(k));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| b.iter(|| query.decide(g)));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            b.iter(|| query.decide(g))
+        });
     }
     group.finish();
 }

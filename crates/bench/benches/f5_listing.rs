@@ -1,8 +1,8 @@
 //! F5 — Theorem 4.2: listing all occurrences; cost grows with the occurrence count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use planar_subiso::{Pattern, SubgraphIsomorphism};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f5_listing");

@@ -1,8 +1,8 @@
 //! F6 — Lemma 4.1: overhead of disconnected patterns (colour coding).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use planar_subiso::{Pattern, SubgraphIsomorphism};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f6_disconnected");
@@ -12,8 +12,14 @@ fn bench(c: &mut Criterion) {
     let g = psi_graph::generators::triangulated_grid(32, 32);
     let patterns: Vec<(&str, Pattern)> = vec![
         ("1_component_triangle", Pattern::triangle()),
-        ("2_components_edges", Pattern::from_edges(4, &[(0, 1), (2, 3)])),
-        ("2_components_triangle_edge", Pattern::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)])),
+        (
+            "2_components_edges",
+            Pattern::from_edges(4, &[(0, 1), (2, 3)]),
+        ),
+        (
+            "2_components_triangle_edge",
+            Pattern::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]),
+        ),
     ];
     for (name, p) in patterns {
         let query = SubgraphIsomorphism::new(p);

@@ -1,10 +1,10 @@
 //! F7 — Lemma 5.2: planar vertex connectivity vs. the max-flow baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use planar_subiso::{vertex_connectivity, ConnectivityMode};
 use psi_baselines::flow_vertex_connectivity;
 use psi_planar::generators as pg;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f7_connectivity");

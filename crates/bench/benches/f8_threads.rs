@@ -1,9 +1,9 @@
 //! F8 — depth proxy: strong scaling of the decision pipeline over rayon threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use planar_subiso::{Pattern, SubgraphIsomorphism};
-use psi_bench::target_with_n;
+use psi_bench::{f8_thread_sweep, target_with_n};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f8_threads");
@@ -12,14 +12,14 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     let g = target_with_n(16_384);
     let query = SubgraphIsomorphism::new(Pattern::cycle(4));
-    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let mut threads = 1usize;
-    while threads <= max_threads {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+    for threads in f8_thread_sweep() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(threads), &g, |b, g| {
             b.iter(|| pool.install(|| query.decide(g)))
         });
-        threads *= 2;
     }
     group.finish();
 }

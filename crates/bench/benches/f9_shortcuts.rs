@@ -1,9 +1,9 @@
 //! F9 — Lemma 3.3 ablation: path-parallel DP with and without shortcuts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use planar_subiso::{run_parallel, ParallelDpConfig, Pattern};
 use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f9_shortcuts");
@@ -16,10 +16,28 @@ fn bench(c: &mut Criterion) {
         let td = min_degree_decomposition(&g);
         let btd = BinaryTreeDecomposition::from_decomposition(&td);
         group.bench_with_input(BenchmarkId::new("with_shortcuts", n), &btd, |b, btd| {
-            b.iter(|| run_parallel(&g, &pattern, btd, ParallelDpConfig { use_shortcuts: true }))
+            b.iter(|| {
+                run_parallel(
+                    &g,
+                    &pattern,
+                    btd,
+                    ParallelDpConfig {
+                        use_shortcuts: true,
+                    },
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("without_shortcuts", n), &btd, |b, btd| {
-            b.iter(|| run_parallel(&g, &pattern, btd, ParallelDpConfig { use_shortcuts: false }))
+            b.iter(|| {
+                run_parallel(
+                    &g,
+                    &pattern,
+                    btd,
+                    ParallelDpConfig {
+                        use_shortcuts: false,
+                    },
+                )
+            })
         });
     }
     group.finish();

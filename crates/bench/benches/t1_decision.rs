@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
         // statistical guarantee of the full O(log n) repetitions is exercised in tests.
         let query = SubgraphIsomorphism::with_config(
             pattern.clone(),
-            QueryConfig { repetitions: Some(8), ..QueryConfig::default() },
+            QueryConfig {
+                repetitions: Some(8),
+                ..QueryConfig::default()
+            },
         );
         group.bench_with_input(BenchmarkId::new("this_paper", name), &g, |b, g| {
             b.iter(|| query.decide(g))

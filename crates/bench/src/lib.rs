@@ -32,6 +32,25 @@ pub fn size_sweep(max_n: usize) -> Vec<usize> {
     sizes
 }
 
+/// Thread counts for the F8 strong-scaling sweep: powers of two up to the host's
+/// available parallelism, but always at least up to 4 — oversubscription costs little
+/// and proves the pool schedules real workers even on small hosts (CI pins the same
+/// range via its `PSI_THREADS` matrix). Shared by the F8 Criterion bench and the
+/// `experiments` binary so the two surfaces cannot drift.
+pub fn f8_thread_sweep() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let max_threads = cores.max(4);
+    let mut sweep = Vec::new();
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        sweep.push(threads);
+        threads *= 2;
+    }
+    sweep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

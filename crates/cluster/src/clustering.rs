@@ -69,7 +69,12 @@ impl Clustering {
                     m
                 };
                 let t = psi_graph::bfs::bfs_restricted(graph, center, |v| in_cluster[v as usize]);
-                members.iter().map(|&v| t.dist[v as usize]).filter(|&d| d != u32::MAX).max().unwrap_or(0)
+                members
+                    .iter()
+                    .map(|&v| t.dist[v as usize])
+                    .filter(|&d| d != u32::MAX)
+                    .max()
+                    .unwrap_or(0)
             })
             .max()
             .unwrap_or(0)
@@ -106,7 +111,11 @@ impl PartialOrd for HeapEntry {
 
 fn assemble(center: Vec<Vertex>, arrival: Vec<f64>) -> Clustering {
     let n = center.len();
-    let mut cluster_ids: Vec<Vertex> = center.iter().copied().filter(|&c| c != INVALID_VERTEX).collect();
+    let mut cluster_ids: Vec<Vertex> = center
+        .iter()
+        .copied()
+        .filter(|&c| c != INVALID_VERTEX)
+        .collect();
     cluster_ids.sort_unstable();
     cluster_ids.dedup();
     let mut dense = std::collections::HashMap::with_capacity(cluster_ids.len());
@@ -130,7 +139,12 @@ fn assemble(center: Vec<Vertex>, arrival: Vec<f64>) -> Clustering {
             clusters[id as usize].push(v as Vertex);
         }
     }
-    Clustering { center, cluster_of, clusters, arrival }
+    Clustering {
+        center,
+        cluster_of,
+        clusters,
+        arrival,
+    }
 }
 
 /// Exact exponential start time β-clustering (sequential shifted Dijkstra reference).
@@ -152,7 +166,12 @@ pub fn cluster(graph: &CsrGraph, beta: f64, seed: u64) -> Clustering {
             center: v as Vertex,
         });
     }
-    while let Some(HeapEntry { arrival: a, vertex: v, center: c }) = heap.pop() {
+    while let Some(HeapEntry {
+        arrival: a,
+        vertex: v,
+        center: c,
+    }) = heap.pop()
+    {
         if center[v as usize] != INVALID_VERTEX {
             continue;
         }
@@ -160,7 +179,11 @@ pub fn cluster(graph: &CsrGraph, beta: f64, seed: u64) -> Clustering {
         arrival[v as usize] = a;
         for &w in graph.neighbors(v) {
             if center[w as usize] == INVALID_VERTEX {
-                heap.push(HeapEntry { arrival: a + 1.0, vertex: w, center: c });
+                heap.push(HeapEntry {
+                    arrival: a + 1.0,
+                    vertex: w,
+                    center: c,
+                });
             }
         }
     }
@@ -221,10 +244,17 @@ pub fn cluster_parallel(graph: &CsrGraph, beta: f64, seed: u64) -> Clustering {
             .unwrap_or_default();
 
         // Keep, per vertex, the best candidate (same tie-breaking as the heap version:
-        // smaller arrival, then smaller centre id).
-        let mut best: std::collections::HashMap<Vertex, (f64, Vertex)> = std::collections::HashMap::new();
+        // smaller arrival, then smaller centre id). The explicit tie-break makes the
+        // winner independent of candidate order, and a BTreeMap makes the iteration
+        // below — and hence the next frontier — deterministic under the real thread
+        // pool (a HashMap would randomize it per process).
+        let mut best: std::collections::BTreeMap<Vertex, (f64, Vertex)> =
+            std::collections::BTreeMap::new();
         for (a, v, c) in from_centers.into_iter().chain(from_frontier) {
-            debug_assert!(a + 1e-9 >= round as f64, "candidate arrival {a} before round {round}");
+            debug_assert!(
+                a + 1e-9 >= round as f64,
+                "candidate arrival {a} before round {round}"
+            );
             match best.get_mut(&v) {
                 None => {
                     best.insert(v, (a, c));

@@ -37,7 +37,10 @@ mod tests {
         let beta = 6.0;
         let s = exponential_shifts(200_000, beta, 11);
         let mean = s.iter().sum::<f64>() / s.len() as f64;
-        assert!((mean - beta).abs() < 0.15 * beta, "mean {mean} too far from {beta}");
+        assert!(
+            (mean - beta).abs() < 0.15 * beta,
+            "mean {mean} too far from {beta}"
+        );
     }
 
     #[test]

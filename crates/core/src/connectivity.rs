@@ -45,22 +45,38 @@ pub struct ConnectivityResult {
 }
 
 /// Computes the vertex connectivity of an embedded planar graph.
-pub fn vertex_connectivity(embedding: &Embedding, mode: ConnectivityMode, seed: u64) -> ConnectivityResult {
+pub fn vertex_connectivity(
+    embedding: &Embedding,
+    mode: ConnectivityMode,
+    seed: u64,
+) -> ConnectivityResult {
     let g = &embedding.graph;
     let n = g.num_vertices();
     // Degenerate and tiny cases: the definition requires at least c + 1 vertices.
     if n <= 1 {
-        return ConnectivityResult { connectivity: 0, cut: Vec::new() };
+        return ConnectivityResult {
+            connectivity: 0,
+            cut: Vec::new(),
+        };
     }
     if !psi_graph::is_connected(g) {
-        return ConnectivityResult { connectivity: 0, cut: Vec::new() };
+        return ConnectivityResult {
+            connectivity: 0,
+            cut: Vec::new(),
+        };
     }
     if n == 2 {
-        return ConnectivityResult { connectivity: 1, cut: Vec::new() };
+        return ConnectivityResult {
+            connectivity: 1,
+            cut: Vec::new(),
+        };
     }
     let aps = psi_graph::articulation_points(g);
     if let Some(&a) = aps.first() {
-        return ConnectivityResult { connectivity: 1, cut: vec![a] };
+        return ConnectivityResult {
+            connectivity: 1,
+            cut: vec![a],
+        };
     }
     // G is 2-connected from here on; Lemma 5.1 applies.
     let fv = face_vertex_graph(embedding);
@@ -76,12 +92,16 @@ pub fn vertex_connectivity(embedding: &Embedding, mode: ConnectivityMode, seed: 
         let cycle = Pattern::cycle(2 * c);
         let witness = match mode {
             ConnectivityMode::WholeGraph => {
-                let inst = SeparatingInstance { graph: &fv.graph, in_s: &in_s, allowed: &allowed };
-                find_separating_occurrence(&inst, &cycle)
-                    .map(|occ| fv.original_vertices_of(&occ))
+                let inst = SeparatingInstance {
+                    graph: &fv.graph,
+                    in_s: &in_s,
+                    allowed: &allowed,
+                };
+                find_separating_occurrence(&inst, &cycle).map(|occ| fv.original_vertices_of(&occ))
             }
             ConnectivityMode::Cover { repetitions } => {
-                search_with_cover(&fv.graph, &in_s, &cycle, repetitions, seed).map(|occ| fv.original_vertices_of(&occ))
+                search_with_cover(&fv.graph, &in_s, &cycle, repetitions, seed)
+                    .map(|occ| fv.original_vertices_of(&occ))
             }
         };
         if let Some(cut) = witness {
@@ -91,12 +111,22 @@ pub fn vertex_connectivity(embedding: &Embedding, mode: ConnectivityMode, seed: 
             // cut of G, but not always (e.g. a 4-cycle through two adjacent vertices of
             // a plain cycle graph isolates the face vertices of G' without cutting G).
             // Report the witness only when it verifies.
-            let cut = if is_vertex_cut(g, &cut) { cut } else { Vec::new() };
-            return ConnectivityResult { connectivity: c, cut };
+            let cut = if is_vertex_cut(g, &cut) {
+                cut
+            } else {
+                Vec::new()
+            };
+            return ConnectivityResult {
+                connectivity: c,
+                cut,
+            };
         }
     }
     // No separating cycle of length <= 8: the graph is min(5, n - 1)-connected.
-    ConnectivityResult { connectivity: 5.min(n - 1), cut: Vec::new() }
+    ConnectivityResult {
+        connectivity: 5.min(n - 1),
+        cut: Vec::new(),
+    }
 }
 
 /// Runs the separating-cycle search through the randomised separating cover.
@@ -110,13 +140,19 @@ fn search_with_cover(
     let k = cycle.k();
     let d = cycle.diameter();
     for round in 0..repetitions.max(1) {
-        let round_seed = seed.wrapping_add(round as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let round_seed = seed
+            .wrapping_add(round as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15);
         let (pieces, _clustering) = build_separating_cover(g_prime, k, d, in_s, round_seed);
         let hit = pieces
             .par_iter()
             .filter(|p| p.graph.num_vertices() >= k)
             .find_map_any(|piece| {
-                let inst = SeparatingInstance { graph: &piece.graph, in_s: &piece.in_s, allowed: &piece.allowed };
+                let inst = SeparatingInstance {
+                    graph: &piece.graph,
+                    in_s: &piece.in_s,
+                    allowed: &piece.allowed,
+                };
                 find_separating_occurrence(&inst, cycle).map(|occ| {
                     occ.into_iter()
                         .map(|v| piece.original_of[v as usize])
@@ -161,7 +197,10 @@ mod tests {
         ]);
         let walk: Vec<Vertex> = vec![0, 1, 2];
         let walk2: Vec<Vertex> = vec![3, 4, 5];
-        let e = Embedding::new(two_triangles, vec![walk.clone(), walk, walk2.clone(), walk2]);
+        let e = Embedding::new(
+            two_triangles,
+            vec![walk.clone(), walk, walk2.clone(), walk2],
+        );
         assert_eq!(conn(&e), 0);
 
         // a path has an articulation point
@@ -238,7 +277,8 @@ mod tests {
     fn cover_mode_agrees_with_whole_graph_mode() {
         for e in [pg::cycle_embedded(10), pg::wheel_embedded(7)] {
             let whole = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 3).connectivity;
-            let cover = vertex_connectivity(&e, ConnectivityMode::Cover { repetitions: 12 }, 3).connectivity;
+            let cover = vertex_connectivity(&e, ConnectivityMode::Cover { repetitions: 12 }, 3)
+                .connectivity;
             assert_eq!(whole, cover);
         }
     }

@@ -19,7 +19,9 @@
 //! separating (Figure 7); merged vertices are excluded from the allowed image set.
 
 use psi_cluster::{cluster_parallel, Clustering};
-use psi_graph::{induced_subgraph, CsrGraph, GraphBuilder, InducedSubgraph, Vertex, INVALID_VERTEX};
+use psi_graph::{
+    induced_subgraph, CsrGraph, GraphBuilder, InducedSubgraph, Vertex, INVALID_VERTEX,
+};
 use rayon::prelude::*;
 
 /// One subgraph of the k-d cover.
@@ -64,7 +66,12 @@ impl Cover {
     /// Whether some piece contains all the given (global) vertices.
     pub fn some_piece_contains(&self, vertices: &[Vertex]) -> bool {
         self.pieces.iter().any(|p| {
-            vertices.iter().all(|&v| p.sub.global_to_local.get(v as usize).is_some_and(|&l| l != INVALID_VERTEX))
+            vertices.iter().all(|&v| {
+                p.sub
+                    .global_to_local
+                    .get(v as usize)
+                    .is_some_and(|&l| l != INVALID_VERTEX)
+            })
         })
     }
 }
@@ -87,7 +94,11 @@ pub fn build_cover(graph: &CsrGraph, k: usize, d: usize, seed: u64) -> Cover {
             cover_one_cluster(graph, members, cid as u32, d).into_iter()
         })
         .collect();
-    Cover { pieces, clustering, window }
+    Cover {
+        pieces,
+        clustering,
+        window,
+    }
 }
 
 fn cover_one_cluster(graph: &CsrGraph, members: &[Vertex], cid: u32, d: usize) -> Vec<CoverPiece> {
@@ -161,7 +172,8 @@ pub fn build_separating_cover(
         .par_iter()
         .enumerate()
         .flat_map_iter(|(cid, members)| {
-            separating_cover_one_cluster(graph, members, &cluster_of, cid as u32, d, in_s).into_iter()
+            separating_cover_one_cluster(graph, members, &cluster_of, cid as u32, d, in_s)
+                .into_iter()
         })
         .collect();
     (pieces, clustering)
@@ -194,7 +206,8 @@ fn separating_cover_one_cluster(
     for (i, &v) in members.iter().enumerate() {
         local_of[v as usize] = i as Vertex;
     }
-    let mut neighbour_cluster_local: std::collections::HashMap<u32, Vertex> = std::collections::HashMap::new();
+    let mut neighbour_cluster_local: std::collections::HashMap<u32, Vertex> =
+        std::collections::HashMap::new();
     let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
     let mut next_local = members.len() as Vertex;
     for &v in members {
@@ -335,7 +348,10 @@ mod tests {
             }
         }
         // Theorem 2.4 promises >= 1/2; allow statistical slack over 40 trials.
-        assert!(hits * 5 >= trials * 2, "retention {hits}/{trials} far below 1/2");
+        assert!(
+            hits * 5 >= trials * 2,
+            "retention {hits}/{trials} far below 1/2"
+        );
     }
 
     #[test]

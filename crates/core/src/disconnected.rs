@@ -27,8 +27,9 @@ pub fn find_one_disconnected(
     target: &CsrGraph,
     config: &QueryConfig,
 ) -> Option<Vec<Vertex>> {
-    let components: Vec<(Pattern, Vec<Vertex>)> =
-        (0..pattern.components().len()).map(|i| pattern.component_pattern(i)).collect();
+    let components: Vec<(Pattern, Vec<Vertex>)> = (0..pattern.components().len())
+        .map(|i| pattern.component_pattern(i))
+        .collect();
     let l = components.len();
     if l <= 1 {
         // connected (or empty) pattern: defer to the main pipeline
@@ -47,8 +48,9 @@ pub fn find_one_disconnected(
             .par_iter()
             .enumerate()
             .map(|(i, (comp, comp_map))| {
-                let verts: Vec<Vertex> =
-                    (0..n as Vertex).filter(|&v| colors[v as usize] == i).collect();
+                let verts: Vec<Vertex> = (0..n as Vertex)
+                    .filter(|&v| colors[v as usize] == i)
+                    .collect();
                 if verts.len() < comp.k() {
                     return None;
                 }

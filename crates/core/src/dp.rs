@@ -52,7 +52,11 @@ pub struct NodeTable {
 
 impl NodeTable {
     fn new(track: bool) -> Self {
-        NodeTable { states: Vec::new(), index: HashMap::new(), derivations: track.then(Vec::new) }
+        NodeTable {
+            states: Vec::new(),
+            index: HashMap::new(),
+            derivations: track.then(Vec::new),
+        }
     }
 
     /// Inserts a state (merging derivations when it already exists); returns its index.
@@ -95,7 +99,9 @@ impl NodeTable {
 
     /// Indices of complete states (no unmatched pattern vertex).
     pub fn complete_states(&self) -> Vec<u32> {
-        (0..self.states.len() as u32).filter(|&i| self.states[i as usize].is_complete()).collect()
+        (0..self.states.len() as u32)
+            .filter(|&i| self.states[i as usize].is_complete())
+            .collect()
     }
 }
 
@@ -115,7 +121,11 @@ pub fn lift(state: &MatchState, parent_bag: &[Vertex], pattern: &Pattern) -> Opt
                     // Pattern vertex i is forgotten here: every pattern neighbour must
                     // already be matched, otherwise the edge towards it can never be
                     // realised (the bag separates the image from the rest of the graph).
-                    if pattern.neighbors(i).iter().any(|&b| state.is_unmatched(b as usize)) {
+                    if pattern
+                        .neighbors(i)
+                        .iter()
+                        .any(|&b| state.is_unmatched(b as usize))
+                    {
                         return None;
                     }
                     words.push(ST_IN_CHILD);
@@ -129,7 +139,12 @@ pub fn lift(state: &MatchState, parent_bag: &[Vertex], pattern: &Pattern) -> Opt
 /// Joins two lifted child states at a common parent. Returns `None` if they are
 /// incompatible (disagree on a mapping, both claim a vertex below themselves, break
 /// injectivity, or miss a pattern edge).
-pub fn join(a: &MatchState, b: &MatchState, pattern: &Pattern, graph: &CsrGraph) -> Option<MatchState> {
+pub fn join(
+    a: &MatchState,
+    b: &MatchState,
+    pattern: &Pattern,
+    graph: &CsrGraph,
+) -> Option<MatchState> {
     let k = a.k();
     debug_assert_eq!(k, b.k());
     let mut words = Vec::with_capacity(k);
@@ -214,7 +229,10 @@ pub fn extend_all<F: FnMut(MatchState)>(
             let mut ok = true;
             for &b in pattern.neighbors(i) {
                 let b = b as usize;
-                debug_assert!(!current.is_in_child(b), "extension next to a forgotten vertex");
+                debug_assert!(
+                    !current.is_in_child(b),
+                    "extension next to a forgotten vertex"
+                );
                 if let Some(tb) = current.mapped(b) {
                     if !graph.has_edge(t, tb) {
                         ok = false;
@@ -263,7 +281,8 @@ pub fn compute_node(
             // lever keeping the join quadratic blow-up in check. With tracking enabled
             // every (left, right) pair must be kept so listing stays exact.
             let lift_side = |side: &NodeTable| -> Vec<(u32, MatchState)> {
-                let mut seen: std::collections::HashSet<MatchState> = std::collections::HashSet::new();
+                let mut seen: std::collections::HashSet<MatchState> =
+                    std::collections::HashSet::new();
                 side.states
                     .iter()
                     .enumerate()
@@ -276,7 +295,10 @@ pub fn compute_node(
             for (li, ls) in &lifted_left {
                 for (ri, rs) in &lifted_right {
                     if let Some(joined) = join(ls, rs, pattern, graph) {
-                        let derivation = Derivation::Join { left: *li, right: *ri };
+                        let derivation = Derivation::Join {
+                            left: *li,
+                            right: *ri,
+                        };
                         extend_all(&joined, bag, pattern, graph, &mut |s| {
                             table.insert(s, derivation);
                         });
@@ -319,12 +341,23 @@ pub fn run_sequential(
         let bag = &btd.bags[node];
         let table = match btd.children[node] {
             None => compute_node(bag, graph, pattern, None, None, track),
-            Some([l, r]) => compute_node(bag, graph, pattern, Some(&tables[l]), Some(&tables[r]), track),
+            Some([l, r]) => compute_node(
+                bag,
+                graph,
+                pattern,
+                Some(&tables[l]),
+                Some(&tables[r]),
+                track,
+            ),
         };
         tables[node] = table;
     }
     let total_states = tables.iter().map(|t| t.len()).sum();
-    DpResult { tables, root: btd.root, total_states }
+    DpResult {
+        tables,
+        root: btd.root,
+        total_states,
+    }
 }
 
 /// Reconstructs occurrences (full pattern → target mappings) from a DP run with
@@ -347,7 +380,9 @@ pub fn recover_occurrences(
         }
         assignments_memo(result, btd, result.root, root_state, limit, &mut memo);
         // root entries are never read again; move them out instead of cloning
-        let partials = memo.remove(&(result.root, root_state)).expect("just computed");
+        let partials = memo
+            .remove(&(result.root, root_state))
+            .expect("just computed");
         for p in partials {
             debug_assert!(p.iter().all(|&w| w != ST_UNMATCHED));
             out.push(p);
@@ -452,7 +487,11 @@ mod tests {
     use psi_graph::generators;
     use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
 
-    fn dp_with_btd(graph: &CsrGraph, pattern: &Pattern, track: bool) -> (DpResult, BinaryTreeDecomposition) {
+    fn dp_with_btd(
+        graph: &CsrGraph,
+        pattern: &Pattern,
+        track: bool,
+    ) -> (DpResult, BinaryTreeDecomposition) {
         let td = min_degree_decomposition(graph);
         let btd = BinaryTreeDecomposition::from_decomposition(&td);
         (run_sequential(graph, pattern, &btd, track), btd)
@@ -580,7 +619,7 @@ mod tests {
         let e1 = MatchState::from_raw(vec![0, ST_UNMATCHED]);
         let e2 = MatchState::from_raw(vec![ST_UNMATCHED, 2]);
         assert!(join(&e1, &e2, &p, &g).is_none()); // 0 and 2 not adjacent in the path target
-        // injectivity
+                                                   // injectivity
         let f1 = MatchState::from_raw(vec![1, ST_UNMATCHED]);
         let f2 = MatchState::from_raw(vec![ST_UNMATCHED, 1]);
         assert!(join(&f1, &f2, &p, &g).is_none());

@@ -44,7 +44,9 @@ pub struct ParallelDpConfig {
 
 impl Default for ParallelDpConfig {
     fn default() -> Self {
-        ParallelDpConfig { use_shortcuts: true }
+        ParallelDpConfig {
+            use_shortcuts: true,
+        }
     }
 }
 
@@ -85,6 +87,11 @@ pub fn run_parallel(
     // Tables are filled in layer order; within a layer the paths only depend on tables
     // of strictly lower layers, so they can be processed in parallel. We use an
     // interior-mutability-free pattern: collect each layer's results and merge.
+    //
+    // Determinism under the real thread pool: `collect` on a parallel iterator merges
+    // chunk results in source order (the shim's combine tree mirrors its split tree),
+    // so `results` is ordered by `layer_paths` position no matter which worker ran
+    // which path, and the sequential merge below visits tables in a fixed order.
     let mut tables: Vec<Option<NodeTable>> = vec![None; num_nodes];
     // (path index, tables of the path's nodes, rounds the path needed)
     type PathResult = (usize, Vec<(usize, NodeTable)>, usize);
@@ -93,7 +100,8 @@ pub fn run_parallel(
             .par_iter()
             .map(|&pidx| {
                 let path = &pd.paths[pidx];
-                let (node_tables, rounds) = process_path(graph, pattern, btd, path, &tables, config);
+                let (node_tables, rounds) =
+                    process_path(graph, pattern, btd, path, &tables, config);
                 (pidx, node_tables, rounds)
             })
             .collect();
@@ -104,9 +112,19 @@ pub fn run_parallel(
             }
         }
     }
-    let tables: Vec<NodeTable> = tables.into_iter().map(|t| t.expect("all nodes processed")).collect();
+    let tables: Vec<NodeTable> = tables
+        .into_iter()
+        .map(|t| t.expect("all nodes processed"))
+        .collect();
     let total_states = tables.iter().map(|t| t.len()).sum();
-    (DpResult { tables, root: btd.root, total_states }, stats)
+    (
+        DpResult {
+            tables,
+            root: btd.root,
+            total_states,
+        },
+        stats,
+    )
 }
 
 /// Processes one path (bottom node first). Returns the tables of the path's nodes and
@@ -160,7 +178,9 @@ fn process_path(
     loop {
         rounds += 1;
         // Expansion: node m consumes delta[m-1]. Collect the raw outputs first (the
-        // expansion of different nodes is independent), then merge.
+        // expansion of different nodes is independent), then merge. As above, the
+        // parallel `collect` preserves the `(1..p)` order, so insertion order into the
+        // tables — and with it every table's state iteration order — is deterministic.
         let consumed: Vec<Vec<MatchState>> = std::mem::take(&mut delta);
         let expansions: Vec<(usize, Vec<MatchState>)> = (1..p)
             .into_par_iter()
@@ -174,7 +194,9 @@ fn process_path(
                     if let Some(lifted_child) = lift(child_state, bag, pattern) {
                         for off_state in &off.states {
                             if let Some(lifted_off) = lift(off_state, bag, pattern) {
-                                if let Some(joined) = join(&lifted_child, &lifted_off, pattern, graph) {
+                                if let Some(joined) =
+                                    join(&lifted_child, &lifted_off, pattern, graph)
+                                {
                                     extend_all(&joined, bag, pattern, graph, &mut |s| out.push(s));
                                 }
                             }
@@ -275,7 +297,13 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_on_grids() {
         let g = generators::grid(5, 5);
-        for pattern in [Pattern::cycle(4), Pattern::cycle(6), Pattern::triangle(), Pattern::path(7), Pattern::star(5)] {
+        for pattern in [
+            Pattern::cycle(4),
+            Pattern::cycle(6),
+            Pattern::triangle(),
+            Pattern::path(7),
+            Pattern::star(5),
+        ] {
             let (s, p, _) = both(&g, &pattern);
             assert_eq!(s, p, "disagreement for pattern with k={}", pattern.k());
         }
@@ -285,7 +313,12 @@ mod tests {
     fn parallel_matches_sequential_on_triangulations() {
         for seed in 0..3u64 {
             let g = generators::random_stacked_triangulation(40, seed);
-            for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::clique(5), Pattern::cycle(5)] {
+            for pattern in [
+                Pattern::triangle(),
+                Pattern::clique(4),
+                Pattern::clique(5),
+                Pattern::cycle(5),
+            ] {
                 let (s, p, _) = both(&g, &pattern);
                 assert_eq!(s, p, "seed {seed} k={}", pattern.k());
             }
@@ -318,8 +351,22 @@ mod tests {
         let pattern = Pattern::path(4);
         let td = min_degree_decomposition(&g);
         let btd = BinaryTreeDecomposition::from_decomposition(&td);
-        let (res_fast, fast) = run_parallel(&g, &pattern, &btd, ParallelDpConfig { use_shortcuts: true });
-        let (res_slow, slow) = run_parallel(&g, &pattern, &btd, ParallelDpConfig { use_shortcuts: false });
+        let (res_fast, fast) = run_parallel(
+            &g,
+            &pattern,
+            &btd,
+            ParallelDpConfig {
+                use_shortcuts: true,
+            },
+        );
+        let (res_slow, slow) = run_parallel(
+            &g,
+            &pattern,
+            &btd,
+            ParallelDpConfig {
+                use_shortcuts: false,
+            },
+        );
         assert_eq!(res_fast.found(), res_slow.found());
         assert!(res_fast.found());
         assert!(
@@ -331,7 +378,10 @@ mod tests {
             slow.max_rounds_per_path >= fast.max_rounds_per_path,
             "naive propagation should need at least as many rounds"
         );
-        assert!(slow.max_rounds_per_path > 3 * fast.max_rounds_per_path, "expected a large gap on a long path");
+        assert!(
+            slow.max_rounds_per_path > 3 * fast.max_rounds_per_path,
+            "expected a large gap on a long path"
+        );
     }
 
     #[test]

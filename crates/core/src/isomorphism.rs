@@ -40,7 +40,12 @@ pub struct QueryConfig {
 
 impl Default for QueryConfig {
     fn default() -> Self {
-        QueryConfig { seed: 0xC0FFEE, repetitions: None, strategy: DpStrategy::Sequential, whole_graph: false }
+        QueryConfig {
+            seed: 0xC0FFEE,
+            repetitions: None,
+            strategy: DpStrategy::Sequential,
+            whole_graph: false,
+        }
     }
 }
 
@@ -62,7 +67,10 @@ pub struct SubgraphIsomorphism {
 impl SubgraphIsomorphism {
     /// Creates a query with default configuration.
     pub fn new(pattern: Pattern) -> Self {
-        SubgraphIsomorphism { pattern, config: QueryConfig::default() }
+        SubgraphIsomorphism {
+            pattern,
+            config: QueryConfig::default(),
+        }
     }
 
     /// Creates a query with explicit configuration.
@@ -106,7 +114,11 @@ impl SubgraphIsomorphism {
         }
         let d = self.pattern.diameter();
         for round in 0..self.config.rounds(target.num_vertices()) {
-            let seed = self.config.seed.wrapping_add(round as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let seed = self
+                .config
+                .seed
+                .wrapping_add(round as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15);
             let cover = build_cover(target, k, d, seed);
             let hit = cover
                 .pieces
@@ -129,7 +141,8 @@ impl SubgraphIsomorphism {
         let btd = BinaryTreeDecomposition::from_decomposition(&td);
         let found = match self.config.strategy {
             DpStrategy::PathParallel => {
-                let (result, _) = run_parallel(graph, &self.pattern, &btd, ParallelDpConfig::default());
+                let (result, _) =
+                    run_parallel(graph, &self.pattern, &btd, ParallelDpConfig::default());
                 if !result.found() {
                     return None;
                 }
@@ -183,7 +196,9 @@ mod tests {
     fn check_planted_cycle(k: usize) {
         let (g, _planted) = generators::grid_with_planted_cycle(10, 10, k);
         let query = SubgraphIsomorphism::new(Pattern::cycle(k));
-        let occ = query.find_one(&g).unwrap_or_else(|| panic!("C{k} not found"));
+        let occ = query
+            .find_one(&g)
+            .unwrap_or_else(|| panic!("C{k} not found"));
         assert!(verify_occurrence(&Pattern::cycle(k), &g, &occ));
     }
 
@@ -214,11 +229,19 @@ mod tests {
     #[test]
     fn whole_graph_mode_matches_cover_mode() {
         let g = generators::random_stacked_triangulation(80, 3);
-        for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::cycle(4), Pattern::clique(5)] {
+        for pattern in [
+            Pattern::triangle(),
+            Pattern::clique(4),
+            Pattern::cycle(4),
+            Pattern::clique(5),
+        ] {
             let cover_ans = decide(&pattern, &g);
             let whole = SubgraphIsomorphism::with_config(
                 pattern.clone(),
-                QueryConfig { whole_graph: true, ..QueryConfig::default() },
+                QueryConfig {
+                    whole_graph: true,
+                    ..QueryConfig::default()
+                },
             )
             .decide(&g);
             assert_eq!(cover_ans, whole, "k={}", pattern.k());
@@ -232,7 +255,10 @@ mod tests {
             let seq = decide(&pattern, &g);
             let par = SubgraphIsomorphism::with_config(
                 pattern.clone(),
-                QueryConfig { strategy: DpStrategy::PathParallel, ..QueryConfig::default() },
+                QueryConfig {
+                    strategy: DpStrategy::PathParallel,
+                    ..QueryConfig::default()
+                },
             )
             .decide(&g);
             assert_eq!(seq, par);
@@ -253,7 +279,12 @@ mod tests {
     #[test]
     fn found_mappings_are_verified_occurrences() {
         let g = generators::random_stacked_triangulation(150, 9);
-        for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::star(4), Pattern::path(6)] {
+        for pattern in [
+            Pattern::triangle(),
+            Pattern::clique(4),
+            Pattern::star(4),
+            Pattern::path(6),
+        ] {
             if let Some(occ) = find_one(&pattern, &g) {
                 assert!(verify_occurrence(&pattern, &g, &occ));
             }

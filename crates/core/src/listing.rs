@@ -147,7 +147,10 @@ mod tests {
         let whole = list_all(
             &pattern,
             &g,
-            &QueryConfig { whole_graph: true, ..QueryConfig::default() },
+            &QueryConfig {
+                whole_graph: true,
+                ..QueryConfig::default()
+            },
         );
         assert_eq!(via_cover, whole);
     }

@@ -38,13 +38,22 @@ impl Pattern {
             (0..k as Vertex)
                 .map(|v| {
                     let t = psi_graph::bfs(&graph, v);
-                    (0..k).map(|u| t.dist[u]).filter(|&d| d != u32::MAX).max().unwrap_or(0)
+                    (0..k)
+                        .map(|u| t.dist[u])
+                        .filter(|&d| d != u32::MAX)
+                        .max()
+                        .unwrap_or(0)
                 })
                 .max()
                 .unwrap_or(0) as usize
         };
         let components = psi_graph::connected_components(&graph).components();
-        Pattern { graph, adj_mask, diameter, components }
+        Pattern {
+            graph,
+            adj_mask,
+            diameter,
+            components,
+        }
     }
 
     /// Builds a pattern from an edge list over `k` vertices.
@@ -102,7 +111,10 @@ impl Pattern {
 
     /// Pattern edges `(a, b)` with `a < b`.
     pub fn edges(&self) -> Vec<(usize, usize)> {
-        self.graph.edges().map(|(a, b)| (a as usize, b as usize)).collect()
+        self.graph
+            .edges()
+            .map(|(a, b)| (a as usize, b as usize))
+            .collect()
     }
 
     /// Extracts the sub-pattern induced by one connected component, together with the

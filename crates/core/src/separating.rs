@@ -106,7 +106,8 @@ pub fn find_separating_occurrence(
                     tables[child]
                         .iter()
                         .filter_map(|s| {
-                            lift(s, &btd.bags[child], bag, instance, pattern).map(|ls| (ls, s.clone()))
+                            lift(s, &btd.bags[child], bag, instance, pattern)
+                                .map(|ls| (ls, s.clone()))
                         })
                         .filter(|(ls, _)| seen.insert(ls.clone()))
                         .collect()
@@ -195,7 +196,11 @@ pub fn find_separating_occurrence(
 
 /// Enumerates the states of a leaf node (or the label/extension enumeration shared with
 /// interior nodes when starting from the all-unmatched base with no labels fixed).
-fn fresh_states(bag: &[Vertex], instance: &SeparatingInstance<'_>, pattern: &Pattern) -> Vec<SepState> {
+fn fresh_states(
+    bag: &[Vertex],
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+) -> Vec<SepState> {
     let joined = SepState {
         base: MatchState::all_unmatched(pattern.k()),
         labels: vec![u8::MAX; bag.len()].into_boxed_slice(),
@@ -253,7 +258,11 @@ fn lift(
                 if parent_bag.binary_search(&t).is_ok() {
                     words.push(t);
                 } else {
-                    if pattern.neighbors(i).iter().any(|&b| state.base.is_unmatched(b as usize)) {
+                    if pattern
+                        .neighbors(i)
+                        .iter()
+                        .any(|&b| state.base.is_unmatched(b as usize))
+                    {
                         return None;
                     }
                     words.push(ST_IN_CHILD);
@@ -270,7 +279,12 @@ fn lift(
             Err(_) => u8::MAX,
         })
         .collect();
-    Some(SepState { base: MatchState::from_raw(words), labels: labels.into_boxed_slice(), ix, ox })
+    Some(SepState {
+        base: MatchState::from_raw(words),
+        labels: labels.into_boxed_slice(),
+        ix,
+        ox,
+    })
 }
 
 /// Joins two lifted states at a common bag.
@@ -325,7 +339,14 @@ fn extend(
     let image_budget = joined.base.num_unmatched();
     let mut label_choices: Vec<Box<[u8]>> = Vec::new();
     let mut current = forced.clone();
-    enumerate_labels(0, &mut current, bag, instance, image_budget, &mut label_choices);
+    enumerate_labels(
+        0,
+        &mut current,
+        bag,
+        instance,
+        image_budget,
+        &mut label_choices,
+    );
 
     // Step 2: for each labelling, check the separation edge constraint and enumerate
     // pattern extensions into Image-labelled vertices.
@@ -348,10 +369,24 @@ fn extend(
         {
             continue;
         }
-        let base_state = SepState { base: joined.base.clone(), labels: labels.clone(), ix: joined.ix, ox: joined.ox };
-        crate::dp::extend_all(&joined.base, &allowed_targets, pattern, instance.graph, &mut |ms| {
-            out.push(SepState { base: ms, ..base_state.clone() });
-        });
+        let base_state = SepState {
+            base: joined.base.clone(),
+            labels: labels.clone(),
+            ix: joined.ix,
+            ox: joined.ox,
+        };
+        crate::dp::extend_all(
+            &joined.base,
+            &allowed_targets,
+            pattern,
+            instance.graph,
+            &mut |ms| {
+                out.push(SepState {
+                    base: ms,
+                    ..base_state.clone()
+                });
+            },
+        );
     }
     out
 }
@@ -428,7 +463,9 @@ fn edge_constraint_ok(labels: &[u8], bag: &[Vertex], graph: &CsrGraph) -> bool {
 /// and as a brute-force reference in tests.
 pub fn is_separating(graph: &CsrGraph, in_s: &[bool], occurrence: &[Vertex]) -> bool {
     let removed: HashSet<Vertex> = occurrence.iter().copied().collect();
-    let mask: Vec<bool> = (0..graph.num_vertices() as Vertex).map(|v| !removed.contains(&v)).collect();
+    let mask: Vec<bool> = (0..graph.num_vertices() as Vertex)
+        .map(|v| !removed.contains(&v))
+        .collect();
     let comps = psi_graph::connectivity::connected_components_masked(graph, Some(&mask));
     let mut with_s = HashSet::new();
     for v in 0..graph.num_vertices() {
@@ -454,7 +491,11 @@ mod tests {
         // In C6 itself, removing any occurrence of C6 removes everything: not separating.
         let g = generators::cycle(6);
         let in_s = all_true(6);
-        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(6) };
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &all_true(6),
+        };
         assert!(find_separating_occurrence(&inst, &Pattern::cycle(6)).is_none());
     }
 
@@ -465,11 +506,16 @@ mod tests {
         let g = generators::grid(4, 4);
         let n = g.num_vertices();
         let in_s = all_true(n);
-        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(n) };
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &all_true(n),
+        };
         // C4 (a unit square) never separates a 4x4 grid
         assert!(find_separating_occurrence(&inst, &Pattern::cycle(4)).is_none());
         // C8 around an interior vertex separates it from the boundary
-        let occ = find_separating_occurrence(&inst, &Pattern::cycle(8)).expect("separating C8 exists");
+        let occ =
+            find_separating_occurrence(&inst, &Pattern::cycle(8)).expect("separating C8 exists");
         assert!(verify_occurrence(&Pattern::cycle(8), &g, &occ));
         assert!(is_separating(&g, &in_s, &occ));
     }
@@ -481,7 +527,11 @@ mod tests {
         let mut in_s = vec![false; 5];
         in_s[0] = true;
         in_s[4] = true;
-        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(5) };
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &all_true(5),
+        };
         let occ = find_separating_occurrence(&inst, &Pattern::single_vertex()).expect("cut vertex");
         assert!(is_separating(&g, &in_s, &occ));
         assert_eq!(occ.len(), 1);
@@ -497,12 +547,20 @@ mod tests {
         // only vertex 3 is allowed: a single allowed vertex that separates 0 from 4
         let mut allowed = vec![false; 5];
         allowed[3] = true;
-        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &allowed };
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &allowed,
+        };
         let occ = find_separating_occurrence(&inst, &Pattern::single_vertex()).unwrap();
         assert_eq!(occ, vec![3]);
         // forbidding every interior vertex makes separation impossible
         let allowed_none = vec![false; 5];
-        let inst2 = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &allowed_none };
+        let inst2 = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &allowed_none,
+        };
         assert!(find_separating_occurrence(&inst2, &Pattern::single_vertex()).is_none());
     }
 
@@ -518,8 +576,13 @@ mod tests {
         let mut in_s = vec![false; 4];
         in_s[0] = true;
         in_s[3] = true;
-        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(4) };
-        let occ = find_separating_occurrence(&inst, &Pattern::path(2)).expect("edge {1,2} separates");
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &all_true(4),
+        };
+        let occ =
+            find_separating_occurrence(&inst, &Pattern::path(2)).expect("edge {1,2} separates");
         let mut set = occ.clone();
         set.sort_unstable();
         assert_eq!(set, vec![1, 2]);
@@ -535,7 +598,11 @@ mod tests {
         let mut in_s = vec![false; n];
         in_s[0] = true;
         in_s[1] = true;
-        let inst = SeparatingInstance { graph: &g, in_s: &in_s, allowed: &all_true(n) };
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &all_true(n),
+        };
         assert!(find_separating_occurrence(&inst, &Pattern::cycle(8)).is_none());
     }
 }

@@ -31,7 +31,11 @@ impl BfsTree {
 
     /// The largest finite distance (eccentricity of the root within its component).
     pub fn max_dist(&self) -> u32 {
-        self.order.iter().map(|&v| self.dist[v as usize]).max().unwrap_or(0)
+        self.order
+            .iter()
+            .map(|&v| self.dist[v as usize])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Vertices grouped by BFS level (level `i` at index `i`).
@@ -54,7 +58,11 @@ pub fn bfs(graph: &CsrGraph, root: Vertex) -> BfsTree {
 ///
 /// The root is always visited (even if `allowed(root)` is false the search starts there,
 /// matching the cover construction where the cluster root is a member by definition).
-pub fn bfs_restricted<F: Fn(Vertex) -> bool>(graph: &CsrGraph, root: Vertex, allowed: F) -> BfsTree {
+pub fn bfs_restricted<F: Fn(Vertex) -> bool>(
+    graph: &CsrGraph,
+    root: Vertex,
+    allowed: F,
+) -> BfsTree {
     let n = graph.num_vertices();
     let mut parent = vec![INVALID_VERTEX; n];
     let mut dist = vec![u32::MAX; n];
@@ -73,14 +81,25 @@ pub fn bfs_restricted<F: Fn(Vertex) -> bool>(graph: &CsrGraph, root: Vertex, all
             }
         }
     }
-    BfsTree { root, parent, dist, order }
+    BfsTree {
+        root,
+        parent,
+        dist,
+        order,
+    }
 }
 
 /// Level-synchronous parallel BFS restricted to a vertex mask.
 ///
 /// `mask[v]` decides whether `v` may be visited; pass `None` to search the whole graph.
 /// Each level expands its frontier with a parallel flat-map; visitation is claimed with
-/// an atomic test-and-set so every vertex is assigned exactly one parent.
+/// an atomic test-and-set so every vertex enters the next frontier exactly once.
+///
+/// The result is **deterministic** even under real parallelism: which thread wins a
+/// claim race only decides uniqueness, not the output. Each level's frontier is sorted
+/// by vertex id and every parent is re-derived as the smallest previous-level neighbor,
+/// so `order`, `dist`, and `parent` are identical across runs and thread counts (the
+/// downstream cover construction consumes `order` per level and relies on this).
 pub fn parallel_bfs(graph: &CsrGraph, root: Vertex, mask: Option<&[bool]>) -> BfsTree {
     let n = graph.num_vertices();
     let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
@@ -98,8 +117,8 @@ pub fn parallel_bfs(graph: &CsrGraph, root: Vertex, mask: Option<&[bool]>) -> Bf
         order.extend_from_slice(&frontier);
         level += 1;
         // Discover the next frontier in parallel; ties for a vertex are broken by the
-        // atomic swap, so exactly one discovering edge wins.
-        let next: Vec<(Vertex, Vertex)> = frontier
+        // atomic swap, so exactly one discovering edge wins the claim.
+        let mut next: Vec<(Vertex, Vertex)> = frontier
             .par_iter()
             .flat_map_iter(|&u| {
                 graph
@@ -111,14 +130,30 @@ pub fn parallel_bfs(graph: &CsrGraph, root: Vertex, mask: Option<&[bool]>) -> Bf
             })
             .filter(|&(v, _)| !visited[v as usize].swap(true, Ordering::Relaxed))
             .collect();
+        // The set of claimed vertices is deterministic; the claiming edge and the
+        // collect order are not (they depend on the race). Sort, then re-derive each
+        // parent as the smallest previous-level neighbor to fix both.
+        next.sort_unstable_by_key(|&(v, _)| v);
         frontier = Vec::with_capacity(next.len());
-        for (v, p) in next {
+        for (v, claimed_by) in next {
+            let p = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| dist[u as usize] == level - 1)
+                .min()
+                .unwrap_or(claimed_by);
             parent[v as usize] = p;
             dist[v as usize] = level;
             frontier.push(v);
         }
     }
-    BfsTree { root, parent, dist, order }
+    BfsTree {
+        root,
+        parent,
+        dist,
+        order,
+    }
 }
 
 /// Eccentricity of `root` (largest BFS distance) within its connected component.

@@ -119,8 +119,9 @@ pub fn biconnected_components(graph: &CsrGraph) -> Biconnectivity {
         comp_count += 1;
     }
 
-    let articulation_points: Vec<Vertex> =
-        (0..n as Vertex).filter(|&v| articulation[v as usize]).collect();
+    let articulation_points: Vec<Vertex> = (0..n as Vertex)
+        .filter(|&v| articulation[v as usize])
+        .collect();
     bridges.sort_unstable();
     bridges.dedup();
     Biconnectivity {

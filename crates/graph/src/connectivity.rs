@@ -64,7 +64,10 @@ pub fn connected_components_masked(graph: &CsrGraph, mask: Option<&[bool]>) -> C
         }
         next += 1;
     }
-    ComponentLabels { label, num_components: next as usize }
+    ComponentLabels {
+        label,
+        num_components: next as usize,
+    }
 }
 
 /// Whether the graph is connected (the empty graph counts as connected).
@@ -84,7 +87,10 @@ pub fn is_connected(graph: &CsrGraph) -> bool {
 pub fn parallel_connected_components(graph: &CsrGraph) -> ComponentLabels {
     let n = graph.num_vertices();
     if n == 0 {
-        return ComponentLabels { label: Vec::new(), num_components: 0 };
+        return ComponentLabels {
+            label: Vec::new(),
+            num_components: 0,
+        };
     }
     let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     loop {
@@ -105,6 +111,9 @@ pub fn parallel_connected_components(graph: &CsrGraph) -> ComponentLabels {
                 }
                 local_change
             })
+            // Audited for the shim's real-splitting `reduce` contract: `||` is
+            // associative and `false` is its identity, so the verdict is independent
+            // of how chunks are cut across workers.
             .reduce(|| false, |a, b| a || b);
         // Pointer-jumping style shortcut: propagate each label to its label's label.
         (0..n).into_par_iter().for_each(|u| {
@@ -129,7 +138,10 @@ fn densify(raw: Vec<u32>) -> ComponentLabels {
         label.push(id);
     }
     let num_components = remap.len();
-    ComponentLabels { label, num_components }
+    ComponentLabels {
+        label,
+        num_components,
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +188,11 @@ mod tests {
         // same partition (compare via pairs of representatives)
         for u in 0..40usize {
             for v in 0..40usize {
-                assert_eq!(s.label[u] == s.label[v], p.label[u] == p.label[v], "{u} {v}");
+                assert_eq!(
+                    s.label[u] == s.label[v],
+                    p.label[u] == p.label[v],
+                    "{u} {v}"
+                );
             }
         }
     }

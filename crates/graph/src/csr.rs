@@ -32,7 +32,10 @@ impl CsrGraph {
         let total: usize = adjacency.iter().map(|a| a.len()).sum();
         let mut neighbors = Vec::with_capacity(total);
         for (u, adj) in adjacency.into_iter().enumerate() {
-            debug_assert!(adj.windows(2).all(|w| w[0] < w[1]), "adjacency of {u} not sorted/deduped");
+            debug_assert!(
+                adj.windows(2).all(|w| w[0] < w[1]),
+                "adjacency of {u} not sorted/deduped"
+            );
             debug_assert!(adj.iter().all(|&v| (v as usize) < n && v as usize != u));
             neighbors.extend_from_slice(&adj);
             offsets.push(neighbors.len());
@@ -42,7 +45,10 @@ impl CsrGraph {
 
     /// An empty graph on `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        CsrGraph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -78,7 +84,11 @@ impl CsrGraph {
             return false;
         }
         // Search from the lower-degree endpoint.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -100,17 +110,25 @@ impl CsrGraph {
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v as Vertex)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as Vertex))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all vertices (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v as Vertex)).min().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as Vertex))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Collects the adjacency lists back into a vector-of-vectors (mostly for tests).
     pub fn to_adjacency(&self) -> Vec<Vec<Vertex>> {
-        (0..self.num_vertices()).map(|v| self.neighbors(v as Vertex).to_vec()).collect()
+        (0..self.num_vertices())
+            .map(|v| self.neighbors(v as Vertex).to_vec())
+            .collect()
     }
 
     /// The sum of degrees (`2m`); convenient for work estimates.
@@ -122,7 +140,12 @@ impl CsrGraph {
 
 impl fmt::Debug for CsrGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CsrGraph(n={}, m={})", self.num_vertices(), self.num_edges())
+        write!(
+            f,
+            "CsrGraph(n={}, m={})",
+            self.num_vertices(),
+            self.num_edges()
+        )
     }
 }
 

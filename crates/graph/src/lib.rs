@@ -28,9 +28,13 @@ pub mod union_find;
 pub mod view;
 
 pub use bfs::{bfs, bfs_restricted, parallel_bfs, BfsTree};
-pub use biconnectivity::{articulation_points, biconnected_components, is_biconnected, Biconnectivity};
+pub use biconnectivity::{
+    articulation_points, biconnected_components, is_biconnected, Biconnectivity,
+};
 pub use builder::GraphBuilder;
-pub use connectivity::{connected_components, is_connected, parallel_connected_components, ComponentLabels};
+pub use connectivity::{
+    connected_components, is_connected, parallel_connected_components, ComponentLabels,
+};
 pub use contraction::{contract_groups, ContractionResult};
 pub use csr::{CsrGraph, Vertex, INVALID_VERTEX};
 pub use spanning::{spanning_forest, SpanningForest};

@@ -45,12 +45,19 @@ pub fn spanning_forest(graph: &CsrGraph) -> SpanningForest {
             }
         }
     }
-    SpanningForest { edges, parent, num_trees }
+    SpanningForest {
+        edges,
+        parent,
+        num_trees,
+    }
 }
 
 /// A spanning tree of the subgraph induced by `vertices`, as an edge list over the
 /// original vertex ids. Returns `None` if the induced subgraph is not connected.
-pub fn spanning_tree_of_subset(graph: &CsrGraph, vertices: &[Vertex]) -> Option<Vec<(Vertex, Vertex)>> {
+pub fn spanning_tree_of_subset(
+    graph: &CsrGraph,
+    vertices: &[Vertex],
+) -> Option<Vec<(Vertex, Vertex)>> {
     if vertices.is_empty() {
         return Some(Vec::new());
     }

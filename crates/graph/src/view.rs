@@ -94,8 +94,12 @@ mod tests {
         let g = generators::cycle(6);
         let sub = induced_subgraph(&g, &[0, 1, 3, 4]);
         assert_eq!(sub.graph.num_edges(), 2); // edges (0,1) and (3,4) survive
-        assert!(sub.graph.has_edge(sub.to_local(0).unwrap(), sub.to_local(1).unwrap()));
-        assert!(!sub.graph.has_edge(sub.to_local(1).unwrap(), sub.to_local(3).unwrap()));
+        assert!(sub
+            .graph
+            .has_edge(sub.to_local(0).unwrap(), sub.to_local(1).unwrap()));
+        assert!(!sub
+            .graph
+            .has_edge(sub.to_local(1).unwrap(), sub.to_local(3).unwrap()));
     }
 
     #[test]

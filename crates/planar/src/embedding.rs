@@ -26,7 +26,9 @@ impl fmt::Display for EmbeddingError {
             EmbeddingError::WrongEdgeMultiplicity { u, v, count } => {
                 write!(f, "edge ({u},{v}) lies on {count} facial sides, expected 2")
             }
-            EmbeddingError::DegenerateFace { face } => write!(f, "face {face} has fewer than 3 vertices"),
+            EmbeddingError::DegenerateFace { face } => {
+                write!(f, "face {face} has fewer than 3 vertices")
+            }
             EmbeddingError::InconsistentEuler { n, m, f: faces } => {
                 write!(f, "Euler characteristic of n={n}, m={m}, f={faces} is not an even nonnegative genus")
             }
@@ -184,16 +186,28 @@ mod tests {
         let g = psi_graph::generators::cycle(4);
         // A face using a chord that is not an edge.
         let bad = Embedding::new(g.clone(), vec![vec![0, 1, 2], vec![0, 2, 3]]);
-        assert!(matches!(bad.validate(), Err(EmbeddingError::NonEdgeOnFace { .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(EmbeddingError::NonEdgeOnFace { .. })
+        ));
         // Missing the outer face: each edge appears only once.
         let bad2 = Embedding::new(g, vec![vec![0, 1, 2, 3]]);
-        assert!(matches!(bad2.validate(), Err(EmbeddingError::WrongEdgeMultiplicity { .. })));
+        assert!(matches!(
+            bad2.validate(),
+            Err(EmbeddingError::WrongEdgeMultiplicity { .. })
+        ));
     }
 
     #[test]
     fn euler_bound_filter() {
-        assert!(Embedding::passes_euler_bound(&psi_graph::generators::grid(5, 5)));
-        assert!(!Embedding::passes_euler_bound(&psi_graph::generators::complete(6)));
-        assert!(Embedding::passes_euler_bound(&psi_graph::generators::complete(2)));
+        assert!(Embedding::passes_euler_bound(&psi_graph::generators::grid(
+            5, 5
+        )));
+        assert!(!Embedding::passes_euler_bound(
+            &psi_graph::generators::complete(6)
+        ));
+        assert!(Embedding::passes_euler_bound(
+            &psi_graph::generators::complete(2)
+        ));
     }
 }

@@ -37,7 +37,11 @@ impl FaceVertexGraph {
     /// Maps a cycle of `G'` to the original vertices it passes through (the candidate
     /// vertex cut of `G`).
     pub fn original_vertices_of(&self, vertices: &[Vertex]) -> Vec<Vertex> {
-        let mut cut: Vec<Vertex> = vertices.iter().copied().filter(|&v| self.is_original(v)).collect();
+        let mut cut: Vec<Vertex> = vertices
+            .iter()
+            .copied()
+            .filter(|&v| self.is_original(v))
+            .collect();
         cut.sort_unstable();
         cut.dedup();
         cut
@@ -48,7 +52,8 @@ impl FaceVertexGraph {
 pub fn face_vertex_graph(embedding: &Embedding) -> FaceVertexGraph {
     let n = embedding.graph.num_vertices();
     let f = embedding.num_faces();
-    let mut builder = GraphBuilder::with_capacity(n + f, embedding.faces.iter().map(|w| w.len()).sum());
+    let mut builder =
+        GraphBuilder::with_capacity(n + f, embedding.faces.iter().map(|w| w.len()).sum());
     let mut face_of = Vec::with_capacity(f);
     for (fi, face) in embedding.faces.iter().enumerate() {
         let face_vertex = (n + fi) as Vertex;
@@ -59,7 +64,11 @@ pub fn face_vertex_graph(embedding: &Embedding) -> FaceVertexGraph {
             builder.add_edge(face_vertex, v);
         }
     }
-    FaceVertexGraph { graph: builder.build(), num_original: n, face_of }
+    FaceVertexGraph {
+        graph: builder.build(),
+        num_original: n,
+        face_of,
+    }
 }
 
 #[cfg(test)]
@@ -71,7 +80,10 @@ mod tests {
     fn bipartite_and_sizes() {
         let e = generators::triangulated_grid_embedded(4, 4);
         let fv = face_vertex_graph(&e);
-        assert_eq!(fv.graph.num_vertices(), e.graph.num_vertices() + e.num_faces());
+        assert_eq!(
+            fv.graph.num_vertices(),
+            e.graph.num_vertices() + e.num_faces()
+        );
         // bipartite: no edge between two originals or two face vertices
         for (u, v) in fv.graph.edges() {
             assert_ne!(fv.is_original(u), fv.is_original(v));

@@ -29,7 +29,12 @@ pub fn grid_embedded(w: usize, h: usize) -> Embedding {
     let mut faces = Vec::with_capacity((w - 1) * (h - 1) + 1);
     for r in 0..h - 1 {
         for c in 0..w - 1 {
-            faces.push(vec![idx(r, c), idx(r, c + 1), idx(r + 1, c + 1), idx(r + 1, c)]);
+            faces.push(vec![
+                idx(r, c),
+                idx(r, c + 1),
+                idx(r + 1, c + 1),
+                idx(r + 1, c),
+            ]);
         }
     }
     faces.push(boundary_walk(w, h));
@@ -88,7 +93,11 @@ pub fn stacked_triangulation_embedded(n: usize, seed: u64) -> Embedding {
     // triangulation of the sphere; interior insertion picks among the other faces.
     let mut faces: Vec<Vec<Vertex>> = vec![vec![0, 1, 2], vec![0, 1, 2]];
     for v in 3..n {
-        let f = if faces.len() == 2 { 1 } else { rng.gen_range(1..faces.len()) };
+        let f = if faces.len() == 2 {
+            1
+        } else {
+            rng.gen_range(1..faces.len())
+        };
         let old = faces[f].clone();
         let (a, bq, c) = (old[0], old[1], old[2]);
         let v = v as Vertex;
@@ -228,7 +237,12 @@ pub fn torus_grid_embedded(w: usize, h: usize) -> Embedding {
     let mut faces = Vec::with_capacity(w * h);
     for r in 0..h {
         for c in 0..w {
-            faces.push(vec![idx(r, c), idx(r, c + 1), idx(r + 1, c + 1), idx(r + 1, c)]);
+            faces.push(vec![
+                idx(r, c),
+                idx(r, c + 1),
+                idx(r + 1, c + 1),
+                idx(r + 1, c),
+            ]);
         }
     }
     Embedding::new(graph, faces)

@@ -49,12 +49,18 @@ impl WorkDepth {
 
     /// Sequential composition: work and depth both add.
     pub fn then(self, other: WorkDepth) -> WorkDepth {
-        WorkDepth { work: self.work + other.work, depth: self.depth + other.depth }
+        WorkDepth {
+            work: self.work + other.work,
+            depth: self.depth + other.depth,
+        }
     }
 
     /// Parallel composition: work adds, depth is the maximum.
     pub fn beside(self, other: WorkDepth) -> WorkDepth {
-        WorkDepth { work: self.work + other.work, depth: self.depth.max(other.depth) }
+        WorkDepth {
+            work: self.work + other.work,
+            depth: self.depth.max(other.depth),
+        }
     }
 
     /// Parallel composition of many costs.
@@ -67,6 +73,35 @@ impl WorkDepth {
         assert!(p > 0);
         self.work.div_ceil(p) + self.depth
     }
+
+    /// Brent's bound evaluated at the parallelism the current rayon context actually
+    /// provides ([`current_parallelism`]) — the predictor to compare wall-clock
+    /// measurements against now that the pool is real. Inside
+    /// `ThreadPool::install` this reflects the installed pool's width, so an F8-style
+    /// sweep gets a per-configuration prediction.
+    pub fn brent_time_current(self) -> u64 {
+        self.brent_time(current_parallelism())
+    }
+
+    /// Predicted strong-scaling speedup of the current pool over one processor:
+    /// `T(1) / T(p) = (W + D) / (W/p + D)`. An Amdahl-style ceiling: approaches `p`
+    /// for work-dominated costs and 1 for depth-dominated ones.
+    pub fn predicted_speedup_current(self) -> f64 {
+        let t1 = self.brent_time(1);
+        let tp = self.brent_time_current();
+        if tp == 0 {
+            1.0
+        } else {
+            t1 as f64 / tp as f64
+        }
+    }
+}
+
+/// Number of processors the work/depth accounting should assume: the thread count of
+/// the rayon pool the calling context targets (the installed pool inside
+/// `ThreadPool::install`, otherwise the global pool sized by `PSI_THREADS`).
+pub fn current_parallelism() -> u64 {
+    rayon::current_num_threads().max(1) as u64
 }
 
 /// Runs two closures in parallel (rayon join) and combines their costs with the
@@ -109,7 +144,9 @@ pub struct Counter {
 impl Counter {
     /// A fresh counter at zero.
     pub fn new() -> Self {
-        Counter { work: AtomicU64::new(0) }
+        Counter {
+            work: AtomicU64::new(0),
+        }
     }
 
     /// Adds `w` units of work.
@@ -132,8 +169,20 @@ mod tests {
     fn sequential_and_parallel_composition() {
         let a = WorkDepth::sequential_block(10);
         let b = WorkDepth::sequential_block(20);
-        assert_eq!(a.then(b), WorkDepth { work: 30, depth: 30 });
-        assert_eq!(a.beside(b), WorkDepth { work: 30, depth: 20 });
+        assert_eq!(
+            a.then(b),
+            WorkDepth {
+                work: 30,
+                depth: 30
+            }
+        );
+        assert_eq!(
+            a.beside(b),
+            WorkDepth {
+                work: 30,
+                depth: 20
+            }
+        );
     }
 
     #[test]
@@ -143,12 +192,18 @@ mod tests {
             WorkDepth::parallel_block(7, 9),
             WorkDepth::parallel_block(1, 1),
         ];
-        assert_eq!(WorkDepth::beside_all(costs), WorkDepth { work: 13, depth: 9 });
+        assert_eq!(
+            WorkDepth::beside_all(costs),
+            WorkDepth { work: 13, depth: 9 }
+        );
     }
 
     #[test]
     fn brent_bound() {
-        let c = WorkDepth { work: 1000, depth: 10 };
+        let c = WorkDepth {
+            work: 1000,
+            depth: 10,
+        };
         assert_eq!(c.brent_time(1), 1010);
         assert_eq!(c.brent_time(10), 110);
         assert_eq!(c.brent_time(1000), 11);
@@ -180,7 +235,10 @@ mod tests {
     #[test]
     fn counter_accumulates_across_threads() {
         let c = Counter::new();
-        (0..1000u64).collect::<Vec<_>>().par_iter().for_each(|_| c.add(3));
+        (0..1000u64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .for_each(|_| c.add(3));
         assert_eq!(c.total(), 3000);
     }
 
@@ -188,5 +246,25 @@ mod tests {
     #[should_panic]
     fn brent_requires_processors() {
         WorkDepth::unit().brent_time(0);
+    }
+
+    #[test]
+    fn current_parallelism_tracks_installed_pool() {
+        let c = WorkDepth {
+            work: 4_000,
+            depth: 10,
+        };
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                assert_eq!(current_parallelism(), threads as u64);
+                assert_eq!(c.brent_time_current(), c.brent_time(threads as u64));
+                let s = c.predicted_speedup_current();
+                assert!(s >= 1.0 && s <= threads as f64 + 1e-9);
+            });
+        }
     }
 }

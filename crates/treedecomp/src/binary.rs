@@ -31,7 +31,12 @@ impl BinaryTreeDecomposition {
 
     /// Width (`max |bag| − 1`).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Whether `node` is a leaf.

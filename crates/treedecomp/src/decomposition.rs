@@ -20,12 +20,20 @@ pub struct TreeDecomposition {
 
 impl TreeDecomposition {
     /// Creates a decomposition, normalising each bag to sorted/deduplicated form.
-    pub fn new(mut bags: Vec<Vec<Vertex>>, tree_edges: Vec<(usize, usize)>, num_graph_vertices: usize) -> Self {
+    pub fn new(
+        mut bags: Vec<Vec<Vertex>>,
+        tree_edges: Vec<(usize, usize)>,
+        num_graph_vertices: usize,
+    ) -> Self {
         for b in bags.iter_mut() {
             b.sort_unstable();
             b.dedup();
         }
-        TreeDecomposition { bags, tree_edges, num_graph_vertices }
+        TreeDecomposition {
+            bags,
+            tree_edges,
+            num_graph_vertices,
+        }
     }
 
     /// A single-bag decomposition containing all vertices (width `n − 1`).
@@ -41,7 +49,12 @@ impl TreeDecomposition {
 
     /// Width of the decomposition: `max |bag| − 1` (`0` for an empty decomposition).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Adjacency lists of the decomposition tree.
@@ -112,8 +125,9 @@ impl TreeDecomposition {
         // connected subtree.
         let adj = self.tree_adjacency();
         for v in 0..n as Vertex {
-            let holders: Vec<usize> =
-                (0..nb).filter(|&i| self.bags[i].binary_search(&v).is_ok()).collect();
+            let holders: Vec<usize> = (0..nb)
+                .filter(|&i| self.bags[i].binary_search(&v).is_ok())
+                .collect();
             if holders.is_empty() {
                 continue;
             }
@@ -147,7 +161,19 @@ mod tests {
         // vertices a..g = 0..6
         let (a, b, c, d, e, f, g) = (0, 1, 2, 3, 4, 5, 6);
         let mut gb = psi_graph::GraphBuilder::new(7);
-        for &(u, v) in &[(a, b), (a, c), (b, c), (c, d), (c, e), (d, e), (c, f), (e, f), (a, f), (f, g), (a, g)] {
+        for &(u, v) in &[
+            (a, b),
+            (a, c),
+            (b, c),
+            (c, d),
+            (c, e),
+            (d, e),
+            (c, f),
+            (e, f),
+            (a, f),
+            (f, g),
+            (a, g),
+        ] {
             gb.add_edge(u, v);
         }
         let graph = gb.build();
@@ -190,7 +216,11 @@ mod tests {
     #[test]
     fn detects_missing_edge() {
         let g = generators::cycle(3);
-        let td = TreeDecomposition::new(vec![vec![0, 1], vec![1, 2], vec![0, 2]], vec![(0, 1), (1, 2)], 3);
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![(0, 1), (1, 2)],
+            3,
+        );
         // all vertices covered, all edges covered actually... 0-1 in bag0, 1-2 in bag1, 0-2 in bag2: covered.
         // but vertex 0 appears in bags 0 and 2 which are not adjacent -> contiguity violation
         let err = td.validate(&g).unwrap_err();
@@ -200,7 +230,11 @@ mod tests {
     #[test]
     fn detects_non_tree() {
         let g = generators::path(2);
-        let td = TreeDecomposition::new(vec![vec![0, 1], vec![0, 1], vec![0, 1]], vec![(0, 1), (1, 2), (0, 2)], 2);
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![0, 1], vec![0, 1]],
+            vec![(0, 1), (1, 2), (0, 2)],
+            2,
+        );
         assert!(td.validate(&g).is_err());
     }
 

@@ -38,7 +38,10 @@ impl EliminationGame {
         let adj = (0..graph.num_vertices())
             .map(|v| graph.neighbors(v as Vertex).iter().copied().collect())
             .collect();
-        EliminationGame { adj, eliminated: vec![false; graph.num_vertices()] }
+        EliminationGame {
+            adj,
+            eliminated: vec![false; graph.num_vertices()],
+        }
     }
 
     fn fill_cost(&self, v: usize) -> usize {
@@ -74,7 +77,10 @@ impl EliminationGame {
 }
 
 /// Builds a tree decomposition from a greedy elimination ordering.
-pub fn elimination_decomposition(graph: &CsrGraph, strategy: EliminationStrategy) -> TreeDecomposition {
+pub fn elimination_decomposition(
+    graph: &CsrGraph,
+    strategy: EliminationStrategy,
+) -> TreeDecomposition {
     let n = graph.num_vertices();
     if n == 0 {
         return TreeDecomposition::new(vec![Vec::new()], Vec::new(), 0);

@@ -24,4 +24,6 @@ pub use decomposition::TreeDecomposition;
 pub use elimination::{
     min_degree_decomposition, min_fill_decomposition, treewidth_upper_bound, EliminationStrategy,
 };
-pub use path_layers::{layer_numbers, layer_numbers_parallel, tree_into_paths, LayerFn, PathDecomposition};
+pub use path_layers::{
+    layer_numbers, layer_numbers_parallel, tree_into_paths, LayerFn, PathDecomposition,
+};

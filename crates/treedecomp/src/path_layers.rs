@@ -42,7 +42,11 @@ impl RootedTree {
             }
         }
         assert_ne!(root, usize::MAX, "no root found");
-        RootedTree { children, parent, root }
+        RootedTree {
+            children,
+            parent,
+            root,
+        }
     }
 
     /// Number of nodes.
@@ -106,7 +110,11 @@ pub fn layer_numbers_parallel(tree: &RootedTree) -> Vec<u32> {
     // compute heights bottom-up (height = longest distance to a descendant leaf)
     let mut height = vec![0u32; n];
     for v in tree.postorder() {
-        height[v] = tree.children[v].iter().map(|&c| height[c] + 1).max().unwrap_or(0);
+        height[v] = tree.children[v]
+            .iter()
+            .map(|&c| height[c] + 1)
+            .max()
+            .unwrap_or(0);
     }
     let max_h = height.iter().copied().max().unwrap_or(0);
     let mut by_height: Vec<Vec<usize>> = vec![Vec::new(); max_h as usize + 1];
@@ -187,7 +195,12 @@ pub fn tree_into_paths(tree: &RootedTree) -> PathDecomposition {
     for (idx, path) in paths.iter().enumerate() {
         layers[layer[path[0]] as usize].push(idx);
     }
-    PathDecomposition { layer, paths, path_of, layers }
+    PathDecomposition {
+        layer,
+        paths,
+        path_of,
+        layers,
+    }
 }
 
 /// The unary function family of Appendix A over layer numbers.
@@ -317,7 +330,11 @@ impl ChainFn {
 
     /// The projection of `L` for fixed sibling layers (replacement for [`LayerFn::project`]).
     pub fn project(other_children: &[u32]) -> Self {
-        let max = other_children.iter().copied().max().expect("at least one sibling");
+        let max = other_children
+            .iter()
+            .copied()
+            .max()
+            .expect("at least one sibling");
         ChainFn::from_fn(max + 1, |x| {
             let mut all: Vec<u32> = other_children.to_vec();
             all.push(x);
@@ -399,7 +416,12 @@ mod tests {
         }
         // number of layers is O(log n)
         let max_layers = (n as f64).log2().floor() as usize + 1;
-        assert!(pd.num_layers() <= max_layers, "{} layers for n={}", pd.num_layers(), n);
+        assert!(
+            pd.num_layers() <= max_layers,
+            "{} layers for n={}",
+            pd.num_layers(),
+            n
+        );
     }
 
     #[test]
@@ -458,7 +480,9 @@ mod tests {
         // L(l1.., x) computed through the projection function equals combine_layers.
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..200 {
-            let others: Vec<u32> = (0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..6)).collect();
+            let others: Vec<u32> = (0..rng.gen_range(1..5))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
             let x: u32 = rng.gen_range(0..6);
             let f = LayerFn::project(&others);
             let mut all = others.clone();
@@ -509,13 +533,21 @@ mod tests {
         // both directly and through ChainFn::compose, always agree.
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..300 {
-            let sib1: Vec<u32> = (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..5)).collect();
-            let sib2: Vec<u32> = (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..5)).collect();
+            let sib1: Vec<u32> = (0..rng.gen_range(1..4))
+                .map(|_| rng.gen_range(0..5))
+                .collect();
+            let sib2: Vec<u32> = (0..rng.gen_range(1..4))
+                .map(|_| rng.gen_range(0..5))
+                .collect();
             let f = ChainFn::project(&sib1);
             let g = ChainFn::project(&sib2);
             let comp = f.compose(&g);
             for x in 0..12u32 {
-                assert_eq!(comp.apply(x), f.apply(g.apply(x)), "sib1={sib1:?} sib2={sib2:?} x={x}");
+                assert_eq!(
+                    comp.apply(x),
+                    f.apply(g.apply(x)),
+                    "sib1={sib1:?} sib2={sib2:?} x={x}"
+                );
             }
             // representation stays small (identity above max sibling layer + 1)
             assert!(comp.table_len() <= 8);
@@ -526,7 +558,9 @@ mod tests {
     fn chain_fn_projection_matches_direct_combination() {
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..200 {
-            let others: Vec<u32> = (0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..6)).collect();
+            let others: Vec<u32> = (0..rng.gen_range(1..5))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
             let x: u32 = rng.gen_range(0..8);
             let f = ChainFn::project(&others);
             let mut all = others.clone();
@@ -541,7 +575,11 @@ mod tests {
         // (associative) order — the essence of the contraction-based evaluation.
         let mut rng = SmallRng::seed_from_u64(21);
         let sibs: Vec<Vec<u32>> = (0..64)
-            .map(|_| (0..rng.gen_range(1..3)).map(|_| rng.gen_range(0..4)).collect())
+            .map(|_| {
+                (0..rng.gen_range(1..3))
+                    .map(|_| rng.gen_range(0..4))
+                    .collect()
+            })
             .collect();
         let fns: Vec<ChainFn> = sibs.iter().map(|s| ChainFn::project(s)).collect();
         // direct sequential evaluation starting from x = 0

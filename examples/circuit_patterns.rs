@@ -34,7 +34,11 @@ fn circuit(w: usize, h: usize) -> psi_graph::CsrGraph {
 
 fn main() {
     let layout = circuit(24, 24);
-    println!("circuit layout: n = {}, m = {}", layout.num_vertices(), layout.num_edges());
+    println!(
+        "circuit layout: n = {}, m = {}",
+        layout.num_vertices(),
+        layout.num_edges()
+    );
 
     // A "via cell": a square with one diagonal (a triangle sharing an edge with a 4-cycle).
     let via_cell = Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
@@ -43,11 +47,19 @@ fn main() {
     // A "double via": two independent via diagonals (disconnected pattern).
     let double_via = Pattern::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
 
-    for (name, pattern) in [("via cell", via_cell), ("bus segment", bus), ("double via", double_via)] {
+    for (name, pattern) in [
+        ("via cell", via_cell),
+        ("bus segment", bus),
+        ("double via", double_via),
+    ] {
         let query = SubgraphIsomorphism::with_config(pattern.clone(), QueryConfig::default());
         match query.find_one(&layout) {
             Some(occurrence) => {
-                assert!(planar_subiso::verify_occurrence(&pattern, &layout, &occurrence));
+                assert!(planar_subiso::verify_occurrence(
+                    &pattern,
+                    &layout,
+                    &occurrence
+                ));
                 println!("{name:<12} found at {occurrence:?}");
             }
             None => println!("{name:<12} not present"),

@@ -23,7 +23,10 @@ fn main() {
         ("4-path", Pattern::path(4)),
     ];
 
-    println!("{:<10} {:>10} {:>16}", "motif", "present?", "distinct images");
+    println!(
+        "{:<10} {:>10} {:>16}",
+        "motif", "present?", "distinct images"
+    );
     for (name, pattern) in motifs {
         let query = SubgraphIsomorphism::new(pattern.clone());
         let present = query.decide(&target);

@@ -27,7 +27,10 @@ fn main() {
     // Patterns that cannot occur are rejected (grids with diagonals still have no K5:
     // planar graphs exclude it).
     let k5 = Pattern::clique(5);
-    println!("contains K5? {}", SubgraphIsomorphism::new(k5).decide(&target));
+    println!(
+        "contains K5? {}",
+        SubgraphIsomorphism::new(k5).decide(&target)
+    );
 
     // List all triangles in a smaller target and count distinct images.
     let small = psi_graph::generators::triangulated_grid(6, 6);

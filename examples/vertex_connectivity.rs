@@ -19,10 +19,16 @@ fn main() {
         ("double wheel (rim 10)", pg::double_wheel(10)),
         // the 5-connected icosahedron is the most expensive case (exhaustive separating
         // C4/C6/C8 searches, minutes on one core); see the ignored tests for it
-        ("random triangulation n=24", pg::stacked_triangulation_embedded(24, 5)),
+        (
+            "random triangulation n=24",
+            pg::stacked_triangulation_embedded(24, 5),
+        ),
     ];
 
-    println!("{:<28} {:>4} {:>14} {:>20}", "graph", "n", "connectivity", "witness cut");
+    println!(
+        "{:<28} {:>4} {:>14} {:>20}",
+        "graph", "n", "connectivity", "witness cut"
+    );
     for (name, embedding) in cases {
         let result = vertex_connectivity(&embedding, ConnectivityMode::WholeGraph, 1);
         let cut = if result.cut.is_empty() {

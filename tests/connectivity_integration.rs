@@ -7,12 +7,17 @@ use psi_planar::generators as pg;
 use psi_planar::Embedding;
 
 fn check(name: &str, e: &Embedding) {
-    e.validate().unwrap_or_else(|err| panic!("{name}: invalid embedding: {err}"));
+    e.validate()
+        .unwrap_or_else(|err| panic!("{name}: invalid embedding: {err}"));
     let ours = vertex_connectivity(e, ConnectivityMode::WholeGraph, 1).connectivity;
     let flow = flow_vertex_connectivity(&e.graph, 6);
     assert_eq!(ours, flow, "{name}: separating-cycle {ours} vs flow {flow}");
     if e.graph.num_vertices() <= 20 {
-        assert_eq!(ours, brute_force_vertex_connectivity(&e.graph), "{name} vs brute force");
+        assert_eq!(
+            ours,
+            brute_force_vertex_connectivity(&e.graph),
+            "{name} vs brute force"
+        );
     }
 }
 
@@ -24,7 +29,10 @@ fn connectivity_zoo_matches_baselines() {
     check("cube", &pg::cube());
     check("octahedron", &pg::octahedron());
     check("grid 5x4", &pg::grid_embedded(5, 4));
-    check("triangulated grid 4x4", &pg::triangulated_grid_embedded(4, 4));
+    check(
+        "triangulated grid 4x4",
+        &pg::triangulated_grid_embedded(4, 4),
+    );
 }
 
 #[test]
@@ -42,7 +50,10 @@ fn connectivity_on_random_triangulations_matches_flow() {
 fn connectivity_zoo_expensive_cases() {
     check("double wheel rim 6", &pg::double_wheel(6));
     check("icosahedron", &pg::icosahedron());
-    check("stacked triangulation 40", &pg::stacked_triangulation_embedded(40, 0));
+    check(
+        "stacked triangulation 40",
+        &pg::stacked_triangulation_embedded(40, 0),
+    );
 }
 
 #[test]
@@ -51,16 +62,23 @@ fn witness_cuts_disconnect_the_graph() {
         let result = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 2);
         if !result.cut.is_empty() {
             assert_eq!(result.cut.len(), result.connectivity);
-            assert!(planar_subiso::connectivity::is_vertex_cut(&e.graph, &result.cut));
+            assert!(planar_subiso::connectivity::is_vertex_cut(
+                &e.graph,
+                &result.cut
+            ));
         }
     }
 }
 
 #[test]
 fn cover_mode_monte_carlo_agrees_on_small_zoo() {
-    for (name, e) in [("cycle C12", pg::cycle_embedded(12)), ("wheel W8", pg::wheel_embedded(8))] {
+    for (name, e) in [
+        ("cycle C12", pg::cycle_embedded(12)),
+        ("wheel W8", pg::wheel_embedded(8)),
+    ] {
         let whole = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 5).connectivity;
-        let cover = vertex_connectivity(&e, ConnectivityMode::Cover { repetitions: 16 }, 5).connectivity;
+        let cover =
+            vertex_connectivity(&e, ConnectivityMode::Cover { repetitions: 16 }, 5).connectivity;
         assert_eq!(whole, cover, "{name}");
     }
 }

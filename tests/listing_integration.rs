@@ -44,8 +44,20 @@ fn counting_via_listing() {
 #[test]
 fn listing_respects_seed_stability() {
     let g = generators::triangulated_grid(5, 5);
-    let q1 = SubgraphIsomorphism::with_config(Pattern::triangle(), QueryConfig { seed: 5, ..QueryConfig::default() });
-    let q2 = SubgraphIsomorphism::with_config(Pattern::triangle(), QueryConfig { seed: 6, ..QueryConfig::default() });
+    let q1 = SubgraphIsomorphism::with_config(
+        Pattern::triangle(),
+        QueryConfig {
+            seed: 5,
+            ..QueryConfig::default()
+        },
+    );
+    let q2 = SubgraphIsomorphism::with_config(
+        Pattern::triangle(),
+        QueryConfig {
+            seed: 6,
+            ..QueryConfig::default()
+        },
+    );
     // different seeds must produce the same (complete) set of occurrences
     assert_eq!(q1.list_all(&g), q2.list_all(&g));
 }

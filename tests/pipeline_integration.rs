@@ -2,7 +2,9 @@
 //! generators (psi-graph / psi-planar) → clustering (psi-cluster) → cover → tree
 //! decomposition (psi-treedecomp) → DP → verified occurrences.
 
-use planar_subiso::{decide, find_one, verify_occurrence, DpStrategy, Pattern, QueryConfig, SubgraphIsomorphism};
+use planar_subiso::{
+    decide, find_one, verify_occurrence, DpStrategy, Pattern, QueryConfig, SubgraphIsomorphism,
+};
 use psi_graph::generators;
 
 fn check_planted(k: usize, seed: u64) {
@@ -13,9 +15,14 @@ fn check_planted(k: usize, seed: u64) {
     }
     let query = SubgraphIsomorphism::with_config(
         Pattern::cycle(k),
-        QueryConfig { seed, ..QueryConfig::default() },
+        QueryConfig {
+            seed,
+            ..QueryConfig::default()
+        },
     );
-    let occ = query.find_one(&g).unwrap_or_else(|| panic!("planted C{k} not found"));
+    let occ = query
+        .find_one(&g)
+        .unwrap_or_else(|| panic!("planted C{k} not found"));
     assert!(verify_occurrence(&Pattern::cycle(k), &g, &occ));
 }
 
@@ -56,8 +63,16 @@ fn pipeline_agrees_with_backtracking_oracle_on_random_planar_graphs() {
 #[test]
 fn pipeline_agrees_with_eppstein_sequential_baseline() {
     let g = generators::triangulated_grid(10, 8);
-    for p in [Pattern::triangle(), Pattern::cycle(4), Pattern::cycle(6), Pattern::path(6)] {
-        assert_eq!(decide(&p, &g), psi_baselines::eppstein_sequential_decide(&p, &g));
+    for p in [
+        Pattern::triangle(),
+        Pattern::cycle(4),
+        Pattern::cycle(6),
+        Pattern::path(6),
+    ] {
+        assert_eq!(
+            decide(&p, &g),
+            psi_baselines::eppstein_sequential_decide(&p, &g)
+        );
     }
 }
 
@@ -68,12 +83,18 @@ fn strategies_and_modes_agree() {
         let default = decide(&p, &g);
         let parallel = SubgraphIsomorphism::with_config(
             p.clone(),
-            QueryConfig { strategy: DpStrategy::PathParallel, ..QueryConfig::default() },
+            QueryConfig {
+                strategy: DpStrategy::PathParallel,
+                ..QueryConfig::default()
+            },
         )
         .decide(&g);
         let whole = SubgraphIsomorphism::with_config(
             p.clone(),
-            QueryConfig { whole_graph: true, ..QueryConfig::default() },
+            QueryConfig {
+                whole_graph: true,
+                ..QueryConfig::default()
+            },
         )
         .decide(&g);
         assert_eq!(default, parallel);

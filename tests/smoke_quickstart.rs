@@ -13,7 +13,10 @@ fn quickstart_pipeline_smoke() {
     let pattern = Pattern::triangle();
     let query = SubgraphIsomorphism::with_config(
         pattern.clone(),
-        QueryConfig { seed: 42, ..QueryConfig::default() },
+        QueryConfig {
+            seed: 42,
+            ..QueryConfig::default()
+        },
     );
 
     // decide: a triangulated grid clearly contains triangles
@@ -48,7 +51,10 @@ fn quickstart_is_deterministic_for_a_fixed_seed() {
     let query = || {
         SubgraphIsomorphism::with_config(
             Pattern::triangle(),
-            QueryConfig { seed: 7, ..QueryConfig::default() },
+            QueryConfig {
+                seed: 7,
+                ..QueryConfig::default()
+            },
         )
     };
     assert_eq!(query().find_one(&target), query().find_one(&target));

@@ -279,16 +279,14 @@ mod tests {
         let mut c = Criterion { test_mode: true };
         let mut group = c.benchmark_group("shim");
         let mut runs = 0usize;
-        group.sample_size(10).bench_with_input(
-            BenchmarkId::from_parameter(1),
-            &3u64,
-            |b, &x| {
+        group
+            .sample_size(10)
+            .bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &x| {
                 b.iter(|| {
                     runs += 1;
                     x * 2
                 })
-            },
-        );
+            });
         group.finish();
         // warm-up + one timed sample in test mode
         assert_eq!(runs, 2);

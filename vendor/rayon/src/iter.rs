@@ -1,0 +1,901 @@
+//! The parallel iterator bridge: splittable sources, adaptors, and consumers.
+//!
+//! Execution model (a flattened version of rayon's producer/consumer plumbing):
+//!
+//! * A [`Splittable`] source (slice, mutable slice, `Vec`, integer range) knows its
+//!   length, can split itself in two, and can turn into a plain sequential iterator.
+//! * Adaptors (`map`, `filter`, `flat_map_iter`, …) don't touch items themselves; at
+//!   drive time each adaptor wraps the downstream [`Consumer`] with one that applies
+//!   its closure *by reference*, so closures are shared across workers without any
+//!   `Clone` bound.
+//! * [`drive`] recursively halves the source via [`crate::pool::join`] until chunks
+//!   fall below `len / (4 · num_threads)`, runs the fused sequential pipeline on each
+//!   chunk, and combines chunk results pairwise with [`Consumer::reduce`]. The combine
+//!   tree mirrors the split tree, so order-sensitive consumers (`collect`, `for_each`
+//!   merges) see chunk results in source order regardless of which worker ran what —
+//!   this is what keeps `collect` deterministic under real parallelism.
+//! * Early-exit consumers (`find_map_any`, `find_any`) share an `AtomicBool`; chunks
+//!   check it per item and unsplit work is skipped once it trips ([`Consumer::full`]).
+//!
+//! On a single-threaded registry (`PSI_THREADS=1`) `drive` never splits and the whole
+//! pipeline degenerates to exactly the old sequential shim.
+
+use crate::pool;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// ---------------------------------------------------------------------------
+// Splittable sources
+// ---------------------------------------------------------------------------
+
+/// A divisible source of items: the leaves of the fork–join bridge.
+pub trait Splittable: Sized + Send {
+    /// The item type produced for the pipeline.
+    type Item: Send;
+    /// The sequential iterator a leaf chunk is drained through.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Remaining number of items.
+    fn len(&self) -> usize;
+    /// Splits into `[0, at)` and `[at, len)`, preserving order.
+    fn split(self, at: usize) -> (Self, Self);
+    /// Drains this chunk sequentially.
+    fn into_seq(self) -> Self::SeqIter;
+}
+
+impl<'a, T: Sync + 'a> Splittable for &'a [T] {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn split(self, at: usize) -> (Self, Self) {
+        self.split_at(at)
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.iter()
+    }
+}
+
+impl<'a, T: Send + 'a> Splittable for &'a mut [T] {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn split(self, at: usize) -> (Self, Self) {
+        self.split_at_mut(at)
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.iter_mut()
+    }
+}
+
+impl<T: Send> Splittable for Vec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    // `split_off` moves the right half into a fresh allocation, so an owned Vec pays
+    // O(n · split-depth) item moves that slices and ranges avoid. Accepted trade-off:
+    // the workspace's owned sources are small (per-layer path lists, instrumented
+    // par_map inputs); iterate `0..v.len()` or `par_iter()` where that matters.
+    fn split(mut self, at: usize) -> (Self, Self) {
+        let right = self.split_off(at);
+        (self, right)
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.into_iter()
+    }
+}
+
+macro_rules! splittable_range {
+    ($($t:ty),*) => {$(
+        impl Splittable for Range<$t> {
+            type Item = $t;
+            type SeqIter = Range<$t>;
+
+            fn len(&self) -> usize {
+                if self.end > self.start { (self.end - self.start) as usize } else { 0 }
+            }
+
+            fn split(self, at: usize) -> (Self, Self) {
+                let mid = self.start + at as $t;
+                (self.start..mid, mid..self.end)
+            }
+
+            fn into_seq(self) -> Self::SeqIter {
+                self
+            }
+        }
+    )*};
+}
+
+splittable_range!(usize, u32, u64);
+
+/// `enumerate` support: a source paired with the global index of its first item.
+/// Splitting offsets the right half, so indices stay correct on every worker.
+pub struct EnumerateSource<S> {
+    base: S,
+    offset: usize,
+}
+
+impl<S: Splittable> Splittable for EnumerateSource<S> {
+    type Item = (usize, S::Item);
+    type SeqIter = OffsetEnumerate<S::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split(self, at: usize) -> (Self, Self) {
+        let (left, right) = self.base.split(at);
+        (
+            EnumerateSource {
+                base: left,
+                offset: self.offset,
+            },
+            EnumerateSource {
+                base: right,
+                offset: self.offset + at,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        OffsetEnumerate {
+            inner: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Sequential enumeration starting from a chunk's global offset.
+pub struct OffsetEnumerate<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for OffsetEnumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let index = self.next;
+        self.next += 1;
+        Some((index, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consumers and the drive loop
+// ---------------------------------------------------------------------------
+
+/// A (shared) sink for pipeline items. One consumer value is shared by reference
+/// across all workers; per-chunk state lives in `Result` values, cross-chunk state
+/// (early-exit flags) in atomics inside the consumer.
+pub trait Consumer<Item>: Sync {
+    /// Per-chunk result, combined pairwise in source order.
+    type Result: Send;
+
+    /// Drains one chunk's sequential iterator.
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> Self::Result;
+    /// Combines the results of two adjacent chunks (left is earlier in source order).
+    fn reduce(&self, left: Self::Result, right: Self::Result) -> Self::Result;
+    /// Whether remaining work can be skipped (early exit).
+    fn full(&self) -> bool {
+        false
+    }
+}
+
+/// Splits `source` across the current registry and folds it into `consumer`.
+pub(crate) fn drive<S: Splittable, C: Consumer<S::Item>>(source: S, consumer: &C) -> C::Result {
+    let threads = pool::Registry::current().num_threads();
+    let len = source.len();
+    if threads <= 1 || len <= 1 {
+        return consumer.consume(source.into_seq());
+    }
+    // ~4 leaf chunks per thread give the stealer something to grab without drowning
+    // small inputs in queue traffic.
+    let threshold = (len / (threads * 4)).max(1);
+    drive_rec(source, consumer, threshold)
+}
+
+fn drive_rec<S: Splittable, C: Consumer<S::Item>>(
+    source: S,
+    consumer: &C,
+    threshold: usize,
+) -> C::Result {
+    let len = source.len();
+    if len <= threshold || consumer.full() {
+        return consumer.consume(source.into_seq());
+    }
+    let (left, right) = source.split(len / 2);
+    let (left_result, right_result) = pool::join(
+        || drive_rec(left, consumer, threshold),
+        || drive_rec(right, consumer, threshold),
+    );
+    consumer.reduce(left_result, right_result)
+}
+
+// ---------------------------------------------------------------------------
+// ParallelIterator
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: either a [`ParIter`] over a splittable source or a stack of
+/// adaptors on top of one. Mirrors the subset of rayon's `ParallelIterator` this
+/// workspace uses; all adaptor closures must be `Fn + Sync` (they run concurrently on
+/// several workers) and items must be `Send`.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Feeds the pipeline into `consumer`, splitting across the current pool.
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result;
+
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    fn filter_map<T, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> Option<T> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// rayon's `flat_map`: here the produced iterators are always consumed serially
+    /// within a chunk, i.e. identical to [`ParallelIterator::flat_map_iter`]
+    /// (parallelism comes from splitting the *base*, which matches how every call
+    /// site in this workspace uses it).
+    fn flat_map<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// rayon's `flat_map_iter`: per-item sequential iterators, flattened in order.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Chunk-size hint; accepted for API compatibility. The bridge always splits to
+    /// `len / (4 · num_threads)`, which is within rayon's default splitting regime.
+    fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// See [`ParallelIterator::with_min_len`].
+    fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.drive(ForEachConsumer { f: &f });
+    }
+
+    /// rayon's identity-taking `reduce` (std's `reduce` takes no identity).
+    ///
+    /// # Contract
+    /// With real work splitting, `op` **must be associative** and `identity()` must
+    /// produce a true identity for it: the input is cut into chunks at arbitrary
+    /// boundaries, each chunk is folded starting from a fresh `identity()`, and chunk
+    /// results are combined pairwise. A non-associative `op` (e.g. floating-point
+    /// subtraction) or a non-neutral identity yields results that depend on the chunk
+    /// layout — i.e. on the thread count. Commutativity is *not* required: chunks are
+    /// combined in source order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.drive(ReduceConsumer {
+            identity: &identity,
+            op: &op,
+        })
+    }
+
+    /// First match found by *any* worker — like rayon, which match wins is
+    /// nondeterministic under parallelism (the `Some`/`None` verdict is not).
+    fn find_map_any<T, F>(self, f: F) -> Option<T>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> Option<T> + Sync,
+    {
+        let found = AtomicBool::new(false);
+        self.drive(FindMapConsumer {
+            f: &f,
+            found: &found,
+            _result: PhantomData,
+        })
+    }
+
+    /// See [`ParallelIterator::find_map_any`].
+    fn find_any<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        self.find_map_any(move |item| if f(&item) { Some(item) } else { None })
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    fn count(self) -> usize {
+        self.drive(CountConsumer)
+    }
+
+    fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<Self::Item> + std::iter::Sum<T> + Send,
+    {
+        self.drive(SumConsumer { _sum: PhantomData })
+    }
+
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive(MaxConsumer)
+    }
+
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive(MinConsumer)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The base iterator and its adaptors
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator directly over a splittable source.
+pub struct ParIter<S> {
+    source: S,
+}
+
+impl<S> ParIter<S> {
+    pub(crate) fn new(source: S) -> ParIter<S> {
+        ParIter { source }
+    }
+}
+
+impl<S: Splittable> ParIter<S> {
+    /// Pairs every item with its index. Only available directly on a source (before
+    /// any filtering adaptor), where global indices are still well defined — the same
+    /// restriction rayon expresses through `IndexedParallelIterator`.
+    pub fn enumerate(self) -> ParIter<EnumerateSource<S>> {
+        ParIter {
+            source: EnumerateSource {
+                base: self.source,
+                offset: 0,
+            },
+        }
+    }
+}
+
+impl<S: Splittable> ParallelIterator for ParIter<S> {
+    type Item = S::Item;
+
+    fn drive<C: Consumer<S::Item>>(self, consumer: C) -> C::Result {
+        drive(self.source, &consumer)
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, T> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    T: Send,
+    F: Fn(P::Item) -> T + Sync + Send,
+{
+    type Item = T;
+
+    fn drive<C: Consumer<T>>(self, consumer: C) -> C::Result {
+        let Map { base, f } = self;
+        base.drive(MapConsumer {
+            base: consumer,
+            f: &f,
+            _out: PhantomData,
+        })
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send,
+{
+    type Item = P::Item;
+
+    fn drive<C: Consumer<P::Item>>(self, consumer: C) -> C::Result {
+        let Filter { base, f } = self;
+        base.drive(FilterConsumer {
+            base: consumer,
+            f: &f,
+        })
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, T> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    T: Send,
+    F: Fn(P::Item) -> Option<T> + Sync + Send,
+{
+    type Item = T;
+
+    fn drive<C: Consumer<T>>(self, consumer: C) -> C::Result {
+        let FilterMap { base, f } = self;
+        base.drive(FilterMapConsumer {
+            base: consumer,
+            f: &f,
+            _out: PhantomData,
+        })
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, U> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Sync + Send,
+{
+    type Item = U::Item;
+
+    fn drive<C: Consumer<U::Item>>(self, consumer: C) -> C::Result {
+        let FlatMapIter { base, f } = self;
+        base.drive(FlatMapConsumer {
+            base: consumer,
+            f: &f,
+            _out: PhantomData,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptor consumers (closures shared by reference)
+// ---------------------------------------------------------------------------
+
+struct MapConsumer<'f, C, F, T> {
+    base: C,
+    f: &'f F,
+    _out: PhantomData<fn() -> T>,
+}
+
+impl<Item, T, C, F> Consumer<Item> for MapConsumer<'_, C, F, T>
+where
+    Item: Send,
+    T: Send,
+    C: Consumer<T>,
+    F: Fn(Item) -> T + Sync,
+{
+    type Result = C::Result;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> C::Result {
+        self.base.consume(items.map(|item| (self.f)(item)))
+    }
+
+    fn reduce(&self, left: C::Result, right: C::Result) -> C::Result {
+        self.base.reduce(left, right)
+    }
+
+    fn full(&self) -> bool {
+        self.base.full()
+    }
+}
+
+struct FilterConsumer<'f, C, F> {
+    base: C,
+    f: &'f F,
+}
+
+impl<Item, C, F> Consumer<Item> for FilterConsumer<'_, C, F>
+where
+    Item: Send,
+    C: Consumer<Item>,
+    F: Fn(&Item) -> bool + Sync,
+{
+    type Result = C::Result;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> C::Result {
+        self.base.consume(items.filter(|item| (self.f)(item)))
+    }
+
+    fn reduce(&self, left: C::Result, right: C::Result) -> C::Result {
+        self.base.reduce(left, right)
+    }
+
+    fn full(&self) -> bool {
+        self.base.full()
+    }
+}
+
+struct FilterMapConsumer<'f, C, F, T> {
+    base: C,
+    f: &'f F,
+    _out: PhantomData<fn() -> T>,
+}
+
+impl<Item, T, C, F> Consumer<Item> for FilterMapConsumer<'_, C, F, T>
+where
+    Item: Send,
+    T: Send,
+    C: Consumer<T>,
+    F: Fn(Item) -> Option<T> + Sync,
+{
+    type Result = C::Result;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> C::Result {
+        self.base.consume(items.filter_map(|item| (self.f)(item)))
+    }
+
+    fn reduce(&self, left: C::Result, right: C::Result) -> C::Result {
+        self.base.reduce(left, right)
+    }
+
+    fn full(&self) -> bool {
+        self.base.full()
+    }
+}
+
+struct FlatMapConsumer<'f, C, F, U> {
+    base: C,
+    f: &'f F,
+    _out: PhantomData<fn() -> U>,
+}
+
+impl<Item, U, C, F> Consumer<Item> for FlatMapConsumer<'_, C, F, U>
+where
+    Item: Send,
+    U: IntoIterator,
+    U::Item: Send,
+    C: Consumer<U::Item>,
+    F: Fn(Item) -> U + Sync,
+{
+    type Result = C::Result;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> C::Result {
+        self.base.consume(items.flat_map(|item| (self.f)(item)))
+    }
+
+    fn reduce(&self, left: C::Result, right: C::Result) -> C::Result {
+        self.base.reduce(left, right)
+    }
+
+    fn full(&self) -> bool {
+        self.base.full()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Terminal consumers
+// ---------------------------------------------------------------------------
+
+struct ForEachConsumer<'f, F> {
+    f: &'f F,
+}
+
+impl<Item, F> Consumer<Item> for ForEachConsumer<'_, F>
+where
+    Item: Send,
+    F: Fn(Item) + Sync,
+{
+    type Result = ();
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) {
+        items.for_each(self.f);
+    }
+
+    fn reduce(&self, (): (), (): ()) {}
+}
+
+struct ReduceConsumer<'f, ID, OP> {
+    identity: &'f ID,
+    op: &'f OP,
+}
+
+impl<Item, ID, OP> Consumer<Item> for ReduceConsumer<'_, ID, OP>
+where
+    Item: Send,
+    ID: Fn() -> Item + Sync,
+    OP: Fn(Item, Item) -> Item + Sync,
+{
+    type Result = Item;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> Item {
+        items.fold((self.identity)(), |acc, item| (self.op)(acc, item))
+    }
+
+    fn reduce(&self, left: Item, right: Item) -> Item {
+        (self.op)(left, right)
+    }
+}
+
+struct FindMapConsumer<'f, F, T> {
+    f: &'f F,
+    found: &'f AtomicBool,
+    _result: PhantomData<fn() -> T>,
+}
+
+impl<Item, T, F> Consumer<Item> for FindMapConsumer<'_, F, T>
+where
+    Item: Send,
+    T: Send,
+    F: Fn(Item) -> Option<T> + Sync,
+{
+    type Result = Option<T>;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> Option<T> {
+        for item in items {
+            if self.found.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(value) = (self.f)(item) {
+                self.found.store(true, Ordering::Relaxed);
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    fn reduce(&self, left: Option<T>, right: Option<T>) -> Option<T> {
+        left.or(right)
+    }
+
+    fn full(&self) -> bool {
+        self.found.load(Ordering::Relaxed)
+    }
+}
+
+struct CountConsumer;
+
+impl<Item: Send> Consumer<Item> for CountConsumer {
+    type Result = usize;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> usize {
+        items.count()
+    }
+
+    fn reduce(&self, left: usize, right: usize) -> usize {
+        left + right
+    }
+}
+
+struct SumConsumer<T> {
+    _sum: PhantomData<fn() -> T>,
+}
+
+impl<Item, T> Consumer<Item> for SumConsumer<T>
+where
+    Item: Send,
+    T: std::iter::Sum<Item> + std::iter::Sum<T> + Send,
+{
+    type Result = T;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> T {
+        items.sum()
+    }
+
+    fn reduce(&self, left: T, right: T) -> T {
+        std::iter::once(left).chain(std::iter::once(right)).sum()
+    }
+}
+
+struct MaxConsumer;
+
+impl<Item: Send + Ord> Consumer<Item> for MaxConsumer {
+    type Result = Option<Item>;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> Option<Item> {
+        items.max()
+    }
+
+    fn reduce(&self, left: Option<Item>, right: Option<Item>) -> Option<Item> {
+        match (left, right) {
+            (Some(l), Some(r)) => Some(l.max(r)),
+            (l, r) => l.or(r),
+        }
+    }
+}
+
+struct MinConsumer;
+
+impl<Item: Send + Ord> Consumer<Item> for MinConsumer {
+    type Result = Option<Item>;
+
+    fn consume<I: Iterator<Item = Item>>(&self, items: I) -> Option<Item> {
+        items.min()
+    }
+
+    fn reduce(&self, left: Option<Item>, right: Option<Item>) -> Option<Item> {
+        match (left, right) {
+            (Some(l), Some(r)) => Some(l.min(r)),
+            (l, r) => l.or(r),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection
+// ---------------------------------------------------------------------------
+
+/// Parallel counterpart of `FromIterator`, used by [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self;
+}
+
+/// Any extendable collection can absorb a parallel iterator: chunks are collected
+/// independently and merged left-to-right, so ordered collections (`Vec`, `String`)
+/// preserve source order exactly.
+impl<T, C> FromParallelIterator<T> for C
+where
+    T: Send,
+    C: Default + Extend<T> + IntoIterator<Item = T> + Send,
+{
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> C {
+        par_iter.drive(CollectConsumer {
+            _collection: PhantomData,
+        })
+    }
+}
+
+struct CollectConsumer<C> {
+    _collection: PhantomData<fn() -> C>,
+}
+
+impl<T, C> Consumer<T> for CollectConsumer<C>
+where
+    T: Send,
+    C: Default + Extend<T> + IntoIterator<Item = T> + Send,
+{
+    type Result = C;
+
+    fn consume<I: Iterator<Item = T>>(&self, items: I) -> C {
+        let mut collection = C::default();
+        collection.extend(items);
+        collection
+    }
+
+    fn reduce(&self, mut left: C, right: C) -> C {
+        left.extend(right);
+        left
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point conversions
+// ---------------------------------------------------------------------------
+
+/// Owned conversion into a parallel iterator (`into_par_iter`). Implemented for the
+/// splittable owned sources this workspace iterates: `Vec<T>` and integer ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<Vec<T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(self)
+    }
+}
+
+macro_rules! into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<Range<$t>>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter::new(self)
+            }
+        }
+    )*};
+}
+
+into_par_iter_range!(usize, u32, u64);
+
+/// Shared-reference conversion (`par_iter`). Implemented on slices; `Vec`s and arrays
+/// reach it through auto-deref.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a [T]>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter::new(self)
+    }
+}
+
+/// Mutable-reference conversion (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParIter<&'a mut [T]>;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        ParIter::new(self)
+    }
+}

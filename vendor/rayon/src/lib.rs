@@ -1,194 +1,99 @@
-//! Minimal, dependency-free shim for the subset of the `rayon` API used by this
-//! workspace. The build container has no access to crates.io, so the workspace vendors
-//! this stand-in; the root manifest points the `rayon` dependency here.
+//! Dependency-free work-stealing stand-in for the subset of the `rayon` API used by
+//! this workspace. The build container has no access to crates.io, so the workspace
+//! vendors this shim; the root manifest points the `rayon` dependency here, and
+//! swapping in the real crate remains a one-line manifest change.
 //!
-//! Everything executes **sequentially** on the calling thread. That preserves exact
-//! semantics (the workspace's parallel algorithms are all deterministic-merge style:
-//! they collect per-item results and combine them, or write through atomics), while
-//! giving up actual parallel speedup until the real crate is swapped back in. The
-//! `ParIter` adaptor set mirrors the rayon names the code uses (`flat_map_iter`,
-//! `find_map_any`, identity-taking `reduce`, …) so no call site changes.
+//! Unlike the original sequential shim, this implementation is **genuinely parallel**:
+//!
+//! * [`pool`] provides a global, lazily-initialized work-stealing thread pool (sized by
+//!   the `PSI_THREADS` environment variable, default: available parallelism) plus
+//!   per-[`ThreadPool`] pools with worker deques, an injector queue for external
+//!   threads, and a blocking [`join`] that keeps stealing while it waits.
+//! * [`iter`] bridges `par_iter` / `into_par_iter` / `par_iter_mut` over indexed
+//!   sources (slices, `Vec`s, integer ranges) onto the pool by recursive halving, with
+//!   order-preserving merges (deterministic `collect`), an associative [`reduce`], and
+//!   early-exit `find_map_any` / `find_any` via a shared atomic flag.
+//!
+//! With `PSI_THREADS=1` (or on a single-core machine with the variable unset) no worker
+//! threads are spawned and every operation runs inline on the caller, reproducing the
+//! old sequential shim exactly — that configuration is the determinism baseline the CI
+//! thread matrix compares against.
+//!
+//! [`reduce`]: ParallelIterator::reduce
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator that carries
-/// rayon-flavoured adaptor names. Implements [`Iterator`] so every std consumer
-/// (`collect`, `max`, `sum`, `for_each`, …) works unchanged; the inherent methods
-/// below shadow the std adaptors so chains like `.par_iter().enumerate().flat_map_iter(…)`
-/// stay inside `ParIter`.
-pub struct ParIter<I>(pub I);
+mod iter;
+mod pool;
 
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
-
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
-}
-
-impl<I: Iterator> ParIter<I> {
-    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
-    }
-
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
-        ParIter(self.0.zip(other))
-    }
-
-    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
-        ParIter(self.0.flat_map(f))
-    }
-
-    /// rayon's `flat_map_iter`: like `flat_map` but the produced iterators are consumed
-    /// serially. Identical to `flat_map` in this sequential shim.
-    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
-        ParIter(self.0.flat_map(f))
-    }
-
-    pub fn with_min_len(self, _len: usize) -> Self {
-        self
-    }
-
-    pub fn with_max_len(self, _len: usize) -> Self {
-        self
-    }
-
-    /// rayon's identity-taking `reduce` (std's `reduce` takes no identity).
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// rayon's `find_map_any`: any matching result is acceptable. Sequentially this is
-    /// simply the first one.
-    pub fn find_map_any<T, F: FnMut(I::Item) -> Option<T>>(self, f: F) -> Option<T> {
-        let mut iter = self.0;
-        let mut f = f;
-        iter.find_map(&mut f)
-    }
-
-    pub fn find_any<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
-        let mut iter = self.0;
-        let mut f = f;
-        iter.find(&mut f)
-    }
-}
-
-/// Owned conversion into a parallel iterator (`into_par_iter`).
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Item = T::Item;
-    type Iter = T::IntoIter;
-
-    fn into_par_iter(self) -> ParIter<T::IntoIter> {
-        ParIter(self.into_iter())
-    }
-}
-
-/// Shared-reference conversion (`par_iter`).
-pub trait IntoParallelRefIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
-}
-
-impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
-where
-    &'a T: IntoIterator,
-{
-    type Item = <&'a T as IntoIterator>::Item;
-    type Iter = <&'a T as IntoIterator>::IntoIter;
-
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-/// Mutable-reference conversion (`par_iter_mut`).
-pub trait IntoParallelRefMutIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
-}
-
-impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
-where
-    &'a mut T: IntoIterator,
-{
-    type Item = <&'a mut T as IntoIterator>::Item;
-    type Iter = <&'a mut T as IntoIterator>::IntoIter;
-
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParIter, ParallelIterator,
+};
 
 pub mod prelude {
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParIter, ParallelIterator,
     };
 }
 
-/// Sequential stand-in for `rayon::join`: runs `a` then `b` on the calling thread.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+/// Runs two closures, potentially in parallel: `b` is made available for stealing by
+/// other pool workers while the calling thread runs `a`, then the caller either runs
+/// `b` inline (if nobody stole it) or helps with other queued work until the thief
+/// finishes. Panics in either closure propagate to the caller; if both panic, `a`'s
+/// payload wins. On a single-threaded pool this is exactly `(a(), b())`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    pool::join(oper_a, oper_b)
 }
 
-/// Number of "worker threads" — always 1 in the sequential shim.
+/// Number of threads of the pool the current context targets: the installed pool
+/// inside [`ThreadPool::install`], the worker's own pool on pool threads, otherwise
+/// the global pool (sized by `PSI_THREADS`, default: available parallelism).
 pub fn current_num_threads() -> usize {
-    1
+    pool::Registry::current().num_threads()
 }
 
-/// Stand-in thread pool: `install` just runs the closure on the calling thread.
+/// A dedicated thread pool. Dropping the pool shuts its workers down.
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: std::sync::Arc<pool::Registry>,
 }
 
 impl ThreadPool {
+    /// Runs `f` with this pool installed as the current thread's pool: every `join`
+    /// and parallel-iterator operation inside (including from worker threads the pool
+    /// itself spawned) executes on this pool instead of the global one. The closure
+    /// runs on the calling thread, which participates in the work — a pool built with
+    /// `num_threads(n)` therefore spawns `n - 1` workers, so `n` threads total
+    /// cooperate, and `num_threads(1)` executes everything sequentially inline.
+    ///
+    /// Known divergence from real rayon: the override is a thread-local of the
+    /// *calling* thread. Calling `pool_b.install` from inside a task already running
+    /// on `pool_a`'s **worker** threads keeps executing on `pool_a` (a worker's own
+    /// registry wins); real rayon would migrate the work to `pool_b`. No workspace
+    /// call site nests installs across pools.
     pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
-        f()
+        pool::with_installed(&self.registry, f)
     }
 
+    /// The pool's thread count (including the installing caller).
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_threads()
     }
 }
 
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.shutdown();
+    }
+}
+
+/// Error building a thread pool. The shim's builder cannot actually fail; the type
+/// exists for API compatibility.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
 
@@ -200,6 +105,7 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
+/// Builder for [`ThreadPool`].
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -210,14 +116,22 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
+    /// Total number of cooperating threads (the installing caller counts as one).
+    /// Zero, like in rayon, means "use the default" (`PSI_THREADS` or the available
+    /// parallelism).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            pool::default_num_threads()
+        } else {
+            self.num_threads
+        };
         Ok(ThreadPool {
-            num_threads: self.num_threads.max(1),
+            registry: pool::Registry::new(n),
         })
     }
 }
@@ -225,10 +139,22 @@ impl ThreadPoolBuilder {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// A 4-thread pool regardless of the host's core count, so the parallel paths are
+    /// exercised even on single-core CI runners.
+    fn pool4() -> super::ThreadPool {
+        super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn par_iter_adaptor_chain() {
-        let v = vec![1u32, 2, 3, 4, 5];
+        let v = [1u32, 2, 3, 4, 5];
         let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
 
@@ -268,7 +194,136 @@ mod tests {
     fn join_and_pool() {
         let (a, b) = super::join(|| 1 + 1, || 2 + 2);
         assert_eq!((a, b), (2, 4));
-        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool = pool4();
         assert_eq!(pool.install(|| 21 * 2), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+
+    #[test]
+    fn pool_runs_work_on_multiple_threads() {
+        // 64 coarse items, each recording the thread it ran on. With 3 workers plus
+        // the caller there is no guarantee how work is distributed, but everything
+        // must complete and produce correct, ordered results.
+        let pool = pool4();
+        let threads: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let squares: Vec<u64> = pool.install(|| {
+            (0..64u64)
+                .into_par_iter()
+                .map(|x| {
+                    threads.lock().unwrap().insert(std::thread::current().id());
+                    // enough work per item that stealing is worthwhile
+                    (0..2_000u64).fold(x, |acc, i| acc.wrapping_add(i * x)) % 1_000 + x * x
+                        - ((0..2_000u64).fold(x, |acc, i| acc.wrapping_add(i * x)) % 1_000)
+                })
+                .collect()
+        });
+        assert_eq!(squares, (0..64u64).map(|x| x * x).collect::<Vec<_>>());
+        let used = threads.lock().unwrap().len();
+        assert!(used >= 1, "at least the caller must have participated");
+    }
+
+    #[test]
+    fn collect_order_is_deterministic_under_parallelism() {
+        let pool = pool4();
+        let expected: Vec<usize> = (0..10_000).map(|x| x / 3).collect();
+        for _ in 0..10 {
+            let got: Vec<usize> =
+                pool.install(|| (0..10_000usize).into_par_iter().map(|x| x / 3).collect());
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn nested_joins_make_progress() {
+        let pool = pool4();
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn for_each_sees_every_item_exactly_once() {
+        let pool = pool4();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..5_000usize).into_par_iter().for_each(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 5_000);
+    }
+
+    #[test]
+    fn find_map_any_early_exit_still_respects_absence() {
+        let pool = pool4();
+        let miss = pool.install(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .find_map_any(|_| None::<usize>)
+        });
+        assert_eq!(miss, None);
+        let hit = pool.install(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .find_map_any(|x| (x == 9_999).then_some(x))
+        });
+        assert_eq!(hit, Some(9_999));
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let pool = pool4();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                super::join(|| 1, || -> i32 { panic!("boom in b") });
+            })
+        });
+        assert!(result.is_err());
+        // pool is still usable afterwards
+        assert_eq!(pool.install(|| (0..100usize).into_par_iter().count()), 100);
+    }
+
+    #[test]
+    fn filter_and_sum_min_max() {
+        let pool = pool4();
+        let (s, mn, mx) = pool.install(|| {
+            let s: u64 = (0..1_000u64).into_par_iter().filter(|&x| x % 2 == 0).sum();
+            let mn = (0..1_000u64).into_par_iter().min();
+            let mx = (0..1_000u64).into_par_iter().map(|x| x ^ 1).max();
+            (s, mn, mx)
+        });
+        assert_eq!(s, (0..1_000u64).filter(|x| x % 2 == 0).sum::<u64>());
+        assert_eq!(mn, Some(0));
+        assert_eq!(mx, Some(999 ^ 1).max(Some(998 ^ 1)));
+    }
+
+    #[test]
+    fn install_overrides_global_pool() {
+        let one = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let four = pool4();
+        one.install(|| assert_eq!(super::current_num_threads(), 1));
+        four.install(|| assert_eq!(super::current_num_threads(), 4));
+        four.install(|| one.install(|| assert_eq!(super::current_num_threads(), 1)));
+    }
+
+    #[test]
+    fn slices_vecs_and_ranges_split() {
+        let pool = pool4();
+        pool.install(|| {
+            let v: Vec<i64> = (0..999).collect();
+            let by_ref: i64 = v.par_iter().map(|&x| x).sum();
+            let owned: i64 = v.clone().into_par_iter().sum();
+            assert_eq!(by_ref, owned);
+            let counted = (0u32..999).into_par_iter().count();
+            assert_eq!(counted, 999);
+        });
     }
 }

@@ -1,0 +1,470 @@
+//! The work-stealing thread pool behind the shim.
+//!
+//! Architecture (a deliberately compact cousin of real rayon's registry):
+//!
+//! * A [`Registry`] owns one double-ended job queue per worker thread plus a shared
+//!   injector queue for jobs submitted from threads outside the pool. Workers push and
+//!   pop their own deque at the back (LIFO, cache-friendly for divide-and-conquer) and
+//!   steal from other deques and the injector at the front (FIFO, steals the largest
+//!   pending subproblem first) — the chase-lev discipline, implemented with mutexed
+//!   `VecDeque`s since the workspace is `std`-only.
+//! * [`join_in`] is the sole fork primitive. The closure `b` is published as a
+//!   [`StackJob`] — a raw pointer into the caller's stack frame — while the caller runs
+//!   `a` inline. Afterwards the caller either reclaims `b` from the queue (the common,
+//!   steal-free case: zero allocation, runs inline) or, if `b` was stolen, works off
+//!   other queued jobs until the thief's completion latch trips. The caller never
+//!   returns (not even by panic) while `b` is outstanding, which is what makes the
+//!   borrowed-stack `StackJob` sound.
+//! * A registry built with one thread spawns no workers at all and executes everything
+//!   inline on the caller, byte-for-byte like the old sequential shim; `PSI_THREADS=1`
+//!   therefore remains the reference configuration for determinism comparisons.
+//!
+//! Which registry a `join` targets is resolved dynamically: a worker thread always uses
+//! its own registry; other threads use the innermost [`ThreadPool::install`] override
+//! (a thread-local stack) and fall back to the lazily-built global pool sized by the
+//! `PSI_THREADS` environment variable (default: `std::thread::available_parallelism`).
+//!
+//! [`ThreadPool::install`]: crate::ThreadPool::install
+
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a [`StackJob`] living on some caller's stack.
+///
+/// Safety contract: the pointee must stay alive (and pinned) until its latch is set.
+/// `join_in` guarantees this by never unwinding past the frame that owns the job while
+/// the job is queued or running.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// The raw pointer is only dereferenced by `exec`, whose soundness is the StackJob
+// latch protocol; the closure and result types themselves are required to be Send.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Safety: the pointee must still be alive.
+    unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// A completion latch. Deliberately nothing but an atomic flag: the latch lives
+/// inside a [`StackJob`] on the join owner's stack, and the owner is free to destroy
+/// it the moment `probe()` returns true — so `set()` must be the setter's **last**
+/// access to the job's memory (no mutex/condvar inside the latch; waiting machinery
+/// lives in the [`Registry`], which outlives every job). Workers wait by
+/// probe-and-steal ([`Registry::wait_until`]); external threads park on the
+/// registry's condvar with a timeout backstop ([`Registry::wait_blocking`]).
+pub(crate) struct Latch {
+    ready: AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            ready: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// The single store below is the last access to the owning job's memory.
+    fn set(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+}
+
+/// A fork-side closure published for stealing while its owner runs the other side.
+/// Lives on the forking caller's stack; see the module docs for the lifetime protocol.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+// Accessed by at most one other thread (the thief), and only through the latch
+// protocol: the thief writes `result` before setting the latch, the owner reads it
+// after observing the latch.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F: FnOnce() -> R, R> StackJob<F, R> {
+    fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// Safety: the caller must keep `self` alive until the latch is set (or until the
+    /// returned `JobRef` has been removed from every queue without executing).
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const StackJob<F, R> as *const (),
+            exec: execute_stack_job::<F, R>,
+        }
+    }
+
+    fn take_result(self) -> R {
+        match self.result.into_inner() {
+            Some(Ok(value)) => value,
+            Some(Err(payload)) => resume_unwind(payload),
+            None => unreachable!("stack job reaped before execution"),
+        }
+    }
+}
+
+unsafe fn execute_stack_job<F: FnOnce() -> R, R>(data: *const ()) {
+    let job = &*(data as *const StackJob<F, R>);
+    let func = (*job.func.get()).take().expect("stack job executed twice");
+    let result = catch_unwind(AssertUnwindSafe(func));
+    *job.result.get() = Some(result);
+    job.latch.set();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A set of worker threads with their queues. `num_threads` counts the participating
+/// caller too: a registry of size `n` spawns `n - 1` workers, and size 1 spawns none.
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    /// Number of threads currently parked on `wake`. Lets `notify_one` skip the
+    /// mutex+condvar entirely in the common everyone-is-busy case, so job pushes
+    /// don't serialize on the registry-wide sleep lock.
+    sleepers: std::sync::atomic::AtomicUsize,
+    terminate: AtomicBool,
+    num_threads: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// Set once per worker thread: (owning registry, worker index).
+    static WORKER_CTX: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
+    /// Stack of `ThreadPool::install` overrides on non-worker threads.
+    static INSTALL_STACK: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Pool size for the global registry: `PSI_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub(crate) fn default_num_threads() -> usize {
+    std::env::var("PSI_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
+fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Registry::new(default_num_threads()))
+}
+
+impl Registry {
+    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+        let num_threads = num_threads.max(1);
+        let workers = num_threads - 1;
+        let registry = Arc::new(Registry {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            sleepers: std::sync::atomic::AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+            num_threads,
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let reg = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("psi-rayon-{index}"))
+                .spawn(move || worker_main(reg, index))
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        *registry.handles.lock().unwrap() = handles;
+        registry
+    }
+
+    /// The registry the current thread's parallel operations should target.
+    pub(crate) fn current() -> Arc<Registry> {
+        if let Some(reg) = WORKER_CTX.with(|c| c.borrow().as_ref().map(|(r, _)| Arc::clone(r))) {
+            return reg;
+        }
+        if let Some(reg) = INSTALL_STACK.with(|s| s.borrow().last().cloned()) {
+            return reg;
+        }
+        Arc::clone(global_registry())
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Worker index of the current thread *within this registry*, if any.
+    fn current_worker_index(self: &Arc<Registry>) -> Option<usize> {
+        WORKER_CTX.with(|c| {
+            c.borrow()
+                .as_ref()
+                .and_then(|(reg, idx)| Arc::ptr_eq(reg, self).then_some(*idx))
+        })
+    }
+
+    fn push_local(&self, worker: usize, job: JobRef) {
+        self.deques[worker].lock().unwrap().push_back(job);
+        self.notify_one();
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify_one();
+    }
+
+    fn notify_one(&self) {
+        // A sleeper that registers between this check and its `wait_timeout` is woken
+        // by the timeout backstop at worst; skipping the lock when nobody is parked is
+        // what keeps fine-grained forking off the registry-wide mutex.
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.wake.notify_one();
+        }
+    }
+
+    /// Wakes every parked thread after a job completed: an external join caller may
+    /// be blocked in [`Registry::wait_blocking`] on exactly that job's latch. Guarded
+    /// by the sleeper count, so the busy-pool case stays lock-free.
+    fn notify_job_done(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.wake.notify_all();
+        }
+    }
+
+    /// Parks the calling thread until `latch` trips. For threads outside the pool:
+    /// they cannot steal, and the latch itself (job stack memory) must not own the
+    /// condvar, so they wait on the registry's — re-probing under the lock, woken by
+    /// [`Registry::notify_job_done`], with a timeout backstop for missed signals.
+    fn wait_blocking(&self, latch: &Latch) {
+        while !latch.probe() {
+            let guard = self.sleep_lock.lock().unwrap();
+            if latch.probe() {
+                return;
+            }
+            self.sleepers.fetch_add(1, Ordering::Relaxed);
+            let _ = self
+                .wake
+                .wait_timeout(guard, Duration::from_micros(500))
+                .unwrap();
+            self.sleepers.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pops work: own deque back first (LIFO), then the injector, then steals the
+    /// front (largest subproblem) of the other workers' deques.
+    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(m) = me {
+            if let Some(job) = self.deques[m].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = me.map(|m| m + 1).unwrap_or(0);
+        for k in 0..n {
+            let i = (start + k) % n.max(1);
+            if Some(i) == me {
+                continue;
+            }
+            if let Some(job) = self.deques[i].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Removes `target` from the queue it was pushed to, if nobody has taken it yet.
+    fn try_unqueue(&self, me: Option<usize>, target: JobRef) -> bool {
+        let queue = match me {
+            Some(m) => &self.deques[m],
+            None => &self.injector,
+        };
+        let mut queue = queue.lock().unwrap();
+        match queue
+            .iter()
+            .rposition(|j| std::ptr::eq(j.data, target.data))
+        {
+            Some(pos) => {
+                queue.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Waits for `latch`; pool workers keep executing stolen work in the meantime so
+    /// the pool cannot deadlock on nested joins.
+    fn wait_until(&self, me: Option<usize>, latch: &Latch) {
+        match me {
+            None => self.wait_blocking(latch),
+            Some(m) => {
+                let mut idle: u32 = 0;
+                while !latch.probe() {
+                    if let Some(job) = self.find_work(Some(m)) {
+                        unsafe { job.execute() };
+                        self.notify_job_done();
+                        idle = 0;
+                    } else {
+                        idle += 1;
+                        if idle < 32 {
+                            std::hint::spin_loop();
+                        } else if idle < 256 {
+                            std::thread::yield_now();
+                        } else {
+                            // Oversubscribed or single-core host: stop burning quanta.
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Signals workers to exit and joins them. Only called from `ThreadPool::drop`,
+    /// by which point every `install` has returned, so no jobs are outstanding.
+    pub(crate) fn shutdown(&self) {
+        self.terminate.store(true, Ordering::Relaxed);
+        {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.wake.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER_CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&registry), index)));
+    loop {
+        if let Some(job) = registry.find_work(Some(index)) {
+            // execute_stack_job catches panics internally, so workers never unwind.
+            unsafe { job.execute() };
+            registry.notify_job_done();
+            continue;
+        }
+        if registry.terminate.load(Ordering::Relaxed) {
+            break;
+        }
+        // Sleep until notified; the timeout bounds the cost of a lost wakeup (a push
+        // can miss a sleeper that registers after the sleeper-count check).
+        let guard = registry.sleep_lock.lock().unwrap();
+        registry.sleepers.fetch_add(1, Ordering::Relaxed);
+        let _ = registry
+            .wake
+            .wait_timeout(guard, Duration::from_millis(2))
+            .unwrap();
+        registry.sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Pushes an install override for the duration of `f` (see module docs).
+pub(crate) fn with_installed<R>(registry: &Arc<Registry>, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            INSTALL_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    INSTALL_STACK.with(|s| s.borrow_mut().push(Arc::clone(registry)));
+    let _guard = Guard;
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// The fork–join primitive on an explicit registry. `b` is made stealable while the
+/// caller runs `a`; see the module docs for the reclaim/steal protocol.
+pub(crate) fn join_in<A, B, RA, RB>(registry: &Arc<Registry>, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let me = registry.current_worker_index();
+    let job_b = StackJob::new(oper_b);
+    // Safety: job_b outlives every path below — each one either reclaims the job from
+    // the queue or waits for its latch before this frame is left, panics included.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    match me {
+        Some(m) => registry.push_local(m, job_ref),
+        None => registry.inject(job_ref),
+    }
+
+    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+
+    if registry.try_unqueue(me, job_ref) {
+        // Nobody stole b: run it inline (or, if a panicked, just drop it unexecuted).
+        match result_a {
+            Ok(ra) => {
+                unsafe { execute_stack_job::<B, RB>(job_ref.data) };
+                (ra, job_b.take_result())
+            }
+            Err(payload) => resume_unwind(payload),
+        }
+    } else {
+        // b is (being) executed elsewhere; help with other work until it completes.
+        registry.wait_until(me, &job_b.latch);
+        match result_a {
+            Ok(ra) => (ra, job_b.take_result()),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// `join` against the current thread's registry; sequential when the registry has a
+/// single thread.
+pub(crate) fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = Registry::current();
+    if registry.num_threads() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    join_in(&registry, oper_a, oper_b)
+}
