@@ -6,7 +6,8 @@
 //! relevant rows into `EXPERIMENTS.md`.
 
 use planar_subiso::{
-    build_cover, vertex_connectivity, ConnectivityMode, Pattern, SubgraphIsomorphism,
+    build_cover, find_separating_occurrence_with_stats, run_parallel, vertex_connectivity,
+    ConnectivityMode, ParallelDpConfig, Pattern, SeparatingInstance, SubgraphIsomorphism,
 };
 use psi_baselines::{eppstein_sequential_decide, flow_vertex_connectivity, ullmann_decide};
 use psi_bench::{size_sweep, table1_patterns, target_with_n};
@@ -60,6 +61,188 @@ fn main() {
     }
     if want("f10") {
         f10_path_layers();
+    }
+    if want("bench_dp") {
+        bench_dp();
+    }
+}
+
+/// One machine-readable measurement of the DP state engine.
+struct DpBenchCase {
+    name: &'static str,
+    all_ms: Vec<f64>,
+    states: usize,
+    peak_states: usize,
+    interned_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl DpBenchCase {
+    fn median_ms(&self) -> f64 {
+        let mut sorted = self.all_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// bench_dp — machine-readable DP state-engine baselines (`BENCH_dp.json`).
+///
+/// Each case reports the median wall-clock of several runs plus the interned-state
+/// accounting of the last run (states and bytes are deterministic per case, so one
+/// sample suffices for them). The JSON is the perf trajectory future PRs diff against;
+/// CI's nightly job uploads it as an artifact.
+fn bench_dp() {
+    println!("\n== bench_dp: DP state-engine baselines -> BENCH_dp.json ==");
+    let mut cases: Vec<DpBenchCase> = Vec::new();
+
+    // Plain + parallel DP: decision tables on a mid-size triangulated grid.
+    for (name, side, pattern) in [
+        ("dp_parallel_c4_grid24", 24usize, Pattern::cycle(4)),
+        ("dp_parallel_c6_grid12", 12usize, Pattern::cycle(6)),
+    ] {
+        let g = generators::triangulated_grid(side, side);
+        let td = min_degree_decomposition(&g);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        let mut all_ms = Vec::new();
+        let mut last = None;
+        for _ in 0..3 {
+            let (res, stats) = {
+                let start = Instant::now();
+                let out = run_parallel(&g, &pattern, &btd, ParallelDpConfig::default());
+                all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+                out
+            };
+            last = Some((res, stats));
+        }
+        let (res, stats) = last.unwrap();
+        cases.push(DpBenchCase {
+            name,
+            all_ms,
+            states: res.total_states,
+            peak_states: res.tables.iter().map(|t| t.len()).max().unwrap_or(0),
+            interned_bytes: stats.arena.bytes,
+            hits: stats.arena.hits,
+            misses: stats.arena.misses,
+        });
+    }
+
+    // Separating DP: an adversarial no-instance C6 search (S = adjacent pair, can never
+    // be separated, so every table is materialised in full) and the C8 grid search.
+    {
+        let g = generators::triangulated_grid(5, 5);
+        let n = g.num_vertices();
+        let mut in_s = vec![false; n];
+        in_s[0] = true;
+        in_s[1] = true;
+        let allowed = vec![true; n];
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &allowed,
+        };
+        cases.push(bench_sep_case("sep_c6_adversarial_g5", &inst, 6, 3));
+    }
+    {
+        let g = generators::grid(4, 4);
+        let n = g.num_vertices();
+        let in_s = vec![true; n];
+        let allowed = vec![true; n];
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &allowed,
+        };
+        cases.push(bench_sep_case("sep_c8_grid4", &inst, 8, 3));
+    }
+
+    // Connectivity: the full pipeline on the 4-connected octahedron (two exhaustive
+    // no-instance searches before the separating C8 is found) and the 5-connected
+    // icosahedron (three exhaustive searches — the worst case of Section 5.2).
+    for (name, e, runs) in [
+        ("conn_octahedron", pg::octahedron(), 3usize),
+        ("conn_icosahedron", pg::icosahedron(), 1usize),
+    ] {
+        let mut all_ms = Vec::new();
+        let mut last_states = 0usize;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let result = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 1);
+            all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+            last_states = result.states_explored;
+        }
+        cases.push(DpBenchCase {
+            name,
+            all_ms,
+            states: last_states,
+            peak_states: 0,
+            interned_bytes: 0,
+            hits: 0,
+            misses: 0,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_dp/v1\",\n");
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n  \"cases\": [\n",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ms\": {:.2}, \"all_ms\": [{}], \
+             \"states\": {}, \"peak_states\": {}, \"interned_bytes\": {}, \
+             \"hits\": {}, \"misses\": {}}}{}\n",
+            c.name,
+            c.median_ms(),
+            all.join(", "),
+            c.states,
+            c.peak_states,
+            c.interned_bytes,
+            c.hits,
+            c.misses,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+        println!(
+            "{:<26} median {:>10.2} ms   states {:>9}   peak {:>8}",
+            c.name,
+            c.median_ms(),
+            c.states,
+            c.peak_states
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_dp.json", json).expect("write BENCH_dp.json");
+    println!("wrote BENCH_dp.json");
+}
+
+fn bench_sep_case(
+    name: &'static str,
+    inst: &SeparatingInstance<'_>,
+    cycle: usize,
+    runs: usize,
+) -> DpBenchCase {
+    let pattern = Pattern::cycle(cycle);
+    let mut all_ms = Vec::new();
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = find_separating_occurrence_with_stats(inst, &pattern);
+        all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+        last = Some(out.1);
+    }
+    let stats = last.unwrap();
+    DpBenchCase {
+        name,
+        all_ms,
+        states: stats.sep_states,
+        peak_states: stats.peak_node_states,
+        interned_bytes: stats.arena.bytes,
+        hits: stats.arena.hits,
+        misses: stats.arena.misses,
     }
 }
 

@@ -1,0 +1,405 @@
+//! Arena-backed state interning — the DP state engine.
+//!
+//! Every layer of the dynamic program (plain, path-parallel, and S-separating) spends
+//! its time materialising *states*: short fixed-width sequences of `u32` status words.
+//! The seed implementation kept each state twice (once in a `Vec`, once as a `HashMap`
+//! key) and cloned it on every table lookup. A [`StateArena`] instead stores each
+//! distinct state's words exactly once in a contiguous buffer and hands out dense
+//! [`StateId`] handles:
+//!
+//! * **No key clones.** Lookup hashes a *borrowed* word slice and compares it against
+//!   the arena buffer directly (an open-addressing table stores only `u32` ids — the
+//!   arena itself is the key storage), so interning an already-known state allocates
+//!   nothing.
+//! * **Packed fast path.** For small patterns (width ≤ [`PACK_MAX_WIDTH`] words) whose
+//!   words all fit in 10 bits — true for every cover piece, whose local vertex ids are
+//!   small — each state is additionally mirrored as a single `u128`, making equality
+//!   comparisons one integer compare instead of a word-by-word memcmp. States that do
+//!   not fit fall back to the general slab transparently (the two representations can
+//!   coexist in one arena).
+//! * **Deterministic ids.** Ids are assigned in first-insertion order, so iterating
+//!   `0..len` reproduces exactly the insertion-ordered `Vec<MatchState>` of the old
+//!   representation — the property the parallel-determinism suite pins down.
+//! * **Accounting.** The arena counts interned states, resident bytes, and hit/miss
+//!   traffic ([`ArenaStats`]), surfaced through the DP result types so table-growth
+//!   regressions are visible in tests and benches.
+
+/// Dense handle of an interned state (index into its [`StateArena`], insertion order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Widest state (in words) eligible for the packed `u128` representation.
+pub const PACK_MAX_WIDTH: usize = 12;
+
+/// Per-word budget of the packed representation: 10 bits. Values `0..=1021` are stored
+/// directly; the two status sentinels map to `1022`/`1023`.
+const PACK_BITS: u32 = 10;
+const PACK_LIMIT: u32 = (1 << PACK_BITS) - 2; // 1022
+/// Sentinel marking a slab row that has no packed mirror (the top 8 bits of a genuine
+/// packed value are always zero, so `u128::MAX` is unreachable).
+const UNPACKED: u128 = u128::MAX;
+
+const EMPTY_BUCKET: u32 = u32::MAX;
+
+/// Interning statistics of one arena (or an aggregate over several).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Number of distinct states stored.
+    pub states_interned: usize,
+    /// Resident bytes (word slab + packed mirror + hash buckets).
+    pub bytes: usize,
+    /// Lookups that found the state already interned.
+    pub hits: u64,
+    /// Lookups that inserted a new state.
+    pub misses: u64,
+}
+
+impl ArenaStats {
+    /// Accumulates another arena's statistics into this one.
+    pub fn absorb(&mut self, other: &ArenaStats) {
+        self.states_interned += other.states_interned;
+        self.bytes += other.bytes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A fixed-width interning arena for DP states.
+///
+/// All states of one arena have the same width (number of `u32` status words); the
+/// arena stores their words back-to-back in one buffer and deduplicates on insertion.
+#[derive(Clone, Debug)]
+pub struct StateArena {
+    width: usize,
+    /// Contiguous word storage: state `i` occupies `words[i*width..(i+1)*width]`.
+    words: Vec<u32>,
+    /// Packed `u128` mirror per state (`UNPACKED` when the row does not fit); empty
+    /// when `width > PACK_MAX_WIDTH`.
+    packed: Vec<u128>,
+    /// Open-addressing buckets holding state ids (`EMPTY_BUCKET` = vacant).
+    buckets: Vec<u32>,
+    len: usize,
+    hits: u64,
+    misses: u64,
+}
+
+#[inline]
+fn hash_words(words: &[u32]) -> u64 {
+    // FxHash-style multiply-rotate fold: fast on the short slices the DP produces and
+    // deterministic across runs/platforms (no per-process seed).
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h: u64 = words.len() as u64;
+    for &w in words {
+        h = (h.rotate_left(5) ^ w as u64).wrapping_mul(SEED);
+    }
+    h
+}
+
+/// Packs a row into a `u128` if every word fits the 10-bit budget.
+#[inline]
+fn try_pack(words: &[u32]) -> Option<u128> {
+    if words.len() > PACK_MAX_WIDTH {
+        return None;
+    }
+    let mut p: u128 = 0;
+    for (i, &w) in words.iter().enumerate() {
+        // The two sentinels (`u32::MAX`, `u32::MAX - 1`) land on 1023/1022.
+        let code = if w >= u32::MAX - 1 {
+            w - (u32::MAX - 1) + PACK_LIMIT
+        } else if w < PACK_LIMIT {
+            w
+        } else {
+            return None;
+        };
+        p |= (code as u128) << (i as u32 * PACK_BITS);
+    }
+    // Offset by 1 so that the all-zero row is distinguishable from vacancy in debug
+    // dumps; the offset cancels in comparisons and keeps `UNPACKED` unreachable.
+    Some(p + 1)
+}
+
+impl StateArena {
+    /// Creates an empty arena for states of `width` words.
+    pub fn new(width: usize) -> Self {
+        StateArena {
+            width,
+            words: Vec::new(),
+            packed: Vec::new(),
+            buckets: vec![EMPTY_BUCKET; 16],
+            len: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The state width in words.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of distinct states interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no states.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The words of state `id` (borrowed from the slab — never a clone).
+    #[inline]
+    pub fn get(&self, id: StateId) -> &[u32] {
+        let i = id.index();
+        &self.words[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates all states in id (= insertion) order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[u32]> + '_ {
+        // `chunks_exact(0)` panics, and a width-0 arena holds at most one (empty) state.
+        let width = self.width.max(1);
+        ZeroAwareIter {
+            inner: self.words.chunks_exact(width),
+            empty_left: if self.width == 0 { self.len } else { 0 },
+        }
+    }
+
+    /// Interns a state, returning its id and whether it was newly inserted.
+    ///
+    /// A hit performs no allocation: the probe hashes the borrowed slice and compares
+    /// against the slab (via the packed mirror when both sides fit).
+    pub fn intern(&mut self, state: &[u32]) -> (StateId, bool) {
+        debug_assert_eq!(state.len(), self.width);
+        if self.len + 1 > self.buckets.len() / 8 * 7 {
+            self.grow();
+        }
+        let probe_packed = if self.width <= PACK_MAX_WIDTH {
+            try_pack(state)
+        } else {
+            None
+        };
+        let mask = self.buckets.len() - 1;
+        let mut pos = hash_words(state) as usize & mask;
+        loop {
+            let slot = self.buckets[pos];
+            if slot == EMPTY_BUCKET {
+                let id = self.len as u32;
+                self.buckets[pos] = id;
+                self.words.extend_from_slice(state);
+                if self.width <= PACK_MAX_WIDTH {
+                    self.packed.push(probe_packed.unwrap_or(UNPACKED));
+                }
+                self.len += 1;
+                self.misses += 1;
+                return (StateId(id), true);
+            }
+            if self.rows_equal(slot as usize, state, probe_packed) {
+                self.hits += 1;
+                return (StateId(slot), false);
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    /// Looks a state up without inserting (does not touch the hit/miss counters).
+    pub fn lookup(&self, state: &[u32]) -> Option<StateId> {
+        debug_assert_eq!(state.len(), self.width);
+        let probe_packed = if self.width <= PACK_MAX_WIDTH {
+            try_pack(state)
+        } else {
+            None
+        };
+        let mask = self.buckets.len() - 1;
+        let mut pos = hash_words(state) as usize & mask;
+        loop {
+            let slot = self.buckets[pos];
+            if slot == EMPTY_BUCKET {
+                return None;
+            }
+            if self.rows_equal(slot as usize, state, probe_packed) {
+                return Some(StateId(slot));
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    #[inline]
+    fn rows_equal(&self, row: usize, state: &[u32], probe_packed: Option<u128>) -> bool {
+        if let Some(p) = probe_packed {
+            // Fast path: one integer compare. A row whose mirror is `UNPACKED` cannot
+            // equal a packable probe (some word of it exceeded the budget).
+            return self.packed[row] == p;
+        }
+        if self.width <= PACK_MAX_WIDTH && self.packed[row] != UNPACKED {
+            return false; // packable row vs. unpackable probe
+        }
+        &self.words[row * self.width..(row + 1) * self.width] == state
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.buckets.len() * 2).max(16);
+        let mask = new_cap - 1;
+        let mut buckets = vec![EMPTY_BUCKET; new_cap];
+        for id in 0..self.len {
+            let row = &self.words[id * self.width..(id + 1) * self.width];
+            let mut pos = hash_words(row) as usize & mask;
+            while buckets[pos] != EMPTY_BUCKET {
+                pos = (pos + 1) & mask;
+            }
+            buckets[pos] = id as u32;
+        }
+        self.buckets = buckets;
+    }
+
+    /// Current statistics of this arena.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            states_interned: self.len,
+            bytes: self.words.capacity() * 4
+                + self.packed.capacity() * 16
+                + self.buckets.capacity() * 4,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+/// Iterator adapter handling the width-0 corner case of [`StateArena::iter`].
+struct ZeroAwareIter<'a> {
+    inner: std::slice::ChunksExact<'a, u32>,
+    empty_left: usize,
+}
+
+impl<'a> Iterator for ZeroAwareIter<'a> {
+    type Item = &'a [u32];
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.empty_left > 0 {
+            self.empty_left -= 1;
+            return Some(&[]);
+        }
+        self.inner.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.inner.len() + self.empty_left;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ZeroAwareIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ST_IN_CHILD, ST_UNMATCHED};
+
+    #[test]
+    fn intern_deduplicates_and_preserves_insertion_order() {
+        let mut a = StateArena::new(3);
+        let (x, fresh_x) = a.intern(&[1, 2, 3]);
+        let (y, fresh_y) = a.intern(&[4, 5, 6]);
+        let (x2, fresh_x2) = a.intern(&[1, 2, 3]);
+        assert!(fresh_x && fresh_y && !fresh_x2);
+        assert_eq!(x, x2);
+        assert_eq!((x.index(), y.index()), (0, 1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(x), &[1, 2, 3]);
+        assert_eq!(a.get(y), &[4, 5, 6]);
+        let rows: Vec<&[u32]> = a.iter().collect();
+        assert_eq!(rows, vec![&[1u32, 2, 3][..], &[4, 5, 6][..]]);
+        let stats = a.stats();
+        assert_eq!(stats.states_interned, 2);
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn sentinels_survive_the_packed_representation() {
+        let mut a = StateArena::new(4);
+        let rows: Vec<Vec<u32>> = vec![
+            vec![ST_UNMATCHED; 4],
+            vec![ST_IN_CHILD; 4],
+            vec![ST_UNMATCHED, ST_IN_CHILD, 0, 1021],
+            vec![0, 0, 0, 0],
+            vec![1021, 1021, 1021, 1021],
+        ];
+        let ids: Vec<StateId> = rows.iter().map(|r| a.intern(r).0).collect();
+        for (row, id) in rows.iter().zip(&ids) {
+            assert_eq!(a.get(*id), &row[..]);
+            assert_eq!(a.lookup(row), Some(*id));
+        }
+        assert_eq!(a.len(), rows.len());
+    }
+
+    #[test]
+    fn packed_and_unpacked_rows_coexist() {
+        let mut a = StateArena::new(2);
+        // 5000 exceeds the 10-bit packed budget → slab fallback for those rows.
+        let small = a.intern(&[3, 7]).0;
+        let big = a.intern(&[5000, 7]).0;
+        let big2 = a.intern(&[5000, 8]).0;
+        assert_eq!(a.intern(&[3, 7]).0, small);
+        assert_eq!(a.intern(&[5000, 7]).0, big);
+        assert_eq!(a.intern(&[5000, 8]).0, big2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(big), &[5000, 7]);
+        assert_eq!(a.lookup(&[5000, 9]), None);
+    }
+
+    #[test]
+    fn wide_states_skip_packing_entirely() {
+        let width = PACK_MAX_WIDTH + 3;
+        let mut a = StateArena::new(width);
+        let row_a: Vec<u32> = (0..width as u32).collect();
+        let row_b: Vec<u32> = (1..=width as u32).collect();
+        let ia = a.intern(&row_a).0;
+        let ib = a.intern(&row_b).0;
+        assert_ne!(ia, ib);
+        assert_eq!(a.intern(&row_a).0, ia);
+        assert_eq!(a.get(ib), &row_b[..]);
+    }
+
+    #[test]
+    fn growth_rehashes_correctly() {
+        let mut a = StateArena::new(2);
+        let n = 10_000u32;
+        for i in 0..n {
+            // Mix packable and unpackable rows across several grows.
+            let row = [i % 1500, i / 3];
+            let (id, fresh) = a.intern(&row);
+            assert!(fresh, "row {i} wrongly deduplicated");
+            assert_eq!(id.index() as u32, i);
+        }
+        for i in 0..n {
+            let row = [i % 1500, i / 3];
+            let (id, fresh) = a.intern(&row);
+            assert!(!fresh);
+            assert_eq!(id.index() as u32, i);
+            assert_eq!(a.get(id), &row);
+        }
+        assert_eq!(a.len(), n as usize);
+    }
+
+    #[test]
+    fn zero_width_arena_holds_one_state() {
+        let mut a = StateArena::new(0);
+        let (id, fresh) = a.intern(&[]);
+        assert!(fresh);
+        let (id2, fresh2) = a.intern(&[]);
+        assert!(!fresh2);
+        assert_eq!(id, id2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(id), &[] as &[u32]);
+        assert_eq!(a.iter().count(), 1);
+    }
+}

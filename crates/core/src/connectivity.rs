@@ -18,10 +18,11 @@
 
 use crate::cover::build_separating_cover;
 use crate::pattern::Pattern;
-use crate::separating::{find_separating_occurrence, SeparatingInstance};
+use crate::separating::{find_separating_occurrence_with_stats, SeparatingInstance};
 use psi_graph::{CsrGraph, Vertex, INVALID_VERTEX};
 use psi_planar::{face_vertex_graph, Embedding};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How the separating-cycle searches are executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +43,10 @@ pub struct ConnectivityResult {
     /// A witness vertex cut of size `c` (empty when `c` equals `n − 1` or 5-connectivity
     /// was concluded by exhaustion).
     pub cut: Vec<Vertex>,
+    /// Total separating-DP states interned across every cycle search performed (the
+    /// dominant cost of the pipeline; a regression canary for the state engine). In
+    /// `Cover` mode the count covers the pieces searched before the first hit.
+    pub states_explored: usize,
 }
 
 /// Computes the vertex connectivity of an embedded planar graph.
@@ -57,18 +62,21 @@ pub fn vertex_connectivity(
         return ConnectivityResult {
             connectivity: 0,
             cut: Vec::new(),
+            states_explored: 0,
         };
     }
     if !psi_graph::is_connected(g) {
         return ConnectivityResult {
             connectivity: 0,
             cut: Vec::new(),
+            states_explored: 0,
         };
     }
     if n == 2 {
         return ConnectivityResult {
             connectivity: 1,
             cut: Vec::new(),
+            states_explored: 0,
         };
     }
     let aps = psi_graph::articulation_points(g);
@@ -76,6 +84,7 @@ pub fn vertex_connectivity(
         return ConnectivityResult {
             connectivity: 1,
             cut: vec![a],
+            states_explored: 0,
         };
     }
     // G is 2-connected from here on; Lemma 5.1 applies.
@@ -85,6 +94,7 @@ pub fn vertex_connectivity(
     let allowed = vec![true; n_prime];
 
     // Complete graphs (K3, K4) have no separating cycle at all but connectivity n − 1.
+    let mut states_explored = 0usize;
     for c in 2..=4usize {
         if c >= n {
             break;
@@ -97,11 +107,16 @@ pub fn vertex_connectivity(
                     in_s: &in_s,
                     allowed: &allowed,
                 };
-                find_separating_occurrence(&inst, &cycle).map(|occ| fv.original_vertices_of(&occ))
+                let (occ, stats) = find_separating_occurrence_with_stats(&inst, &cycle);
+                states_explored += stats.sep_states;
+                occ.map(|occ| fv.original_vertices_of(&occ))
             }
             ConnectivityMode::Cover { repetitions } => {
-                search_with_cover(&fv.graph, &in_s, &cycle, repetitions, seed)
-                    .map(|occ| fv.original_vertices_of(&occ))
+                let counter = AtomicUsize::new(0);
+                let hit = search_with_cover(&fv.graph, &in_s, &cycle, repetitions, seed, &counter)
+                    .map(|occ| fv.original_vertices_of(&occ));
+                states_explored += counter.into_inner();
+                hit
             }
         };
         if let Some(cut) = witness {
@@ -119,6 +134,7 @@ pub fn vertex_connectivity(
             return ConnectivityResult {
                 connectivity: c,
                 cut,
+                states_explored,
             };
         }
     }
@@ -126,16 +142,22 @@ pub fn vertex_connectivity(
     ConnectivityResult {
         connectivity: 5.min(n - 1),
         cut: Vec::new(),
+        states_explored,
     }
 }
 
 /// Runs the separating-cycle search through the randomised separating cover.
+///
+/// `states` accumulates the interned-state counts of every piece search that ran
+/// (best-effort under `find_map_any` early exit: pieces still in flight when a witness
+/// is found may or may not be counted).
 fn search_with_cover(
     g_prime: &CsrGraph,
     in_s: &[bool],
     cycle: &Pattern,
     repetitions: usize,
     seed: u64,
+    states: &AtomicUsize,
 ) -> Option<Vec<Vertex>> {
     let k = cycle.k();
     let d = cycle.diameter();
@@ -153,7 +175,9 @@ fn search_with_cover(
                     in_s: &piece.in_s,
                     allowed: &piece.allowed,
                 };
-                find_separating_occurrence(&inst, cycle).map(|occ| {
+                let (occ, stats) = find_separating_occurrence_with_stats(&inst, cycle);
+                states.fetch_add(stats.sep_states, Ordering::Relaxed);
+                occ.map(|occ| {
                     occ.into_iter()
                         .map(|v| piece.original_of[v as usize])
                         .collect::<Vec<Vertex>>()

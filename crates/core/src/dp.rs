@@ -20,9 +20,17 @@
 //! A state of the root with no unmatched vertex certifies an occurrence (Theorem /
 //! Lemma 3.1); derivation back-pointers allow occurrences to be reconstructed
 //! (Section 4.2.1).
+//!
+//! States are stored in per-node [`StateArena`]s ([`NodeTable`] is an arena plus
+//! derivation lists); `lift`/`join`/`extend` operate on borrowed word slices and write
+//! into reusable scratch buffers, so the hot loop allocates nothing per candidate and
+//! every distinct state's words exist exactly once.
 
+use crate::arena::{ArenaStats, StateArena};
 use crate::pattern::Pattern;
-use crate::state::{MatchState, ST_IN_CHILD, ST_UNMATCHED};
+use crate::state::{
+    word_mapped, words_is_complete, words_mapped_pairs, MatchState, ST_IN_CHILD, ST_UNMATCHED,
+};
 use psi_graph::{CsrGraph, Vertex};
 use psi_treedecomp::BinaryTreeDecomposition;
 use std::collections::HashMap;
@@ -38,85 +46,113 @@ pub enum Derivation {
     Join { left: u32, right: u32 },
 }
 
-/// The set of valid partial matches of one decomposition-tree node.
-#[derive(Clone, Debug, Default)]
+/// The set of valid partial matches of one decomposition-tree node: an interning arena
+/// (state ids are insertion-ordered, the canonical iteration order) plus, optionally,
+/// the derivations that produced each state.
+#[derive(Clone, Debug)]
 pub struct NodeTable {
-    /// The valid states, in insertion order.
-    pub states: Vec<MatchState>,
-    /// Index from state to its position in `states`.
-    pub index: HashMap<MatchState, u32>,
+    arena: StateArena,
     /// For every state, the list of derivations that produced it (only populated when
     /// derivation tracking is enabled).
     pub derivations: Option<Vec<Vec<Derivation>>>,
 }
 
-impl NodeTable {
-    fn new(track: bool) -> Self {
+impl Default for NodeTable {
+    /// A zero-width placeholder (used to pre-size table vectors before computation).
+    fn default() -> Self {
         NodeTable {
-            states: Vec::new(),
-            index: HashMap::new(),
+            arena: StateArena::new(0),
+            derivations: None,
+        }
+    }
+}
+
+impl NodeTable {
+    /// Creates an empty table for states of `k` words.
+    pub fn new(k: usize, track: bool) -> Self {
+        NodeTable {
+            arena: StateArena::new(k),
             derivations: track.then(Vec::new),
         }
     }
 
-    /// Inserts a state (merging derivations when it already exists); returns its index.
-    pub fn insert(&mut self, state: MatchState, derivation: Derivation) -> u32 {
-        match self.index.get(&state) {
-            Some(&idx) => {
-                if let Some(derivs) = &mut self.derivations {
-                    if !derivs[idx as usize].contains(&derivation) {
-                        derivs[idx as usize].push(derivation);
-                    }
-                }
-                idx
-            }
-            None => {
-                let idx = self.states.len() as u32;
-                self.index.insert(state.clone(), idx);
-                self.states.push(state);
-                if let Some(derivs) = &mut self.derivations {
-                    derivs.push(vec![derivation]);
-                }
-                idx
+    /// Interns a state given as raw words (merging derivations when it already
+    /// exists); returns its index and whether it was newly inserted.
+    pub fn insert_words(&mut self, words: &[u32], derivation: Derivation) -> (u32, bool) {
+        let (id, fresh) = self.arena.intern(words);
+        if let Some(derivs) = &mut self.derivations {
+            if fresh {
+                derivs.push(vec![derivation]);
+            } else if !derivs[id.index()].contains(&derivation) {
+                derivs[id.index()].push(derivation);
             }
         }
+        (id.0, fresh)
     }
 
-    /// Whether the table contains the state.
-    pub fn contains(&self, state: &MatchState) -> bool {
-        self.index.contains_key(state)
+    /// Whether the table contains the state (no counters are touched).
+    pub fn contains_words(&self, words: &[u32]) -> bool {
+        self.arena.lookup(words).is_some()
+    }
+
+    /// The words of state `idx`, borrowed from the arena slab.
+    #[inline]
+    pub fn state_words(&self, idx: u32) -> &[u32] {
+        self.arena.get(crate::arena::StateId(idx))
+    }
+
+    /// An owned copy of state `idx` (witness material only — not for the hot path).
+    pub fn state(&self, idx: u32) -> MatchState {
+        MatchState::from_words(self.state_words(idx))
+    }
+
+    /// Iterates all states (as word slices) in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[u32]> + '_ {
+        self.arena.iter()
     }
 
     /// Number of states.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.arena.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.arena.is_empty()
     }
 
-    /// Indices of complete states (no unmatched pattern vertex).
+    /// Indices of complete states (no unmatched pattern vertex), read off the arena
+    /// slab without materialising any state.
     pub fn complete_states(&self) -> Vec<u32> {
-        (0..self.states.len() as u32)
-            .filter(|&i| self.states[i as usize].is_complete())
+        self.iter()
+            .enumerate()
+            .filter(|(_, words)| words_is_complete(words))
+            .map(|(i, _)| i as u32)
             .collect()
+    }
+
+    /// Interning statistics of this table's arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 }
 
-/// Lifts a state of a child node to a parent bag (the unique "no new match" extension of
-/// Figure 5). Returns `None` if forget-safety is violated.
-pub fn lift(state: &MatchState, parent_bag: &[Vertex], pattern: &Pattern) -> Option<MatchState> {
-    let k = state.k();
-    let mut words = Vec::with_capacity(k);
-    for i in 0..k {
-        match state.word(i) {
-            ST_UNMATCHED => words.push(ST_UNMATCHED),
-            ST_IN_CHILD => words.push(ST_IN_CHILD),
+/// Lifts a state (as raw words) to a parent bag, writing the lifted words into `out`
+/// (the unique "no new match" extension of Figure 5). Returns `false` — leaving `out`
+/// in an unspecified state — if forget-safety is violated.
+pub fn lift_words(
+    state: &[u32],
+    parent_bag: &[Vertex],
+    pattern: &Pattern,
+    out: &mut Vec<u32>,
+) -> bool {
+    out.clear();
+    for (i, &w) in state.iter().enumerate() {
+        match w {
+            ST_UNMATCHED | ST_IN_CHILD => out.push(w),
             t => {
                 if parent_bag.binary_search(&t).is_ok() {
-                    words.push(t);
+                    out.push(t);
                 } else {
                     // Pattern vertex i is forgotten here: every pattern neighbour must
                     // already be matched, otherwise the edge towards it can never be
@@ -124,134 +160,327 @@ pub fn lift(state: &MatchState, parent_bag: &[Vertex], pattern: &Pattern) -> Opt
                     if pattern
                         .neighbors(i)
                         .iter()
-                        .any(|&b| state.is_unmatched(b as usize))
+                        .any(|&b| state[b as usize] == ST_UNMATCHED)
                     {
-                        return None;
+                        return false;
                     }
-                    words.push(ST_IN_CHILD);
+                    out.push(ST_IN_CHILD);
                 }
             }
         }
     }
-    Some(MatchState::from_raw(words))
+    true
 }
 
-/// Joins two lifted child states at a common parent. Returns `None` if they are
-/// incompatible (disagree on a mapping, both claim a vertex below themselves, break
-/// injectivity, or miss a pattern edge).
+/// Compatibility wrapper over [`lift_words`] for owned states.
+pub fn lift(state: &MatchState, parent_bag: &[Vertex], pattern: &Pattern) -> Option<MatchState> {
+    let mut out = Vec::with_capacity(state.k());
+    lift_words(state.words(), parent_bag, pattern, &mut out).then(|| MatchState::from_raw(out))
+}
+
+/// Joins two lifted child states (as raw words) at a common parent, writing the joined
+/// words into `out`. Returns `false` if they are incompatible (disagree on a mapping,
+/// both claim a vertex below themselves, break injectivity, or miss a pattern edge).
+pub fn join_words(
+    a: &[u32],
+    b: &[u32],
+    pattern: &Pattern,
+    graph: &CsrGraph,
+    out: &mut Vec<u32>,
+) -> bool {
+    let k = a.len();
+    debug_assert_eq!(k, b.len());
+    out.clear();
+    for i in 0..k {
+        let (wa, wb) = (a[i], b[i]);
+        let combined = match (wa, wb) {
+            (ST_UNMATCHED, w) | (w, ST_UNMATCHED) => w,
+            (ST_IN_CHILD, _) | (_, ST_IN_CHILD) => return false, // both sides claim i below themselves / conflict with a mapping
+            (ta, tb) => {
+                if ta == tb {
+                    ta
+                } else {
+                    return false;
+                }
+            }
+        };
+        out.push(combined);
+    }
+    // Injectivity across the two sides (patterns are capped at 63 vertices, so the
+    // mapped targets fit a stack buffer).
+    let mut targets = [0 as Vertex; 64];
+    let mut m = 0usize;
+    for &w in out.iter() {
+        if let Some(t) = word_mapped(w) {
+            targets[m] = t;
+            m += 1;
+        }
+    }
+    targets[..m].sort_unstable();
+    if targets[..m].windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    // Every pattern edge with both endpoints mapped must be a target edge (cheap
+    // re-verification; the per-side checks already covered same-side pairs).
+    for i in 0..k {
+        let Some(ti) = word_mapped(out[i]) else {
+            continue;
+        };
+        for &b in pattern.neighbors(i) {
+            let b = b as usize;
+            if b > i {
+                if let Some(tb) = word_mapped(out[b]) {
+                    if !graph.has_edge(ti, tb) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Compatibility wrapper over [`join_words`] for owned states.
 pub fn join(
     a: &MatchState,
     b: &MatchState,
     pattern: &Pattern,
     graph: &CsrGraph,
 ) -> Option<MatchState> {
-    let k = a.k();
-    debug_assert_eq!(k, b.k());
-    let mut words = Vec::with_capacity(k);
-    for i in 0..k {
-        let (wa, wb) = (a.word(i), b.word(i));
-        let combined = match (wa, wb) {
-            (ST_UNMATCHED, w) | (w, ST_UNMATCHED) => w,
-            (ST_IN_CHILD, _) | (_, ST_IN_CHILD) => return None, // both sides claim i below themselves / conflict with a mapping
-            (ta, tb) => {
-                if ta == tb {
-                    ta
-                } else {
-                    return None;
-                }
-            }
-        };
-        words.push(combined);
-    }
-    let joined = MatchState::from_raw(words);
-    // Injectivity across the two sides.
-    let mut targets: Vec<Vertex> = joined.mapped_pairs().map(|(_, t)| t).collect();
-    targets.sort_unstable();
-    if targets.windows(2).any(|w| w[0] == w[1]) {
-        return None;
-    }
-    // Every pattern edge with both endpoints mapped must be a target edge (cheap
-    // re-verification; the per-side checks already covered same-side pairs).
-    for (x, y) in pattern.edges() {
-        if let (Some(tx), Some(ty)) = (joined.mapped(x), joined.mapped(y)) {
-            if !graph.has_edge(tx, ty) {
-                return None;
-            }
-        }
-    }
-    Some(joined)
+    let mut out = Vec::with_capacity(a.k());
+    join_words(a.words(), b.words(), pattern, graph, &mut out).then(|| MatchState::from_raw(out))
 }
 
-/// Enumerates all extensions of `base` obtained by newly mapping some subset of its
-/// unmatched pattern vertices to unused vertices of `bag` (including the empty
-/// extension), pushing every result (which always includes `base` itself).
-pub fn extend_all<F: FnMut(MatchState)>(
-    base: &MatchState,
+/// Enumerates all extensions of `base` (as raw words) obtained by newly mapping some
+/// subset of its unmatched pattern vertices to unused vertices of `bag` (including the
+/// empty extension), emitting every result as a borrowed slice of the internal scratch
+/// buffer — callers intern or copy, nothing is allocated per candidate.
+pub fn extend_all_words<F: FnMut(&[u32])>(
+    base: &[u32],
     bag: &[Vertex],
     pattern: &Pattern,
     graph: &CsrGraph,
     out: &mut F,
 ) {
-    let k = base.k();
-    let mut used: Vec<Vertex> = base.mapped_pairs().map(|(_, t)| t).collect();
-    let mut current = base.clone();
-    recurse(0, &mut current, &mut used, bag, pattern, graph, out);
+    let mut current: Vec<u32> = base.to_vec();
+    let mut used = [0 as Vertex; 64];
+    let mut num_used = 0usize;
+    for &w in base {
+        if let Some(t) = word_mapped(w) {
+            used[num_used] = t;
+            num_used += 1;
+        }
+    }
+    recurse(
+        0,
+        &mut current,
+        &mut used,
+        num_used,
+        bag,
+        pattern,
+        graph,
+        out,
+    );
 
     #[allow(clippy::too_many_arguments)]
-    fn recurse<F: FnMut(MatchState)>(
+    fn recurse<F: FnMut(&[u32])>(
         i: usize,
-        current: &mut MatchState,
-        used: &mut Vec<Vertex>,
+        current: &mut Vec<u32>,
+        used: &mut [Vertex; 64],
+        num_used: usize,
         bag: &[Vertex],
         pattern: &Pattern,
         graph: &CsrGraph,
         out: &mut F,
     ) {
-        let k = current.k();
+        let k = current.len();
         if i == k {
-            out(current.clone());
+            out(current);
             return;
         }
-        if !current.is_unmatched(i) {
-            recurse(i + 1, current, used, bag, pattern, graph, out);
+        if current[i] != ST_UNMATCHED {
+            recurse(i + 1, current, used, num_used, bag, pattern, graph, out);
             return;
         }
         // Option 1: leave i unmatched.
-        recurse(i + 1, current, used, bag, pattern, graph, out);
+        recurse(i + 1, current, used, num_used, bag, pattern, graph, out);
         // Option 2: map i to each feasible unused bag vertex.
-        for &t in bag {
-            if used.contains(&t) {
+        'targets: for &t in bag {
+            if used[..num_used].contains(&t) {
                 continue;
             }
             // Check pattern edges from i towards already mapped vertices. A neighbour
             // that is matched-in-a-child is impossible here (its forget-safety would
             // have required i to be matched already); assert in debug builds.
-            let mut ok = true;
             for &b in pattern.neighbors(i) {
                 let b = b as usize;
                 debug_assert!(
-                    !current.is_in_child(b),
+                    current[b] != ST_IN_CHILD,
                     "extension next to a forgotten vertex"
                 );
-                if let Some(tb) = current.mapped(b) {
+                if let Some(tb) = word_mapped(current[b]) {
                     if !graph.has_edge(t, tb) {
-                        ok = false;
-                        break;
+                        continue 'targets;
                     }
                 }
             }
-            if !ok {
-                continue;
-            }
-            let saved = current.word(i);
-            *current = current.with(i, t);
-            used.push(t);
-            recurse(i + 1, current, used, bag, pattern, graph, out);
-            used.pop();
-            *current = current.with(i, saved);
+            current[i] = t;
+            used[num_used] = t;
+            recurse(i + 1, current, used, num_used + 1, bag, pattern, graph, out);
+            current[i] = ST_UNMATCHED;
         }
     }
-    let _ = k;
+}
+
+/// One pre-lifted child side of a join: the lifted states' words back-to-back plus the
+/// child state index each came from. When deduplication is on (derivations untracked),
+/// each distinct lifted state keeps its first representative only.
+pub(crate) struct LiftedSide {
+    pub words: Vec<u32>,
+    pub child: Vec<u32>,
+}
+
+impl LiftedSide {
+    /// Lifts every state of `side` to `bag`, deduplicating unless `keep_all`.
+    pub(crate) fn build(
+        side: &NodeTable,
+        bag: &[Vertex],
+        pattern: &Pattern,
+        k: usize,
+        keep_all: bool,
+    ) -> LiftedSide {
+        let mut out = LiftedSide {
+            words: Vec::new(),
+            child: Vec::new(),
+        };
+        // When derivations are not tracked, different child states that lift to the
+        // same parent-bag state are interchangeable, so the lifted sets are
+        // deduplicated — this is the main lever keeping the join quadratic blow-up in
+        // check. With tracking enabled every (left, right) pair must be kept so
+        // listing stays exact.
+        let mut seen = (!keep_all).then(|| StateArena::new(k));
+        let mut buf = Vec::with_capacity(k);
+        for (i, state) in side.iter().enumerate() {
+            if !lift_words(state, bag, pattern, &mut buf) {
+                continue;
+            }
+            if let Some(seen) = &mut seen {
+                if !seen.intern(&buf).1 {
+                    continue;
+                }
+            }
+            out.words.extend_from_slice(&buf);
+            out.child.push(i as u32);
+        }
+        out
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.child.len()
+    }
+
+    pub(crate) fn state(&self, i: usize, k: usize) -> &[u32] {
+        &self.words[i * k..(i + 1) * k]
+    }
+}
+
+/// A join-candidate index over a fixed set of state rows: for every pattern vertex,
+/// rows are bucketed by their status word as bitsets, so the rows *possibly* joinable
+/// with a probe state are the AND over the probe's non-`U` coordinates of
+/// `unmatched ∪ bucket(word)` — 64 rows per machine word instead of one full
+/// `join_words` attempt each. The surviving candidates still run the exact join (the
+/// index over-approximates: injectivity and edge checks are not encoded).
+///
+/// The DP's join phase is quadratic in the lifted table sizes with a success rate
+/// well under 1%, so filtering pairs wholesale is the dominant win of the state
+/// engine on no-instance searches.
+pub(crate) struct MatchIndex {
+    num_rows: usize,
+    stride: usize,
+    /// Per pattern vertex: bitset of rows with `ST_UNMATCHED` there.
+    unmatched: Vec<Vec<u64>>,
+    /// Per pattern vertex: word (≠ `ST_UNMATCHED`) → bitset of rows carrying it.
+    buckets: Vec<HashMap<u32, Vec<u64>>>,
+}
+
+impl MatchIndex {
+    /// Builds the index over `num_rows` rows of `k` words each, `stride_words` apart in
+    /// `rows` (callers may index into wider rows, e.g. the separating DP's).
+    pub(crate) fn build(rows: &[u32], num_rows: usize, k: usize, stride_words: usize) -> Self {
+        let stride = num_rows.div_ceil(64);
+        let mut unmatched = vec![vec![0u64; stride]; k];
+        let mut buckets: Vec<HashMap<u32, Vec<u64>>> = vec![HashMap::new(); k];
+        for r in 0..num_rows {
+            let row = &rows[r * stride_words..r * stride_words + k];
+            for (i, &w) in row.iter().enumerate() {
+                let set = if w == ST_UNMATCHED {
+                    &mut unmatched[i]
+                } else {
+                    buckets[i].entry(w).or_insert_with(|| vec![0u64; stride])
+                };
+                set[r / 64] |= 1 << (r % 64);
+            }
+        }
+        MatchIndex {
+            num_rows,
+            stride,
+            unmatched,
+            buckets,
+        }
+    }
+
+    /// Intersects the candidate bitset for `probe` into `result` (which is resized and
+    /// reset to all-rows first). After the call, only set bits are worth an exact join.
+    pub(crate) fn candidates(&self, probe: &[u32], result: &mut Vec<u64>) {
+        result.clear();
+        result.resize(self.stride, u64::MAX);
+        if self.stride > 0 {
+            let tail = self.num_rows % 64;
+            if tail != 0 {
+                result[self.stride - 1] = (1u64 << tail) - 1;
+            }
+        }
+        for (i, &w) in probe.iter().enumerate() {
+            match w {
+                ST_UNMATCHED => {} // no constraint: any right word joins with U
+                ST_IN_CHILD => {
+                    // (C, C) and (C, mapped) both fail: only right-U survives.
+                    for (r, u) in result.iter_mut().zip(&self.unmatched[i]) {
+                        *r &= u;
+                    }
+                }
+                t => {
+                    // right must be U or the identical mapping
+                    match self.buckets[i].get(&t) {
+                        Some(b) => {
+                            for ((r, u), bb) in result.iter_mut().zip(&self.unmatched[i]).zip(b) {
+                                *r &= u | bb;
+                            }
+                        }
+                        None => {
+                            for (r, u) in result.iter_mut().zip(&self.unmatched[i]) {
+                                *r &= u;
+                            }
+                        }
+                    }
+                }
+            }
+            if result.iter().all(|&w| w == 0) {
+                return;
+            }
+        }
+    }
+}
+
+/// Iterates the set bits of a candidate bitset in ascending row order.
+pub(crate) fn for_each_candidate<F: FnMut(usize)>(bits: &[u64], mut f: F) {
+    for (w, &word) in bits.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            f(w * 64 + word.trailing_zeros() as usize);
+            word &= word - 1;
+        }
+    }
 }
 
 /// Computes the table of one decomposition-tree node from its children's tables.
@@ -266,44 +495,35 @@ pub fn compute_node(
     track: bool,
 ) -> NodeTable {
     let k = pattern.k();
-    let mut table = NodeTable::new(track);
+    let mut table = NodeTable::new(k, track);
     match (left, right) {
         (None, None) => {
-            let base = MatchState::all_unmatched(k);
-            extend_all(&base, bag, pattern, graph, &mut |s| {
-                table.insert(s, Derivation::Leaf);
+            let base = vec![ST_UNMATCHED; k];
+            extend_all_words(&base, bag, pattern, graph, &mut |s| {
+                table.insert_words(s, Derivation::Leaf);
             });
         }
         (Some(l), Some(r)) => {
-            // Pre-lift both children's states to this bag. When derivations are not
-            // tracked, different child states that lift to the same parent-bag state are
-            // interchangeable, so the lifted sets are deduplicated — this is the main
-            // lever keeping the join quadratic blow-up in check. With tracking enabled
-            // every (left, right) pair must be kept so listing stays exact.
-            let lift_side = |side: &NodeTable| -> Vec<(u32, MatchState)> {
-                let mut seen: std::collections::HashSet<MatchState> =
-                    std::collections::HashSet::new();
-                side.states
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, s)| lift(s, bag, pattern).map(|ls| (i as u32, ls)))
-                    .filter(|(_, ls)| track || seen.insert(ls.clone()))
-                    .collect()
-            };
-            let lifted_left = lift_side(l);
-            let lifted_right = lift_side(r);
-            for (li, ls) in &lifted_left {
-                for (ri, rs) in &lifted_right {
-                    if let Some(joined) = join(ls, rs, pattern, graph) {
+            let lifted_left = LiftedSide::build(l, bag, pattern, k, track);
+            let lifted_right = LiftedSide::build(r, bag, pattern, k, track);
+            let index = MatchIndex::build(&lifted_right.words, lifted_right.len(), k, k);
+            let mut cand = Vec::new();
+            let mut joined = Vec::with_capacity(k);
+            for li in 0..lifted_left.len() {
+                let ls = lifted_left.state(li, k);
+                index.candidates(ls, &mut cand);
+                for_each_candidate(&cand, |ri| {
+                    let rs = lifted_right.state(ri, k);
+                    if join_words(ls, rs, pattern, graph, &mut joined) {
                         let derivation = Derivation::Join {
-                            left: *li,
-                            right: *ri,
+                            left: lifted_left.child[li],
+                            right: lifted_right.child[ri],
                         };
-                        extend_all(&joined, bag, pattern, graph, &mut |s| {
-                            table.insert(s, derivation);
+                        extend_all_words(&joined, bag, pattern, graph, &mut |s| {
+                            table.insert_words(s, derivation);
                         });
                     }
-                }
+                });
             }
         }
         _ => unreachable!("binary decomposition nodes have zero or two children"),
@@ -325,7 +545,16 @@ pub struct DpResult {
 impl DpResult {
     /// Whether the pattern occurs (a complete state exists at the root).
     pub fn found(&self) -> bool {
-        !self.tables[self.root].complete_states().is_empty()
+        self.tables[self.root].iter().any(words_is_complete)
+    }
+
+    /// Aggregated interning statistics over all node tables.
+    pub fn arena_stats(&self) -> ArenaStats {
+        let mut stats = ArenaStats::default();
+        for table in &self.tables {
+            stats.absorb(&table.arena_stats());
+        }
+        stats
     }
 }
 
@@ -395,9 +624,9 @@ pub fn recover_occurrences(
 }
 
 /// All matched vertices of a leaf state are mapped in the bag.
-fn leaf_assignment(state: &MatchState) -> Vec<u32> {
-    let mut assign = vec![ST_UNMATCHED; state.k()];
-    for (i, t) in state.mapped_pairs() {
+fn leaf_assignment(state: &[u32]) -> Vec<u32> {
+    let mut assign = vec![ST_UNMATCHED; state.len()];
+    for (i, t) in words_mapped_pairs(state) {
         assign[i] = t;
     }
     assign
@@ -406,10 +635,10 @@ fn leaf_assignment(state: &MatchState) -> Vec<u32> {
 /// This node's own mapping wins; the children fill in the vertices matched strictly
 /// below. For a valid join the three sources never conflict (the separator property),
 /// so simple priority merging is enough.
-fn merge_join_assignment(state: &MatchState, lp: &[u32], rp: &[u32]) -> Vec<u32> {
-    (0..state.k())
+fn merge_join_assignment(state: &[u32], lp: &[u32], rp: &[u32]) -> Vec<u32> {
+    (0..state.len())
         .map(|i| {
-            if let Some(t) = state.mapped(i) {
+            if let Some(t) = word_mapped(state[i]) {
                 t
             } else if lp[i] != ST_UNMATCHED {
                 lp[i]
@@ -429,6 +658,9 @@ fn merge_join_assignment(state: &MatchState, lp: &[u32], rp: &[u32]) -> Vec<u32>
 /// holds at most `cap` *distinct* assignments, which bounds both work and memory for
 /// finite limits. Any assignment of a valid derivation is a genuine realisation, so a
 /// capped child set still yields valid (if not exhaustive) parent assignments.
+///
+/// States are read as borrowed arena slices throughout — reconstruction clones
+/// assignment vectors it produces, never the DP states themselves.
 fn assignments_memo(
     result: &DpResult,
     btd: &BinaryTreeDecomposition,
@@ -441,7 +673,7 @@ fn assignments_memo(
         return;
     }
     let table = &result.tables[node];
-    let state = &table.states[state_idx as usize];
+    let state = table.state_words(state_idx);
     let derivs = &table
         .derivations
         .as_ref()
@@ -623,5 +855,22 @@ mod tests {
         let f1 = MatchState::from_raw(vec![1, ST_UNMATCHED]);
         let f2 = MatchState::from_raw(vec![ST_UNMATCHED, 1]);
         assert!(join(&f1, &f2, &p, &g).is_none());
+    }
+
+    #[test]
+    fn node_table_interning_tracks_stats() {
+        let mut table = NodeTable::new(2, false);
+        let (a, fresh_a) = table.insert_words(&[1, ST_UNMATCHED], Derivation::Leaf);
+        let (b, fresh_b) = table.insert_words(&[2, ST_UNMATCHED], Derivation::Leaf);
+        let (a2, fresh_a2) = table.insert_words(&[1, ST_UNMATCHED], Derivation::Leaf);
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(table.len(), 2);
+        assert!(table.contains_words(&[1, ST_UNMATCHED]));
+        assert!(!table.contains_words(&[3, ST_UNMATCHED]));
+        let stats = table.arena_stats();
+        assert_eq!(stats.states_interned, 2);
+        assert_eq!((stats.hits, stats.misses), (1, 2));
     }
 }

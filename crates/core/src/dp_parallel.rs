@@ -25,10 +25,19 @@
 //! `O(k log n)` depth. Setting [`ParallelDpConfig::use_shortcuts`] to `false` disables
 //! the identity closure, so states climb the path one node per round (the ablation used
 //! by experiment F9).
+//!
+//! States live in the per-node arenas of [`NodeTable`]; the work queues (`delta`) carry
+//! dense state ids, not state values, and the off-path child tables are lifted to the
+//! parent bag *once* per path (deduplicated) instead of once per round per new state.
+//! Child tables merge by id in source order, so every table's insertion order — and
+//! with it `total_states` and the full table contents — is identical to the sequential
+//! DP's, which `tests/parallel_determinism.rs` pins down.
 
-use crate::dp::{compute_node, extend_all, join, lift, Derivation, DpResult, NodeTable};
+use crate::arena::ArenaStats;
+use crate::dp::{
+    compute_node, extend_all_words, join_words, lift_words, Derivation, DpResult, NodeTable,
+};
 use crate::pattern::Pattern;
-use crate::state::MatchState;
 use psi_graph::CsrGraph;
 use psi_treedecomp::path_layers::RootedTree;
 use psi_treedecomp::{tree_into_paths, BinaryTreeDecomposition};
@@ -50,7 +59,8 @@ impl Default for ParallelDpConfig {
     }
 }
 
-/// Statistics of a parallel DP run (used by the depth experiments).
+/// Statistics of a parallel DP run (used by the depth experiments and the state-engine
+/// accounting tests).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ParallelDpStats {
     /// Number of path layers processed.
@@ -61,6 +71,9 @@ pub struct ParallelDpStats {
     pub max_rounds_per_path: usize,
     /// Length of the longest path.
     pub longest_path: usize,
+    /// Aggregated interning statistics over every node table's arena: distinct states,
+    /// resident bytes, and hit/miss traffic. Table-growth regressions show up here.
+    pub arena: ArenaStats,
 }
 
 /// Runs the parallel DP over a binary tree decomposition. Produces the same root
@@ -82,6 +95,7 @@ pub fn run_parallel(
         num_paths: pd.paths.len(),
         max_rounds_per_path: 0,
         longest_path: pd.paths.iter().map(|p| p.len()).max().unwrap_or(0),
+        arena: ArenaStats::default(),
     };
 
     // Tables are filled in layer order; within a layer the paths only depend on tables
@@ -117,6 +131,9 @@ pub fn run_parallel(
         .map(|t| t.expect("all nodes processed"))
         .collect();
     let total_states = tables.iter().map(|t| t.len()).sum();
+    for table in &tables {
+        stats.arena.absorb(&table.arena_stats());
+    }
     (
         DpResult {
             tables,
@@ -139,7 +156,7 @@ fn process_path(
 ) -> (Vec<(usize, NodeTable)>, usize) {
     let p = path.len();
     let k = pattern.k();
-    let mut tables: Vec<NodeTable> = vec![NodeTable::default(); p];
+    let mut tables: Vec<NodeTable> = vec![NodeTable::new(k, false); p];
 
     // Bottom node: both children (if any) are in lower layers and already computed.
     tables[0] = match btd.children[path[0]] {
@@ -154,20 +171,27 @@ fn process_path(
         ),
     };
 
-    // For every higher node of the path, identify the off-path child table.
-    let off_path: Vec<Option<&NodeTable>> = (1..p)
+    // For every higher node of the path, pre-lift the (static) off-path child table to
+    // that node's bag once, deduplicated, and build the join-candidate index over the
+    // lifted rows — every expansion round then joins new states against the indexed
+    // rows instead of re-lifting the whole off table per new state.
+    let off_lifted: Vec<(Vec<u32>, crate::dp::MatchIndex)> = (1..p)
+        .into_par_iter()
         .map(|m| {
             let node = path[m];
             let [l, r] = btd.children[node].expect("interior path node has two children");
             let on_path_child = path[m - 1];
             let off = if l == on_path_child { r } else { l };
-            Some(done[off].as_ref().expect("off-path child computed"))
+            let off_table = done[off].as_ref().expect("off-path child computed");
+            let side = crate::dp::LiftedSide::build(off_table, &btd.bags[node], pattern, k, false);
+            let index = crate::dp::MatchIndex::build(&side.words, side.len(), k, k);
+            (side.words, index)
         })
         .collect();
 
-    // delta[m] = states of node m added but not yet expanded at node m+1.
-    let mut delta: Vec<Vec<MatchState>> = vec![Vec::new(); p];
-    delta[0] = tables[0].states.clone();
+    // delta[m] = ids of states of node m added but not yet expanded at node m+1.
+    let mut delta: Vec<Vec<u32>> = vec![Vec::new(); p];
+    delta[0] = (0..tables[0].len() as u32).collect();
 
     // Identity closure of the initial states.
     if config.use_shortcuts {
@@ -177,42 +201,54 @@ fn process_path(
     let mut rounds = 0usize;
     loop {
         rounds += 1;
-        // Expansion: node m consumes delta[m-1]. Collect the raw outputs first (the
-        // expansion of different nodes is independent), then merge. As above, the
-        // parallel `collect` preserves the `(1..p)` order, so insertion order into the
-        // tables — and with it every table's state iteration order — is deterministic.
-        let consumed: Vec<Vec<MatchState>> = std::mem::take(&mut delta);
-        let expansions: Vec<(usize, Vec<MatchState>)> = (1..p)
-            .into_par_iter()
-            .filter(|&m| !consumed[m - 1].is_empty())
-            .map(|m| {
-                let node = path[m];
-                let bag = &btd.bags[node];
-                let off = off_path[m - 1].expect("off-path table");
-                let mut out = Vec::new();
-                for child_state in &consumed[m - 1] {
-                    if let Some(lifted_child) = lift(child_state, bag, pattern) {
-                        for off_state in &off.states {
-                            if let Some(lifted_off) = lift(off_state, bag, pattern) {
-                                if let Some(joined) =
-                                    join(&lifted_child, &lifted_off, pattern, graph)
-                                {
-                                    extend_all(&joined, bag, pattern, graph, &mut |s| out.push(s));
-                                }
-                            }
+        // Expansion: node m consumes delta[m-1]. Collect the raw candidate states
+        // first (the expansion of different nodes is independent and only reads the
+        // tables), then merge. As above, the parallel `collect` preserves the `(1..p)`
+        // order, so insertion order into the tables — and with it every table's state
+        // iteration order — is deterministic.
+        let consumed: Vec<Vec<u32>> = std::mem::take(&mut delta);
+        let expansions: Vec<(usize, Vec<u32>)> = {
+            let tables_ref = &tables;
+            (1..p)
+                .into_par_iter()
+                .filter(|&m| !consumed[m - 1].is_empty())
+                .map(|m| {
+                    let node = path[m];
+                    let bag = &btd.bags[node];
+                    let (off, index) = &off_lifted[m - 1];
+                    // Candidate states, stride k, in deterministic emission order.
+                    let mut out: Vec<u32> = Vec::new();
+                    let mut lifted_child = Vec::with_capacity(k);
+                    let mut joined = Vec::with_capacity(k);
+                    let mut cand = Vec::new();
+                    for &child_id in &consumed[m - 1] {
+                        let child_words = tables_ref[m - 1].state_words(child_id);
+                        if !lift_words(child_words, bag, pattern, &mut lifted_child) {
+                            continue;
                         }
+                        index.candidates(&lifted_child, &mut cand);
+                        crate::dp::for_each_candidate(&cand, |oi| {
+                            let off_words = &off[oi * k..(oi + 1) * k];
+                            if join_words(&lifted_child, off_words, pattern, graph, &mut joined) {
+                                extend_all_words(&joined, bag, pattern, graph, &mut |s| {
+                                    out.extend_from_slice(s)
+                                });
+                            }
+                        });
                     }
-                }
-                (m, out)
-            })
-            .collect();
-        let mut delta_new: Vec<Vec<MatchState>> = vec![Vec::new(); p];
+                    (m, out)
+                })
+                .collect()
+        };
+        let mut delta_new: Vec<Vec<u32>> = vec![Vec::new(); p];
         let mut any_new = false;
-        for (m, states) in expansions {
-            for s in states {
-                if !tables[m].contains(&s) {
-                    tables[m].insert(s.clone(), Derivation::Leaf);
-                    delta_new[m].push(s);
+        for (m, flat) in expansions {
+            let rows = flat.len().checked_div(k).unwrap_or(0);
+            for i in 0..rows {
+                let words = &flat[i * k..(i + 1) * k];
+                let (id, fresh) = tables[m].insert_words(words, Derivation::Leaf);
+                if fresh {
+                    delta_new[m].push(id);
                     any_new = true;
                 }
             }
@@ -243,37 +279,42 @@ fn process_path(
 /// states and adding them to the delta of their node (they still need expansion).
 fn closure(
     tables: &mut [NodeTable],
-    delta: &mut [Vec<MatchState>],
+    delta: &mut [Vec<u32>],
     path: &[usize],
     btd: &BinaryTreeDecomposition,
     pattern: &Pattern,
     from: usize,
 ) {
-    // The lifts of different source states are independent; compute them in parallel
-    // and merge sequentially (the merge is cheap compared to the lifts).
-    let sources = delta[from].clone();
-    let lifted: Vec<Vec<(usize, MatchState)>> = sources
-        .par_iter()
-        .map(|state| {
+    let k = pattern.k();
+    // Copy the source rows out of the arena once (the subsequent merge mutates the
+    // ancestors' tables, so the source table cannot stay borrowed), then compute the
+    // lift chains in parallel and merge sequentially.
+    let sources: Vec<u32> = delta[from]
+        .iter()
+        .flat_map(|&id| tables[from].state_words(id).iter().copied())
+        .collect();
+    let num_sources = delta[from].len();
+    let lifted: Vec<Vec<(usize, Vec<u32>)>> = (0..num_sources)
+        .into_par_iter()
+        .map(|s| {
             let mut out = Vec::new();
-            let mut current = state.clone();
+            let mut current = sources[s * k..(s + 1) * k].to_vec();
+            let mut next = Vec::with_capacity(k);
             for (j, &path_node) in path.iter().enumerate().skip(from + 1) {
-                match lift(&current, &btd.bags[path_node], pattern) {
-                    Some(next) => {
-                        out.push((j, next.clone()));
-                        current = next;
-                    }
-                    None => break,
+                if !lift_words(&current, &btd.bags[path_node], pattern, &mut next) {
+                    break;
                 }
+                out.push((j, next.clone()));
+                std::mem::swap(&mut current, &mut next);
             }
             out
         })
         .collect();
     for chain in lifted {
-        for (j, state) in chain {
-            if !tables[j].contains(&state) {
-                tables[j].insert(state.clone(), Derivation::Leaf);
-                delta[j].push(state);
+        for (j, words) in chain {
+            let (id, fresh) = tables[j].insert_words(&words, Derivation::Leaf);
+            if fresh {
+                delta[j].push(id);
             }
         }
     }
@@ -335,12 +376,38 @@ mod tests {
         let (par, _) = run_parallel(&g, &pattern, &btd, ParallelDpConfig::default());
         assert_eq!(seq.tables.len(), par.tables.len());
         for (node, (s, p)) in seq.tables.iter().zip(par.tables.iter()).enumerate() {
-            let mut a: Vec<_> = s.states.clone();
-            let mut b: Vec<_> = p.states.clone();
-            a.sort_by(|x, y| x.words().cmp(y.words()));
-            b.sort_by(|x, y| x.words().cmp(y.words()));
+            let mut a: Vec<Vec<u32>> = s.iter().map(<[u32]>::to_vec).collect();
+            let mut b: Vec<Vec<u32>> = p.iter().map(<[u32]>::to_vec).collect();
+            a.sort_unstable();
+            b.sort_unstable();
             assert_eq!(a, b, "state tables differ at node {node}");
         }
+    }
+
+    #[test]
+    fn arena_stats_are_populated_and_consistent() {
+        let g = generators::triangulated_grid(6, 5);
+        let pattern = Pattern::cycle(4);
+        let td = min_degree_decomposition(&g);
+        let btd = BinaryTreeDecomposition::from_decomposition(&td);
+        let (par, stats) = run_parallel(&g, &pattern, &btd, ParallelDpConfig::default());
+        assert_eq!(
+            stats.arena.states_interned, par.total_states,
+            "interned-state accounting must equal the materialised state count"
+        );
+        assert!(stats.arena.bytes > 0);
+        // Every stored state was inserted exactly once (a miss); duplicates hit.
+        assert_eq!(stats.arena.misses as usize, par.total_states);
+        assert!(
+            stats.arena.hits > 0,
+            "the DP revisits states; zero hits means interning is not deduplicating"
+        );
+        // The parallel run's accounting matches the sequential DP's tables.
+        let seq = run_sequential(&g, &pattern, &btd, false);
+        assert_eq!(
+            seq.arena_stats().states_interned,
+            stats.arena.states_interned
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! assert!(planar_subiso::verify_occurrence(&Pattern::cycle(4), &target, &occurrence));
 //! ```
 
+pub mod arena;
 pub mod connectivity;
 pub mod cover;
 pub mod disconnected;
@@ -45,6 +46,7 @@ pub mod pattern;
 pub mod separating;
 pub mod state;
 
+pub use arena::{ArenaStats, StateArena, StateId};
 pub use connectivity::{vertex_connectivity, ConnectivityMode, ConnectivityResult};
 pub use cover::{build_cover, build_separating_cover, Cover, CoverPiece, SeparatingCoverPiece};
 pub use dp::{run_sequential, DpResult, NodeTable};
@@ -52,5 +54,8 @@ pub use dp_parallel::{run_parallel, ParallelDpConfig, ParallelDpStats};
 pub use isomorphism::{decide, find_one, DpStrategy, QueryConfig, SubgraphIsomorphism};
 pub use listing::{count_distinct_images, list_all};
 pub use pattern::{verify_occurrence, Pattern};
-pub use separating::{find_separating_occurrence, is_separating, SeparatingInstance};
+pub use separating::{
+    find_separating_occurrence, find_separating_occurrence_with_stats, is_separating, SepStats,
+    SeparatingInstance,
+};
 pub use state::MatchState;

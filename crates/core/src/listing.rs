@@ -89,6 +89,9 @@ pub fn list_all(pattern: &Pattern, target: &CsrGraph, config: &QueryConfig) -> V
 fn list_piece(pattern: &Pattern, graph: &CsrGraph, map: Option<&[Vertex]>) -> Vec<Vec<Vertex>> {
     let td = min_degree_decomposition(graph);
     let btd = BinaryTreeDecomposition::from_decomposition(&td);
+    // Derivation tracking disables the lifted-side dedup (every (left, right) pair is
+    // kept so listing stays exact), but states themselves live in the per-node arenas
+    // and recovery walks borrowed arena slices — only assignments are materialised.
     let result = run_sequential(graph, pattern, &btd, true);
     if !result.found() {
         return Vec::new();

@@ -16,32 +16,45 @@
 //! plus two booleans recording whether some `S`-vertex has already been committed to the
 //! inside respectively outside (the paper's `ix` / `ox`). A complete root state with
 //! both booleans set certifies an S-separating occurrence.
+//!
+//! ## State representation
+//!
+//! The separating DP is the state-explosion hot spot of the connectivity pipeline (the
+//! C6/C8 no-instance searches materialise `match-state × 3^bag × ix/ox` states per
+//! node). States are therefore fully interned: the match-state component of every
+//! separating state is stored once in a **per-run shared [`StateArena`]** (states
+//! recur heavily across nodes and labelings), and each node's separating states are
+//! rows `[base id, ix/ox flags, side labels…]` in a per-node arena. Tables, the
+//! lift/join dedup sets, and the derivation map are all keyed by dense ids — no state
+//! is ever cloned, hashed as an owned key, or stored twice, and witness reconstruction
+//! walks borrowed arena rows.
 
+use crate::arena::{ArenaStats, StateArena, StateId};
 use crate::pattern::Pattern;
-use crate::state::{MatchState, ST_IN_CHILD, ST_UNMATCHED};
+use crate::state::{words_mapped_pairs, words_num_unmatched, ST_IN_CHILD, ST_UNMATCHED};
 use psi_graph::{CsrGraph, Vertex};
 use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Side label of a bag vertex.
-pub const LABEL_IMAGE: u8 = 0;
+pub const LABEL_IMAGE: u32 = 0;
 /// Side label: the vertex ends up in the "inside" part of the separation.
-pub const LABEL_INSIDE: u8 = 1;
+pub const LABEL_INSIDE: u32 = 1;
 /// Side label: the vertex ends up in the "outside" part of the separation.
-pub const LABEL_OUTSIDE: u8 = 2;
+pub const LABEL_OUTSIDE: u32 = 2;
 
-/// An extended partial match of the S-separating DP.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct SepState {
-    /// Pattern-vertex statuses (as in the plain DP).
-    pub base: MatchState,
-    /// Side labels, one per bag vertex (aligned with the node's sorted bag).
-    pub labels: Box<[u8]>,
-    /// Some `S` vertex already committed (forgotten) on the inside.
-    pub ix: bool,
-    /// Some `S` vertex already committed (forgotten) on the outside.
-    pub ox: bool,
-}
+/// Label value of a bag vertex whose side has not been decided yet (scratch rows only).
+const LABEL_UNDECIDED: u32 = u32::MAX;
+
+/// `ix` flag bit: some `S` vertex was committed (forgotten) on the inside.
+const FLAG_IX: u32 = 1;
+/// `ox` flag bit: some `S` vertex was committed (forgotten) on the outside.
+const FLAG_OX: u32 = 2;
+
+/// Row layout of a separating state: `[base id, flags, label per bag vertex…]`.
+const ROW_BASE: usize = 0;
+const ROW_FLAGS: usize = 1;
+const ROW_LABELS: usize = 2;
 
 /// The problem instance: which target vertices are in `S` and which may be used by the
 /// pattern image.
@@ -55,80 +68,165 @@ pub struct SeparatingInstance<'a> {
     pub allowed: &'a [bool],
 }
 
-type Table = HashSet<SepState>;
+/// State-engine accounting of one separating-DP run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SepStats {
+    /// Total separating states interned over all decomposition nodes.
+    pub sep_states: usize,
+    /// Distinct match-states in the shared per-run base arena.
+    pub base_states: usize,
+    /// Largest single node table.
+    pub peak_node_states: usize,
+    /// Aggregated arena statistics (base arena + every node table).
+    pub arena: ArenaStats,
+}
 
 /// Decides whether an S-separating occurrence of `pattern` exists in the instance, and
 /// returns a witness mapping if one does.
 ///
-/// The search runs on a single tree decomposition of the instance graph; callers that
-/// need the near-linear-work pipeline combine it with
-/// [`crate::cover::build_separating_cover`].
+/// # Panics
+/// Panics if the instance graph's tree decomposition produces a bag wider than 64
+/// vertices: the per-bag label state is tracked in 64-bit position masks, and a
+/// `3^65`-labeling search could never finish anyway. Planar cover pieces (width
+/// ≤ `3(d+1)`) and the face–vertex graphs of the connectivity pipeline are far below
+/// the limit.
 pub fn find_separating_occurrence(
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
 ) -> Option<Vec<Vertex>> {
+    find_separating_occurrence_with_stats(instance, pattern).0
+}
+
+/// As [`find_separating_occurrence`], additionally reporting the interned-state
+/// accounting of the run (used by the connectivity pipeline and the regression tests).
+///
+/// The search runs on a single tree decomposition of the instance graph; callers that
+/// need the near-linear-work pipeline combine it with
+/// [`crate::cover::build_separating_cover`]. Panics on decomposition bags wider than
+/// 64 vertices (see [`find_separating_occurrence`]).
+pub fn find_separating_occurrence_with_stats(
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+) -> (Option<Vec<Vertex>>, SepStats) {
     let graph = instance.graph;
     let k = pattern.k();
     if k == 0 || k > graph.num_vertices() {
-        return None;
+        return (None, SepStats::default());
     }
     let td = min_degree_decomposition(graph);
     let btd = BinaryTreeDecomposition::from_decomposition(&td);
+    let num_nodes = btd.num_nodes();
 
-    // Bottom-up tables; to recover a witness we also remember, for every state, one
-    // derivation (child states + nothing else — the mapping is reconstructed by a second
-    // pass like in the plain DP, but here we only need the mapped targets, which can be
-    // collected from the chain of states directly).
-    // state -> the (left, right) child states it was derived from (None at leaves)
-    type Derivations = HashMap<SepState, (Option<SepState>, Option<SepState>)>;
-    let mut tables: Vec<Table> = vec![Table::new(); btd.num_nodes()];
-    let mut parents: Vec<Derivations> = vec![HashMap::new(); btd.num_nodes()];
+    // The shared per-run arena of match-state words: every separating state points into
+    // it by id, so a base state reused across nodes/labelings is stored once.
+    let mut base_arena = StateArena::new(k);
+    // Per-node tables of separating-state rows, plus the derivation map: for every row,
+    // the (left, right) child row ids it was first derived from (`u32::MAX` at leaves).
+    let mut tables: Vec<StateArena> = (0..num_nodes).map(|_| StateArena::new(0)).collect();
+    let mut parents: Vec<Vec<[u32; 2]>> = vec![Vec::new(); num_nodes];
 
+    let mut scratch = Scratch::default();
     for node in btd.postorder() {
         let bag = &btd.bags[node];
-        let mut table = Table::new();
-        let mut derivation = HashMap::new();
+        let width = ROW_LABELS + bag.len();
+        let bag_adj = bag_adjacency(bag, graph);
+        let mut table = StateArena::new(width);
+        let mut derivation: Vec<[u32; 2]> = Vec::new();
         match btd.children[node] {
             None => {
-                for state in fresh_states(bag, instance, pattern) {
-                    derivation.entry(state.clone()).or_insert((None, None));
-                    table.insert(state);
-                }
+                // Leaf: extend the all-unmatched base with every label completion.
+                let base = vec![ST_UNMATCHED; k];
+                let undecided = vec![LABEL_UNDECIDED; bag.len()];
+                extend(
+                    &base,
+                    &undecided,
+                    0,
+                    bag,
+                    &bag_adj,
+                    instance,
+                    pattern,
+                    &mut base_arena,
+                    &mut scratch,
+                    &mut |row| {
+                        if table.intern(row).1 {
+                            derivation.push([u32::MAX, u32::MAX]);
+                        }
+                    },
+                );
             }
             Some([l, r]) => {
                 // Only a witness is needed, so child states that lift to the same
                 // parent-bag state are interchangeable: deduplicate the lifted sets
-                // (keeping one representative original state each) and also skip joined
+                // (keeping one representative original row each) and also skip joined
                 // states that were already extended — both prune the quadratic pairing
-                // substantially.
-                let lift_side = |child: usize| -> Vec<(SepState, SepState)> {
-                    let mut seen: HashSet<SepState> = HashSet::new();
-                    tables[child]
-                        .iter()
-                        .filter_map(|s| {
-                            lift(s, &btd.bags[child], bag, instance, pattern)
-                                .map(|ls| (ls, s.clone()))
-                        })
-                        .filter(|(ls, _)| seen.insert(ls.clone()))
-                        .collect()
-                };
-                let lifted_left = lift_side(l);
-                let lifted_right = lift_side(r);
-                let mut joined_seen: HashSet<SepState> = HashSet::new();
-                for (ls, lorig) in &lifted_left {
-                    for (rs, rorig) in &lifted_right {
-                        if let Some(joined) = join(ls, rs, bag, instance, pattern) {
-                            if !joined_seen.insert(joined.clone()) {
-                                continue;
-                            }
-                            for extended in extend(&joined, bag, instance, pattern) {
-                                derivation
-                                    .entry(extended.clone())
-                                    .or_insert((Some(lorig.clone()), Some(rorig.clone())));
-                                table.insert(extended);
-                            }
+                // substantially. The dedup sets are arenas themselves: membership is an
+                // intern on borrowed rows, never a clone.
+                let lifted_left = lift_side(
+                    &tables[l],
+                    &btd.bags[l],
+                    bag,
+                    instance,
+                    pattern,
+                    &mut base_arena,
+                    &mut scratch,
+                );
+                let lifted_right = lift_side(
+                    &tables[r],
+                    &btd.bags[r],
+                    bag,
+                    instance,
+                    pattern,
+                    &mut base_arena,
+                    &mut scratch,
+                );
+                let index = SepJoinIndex::build(&lifted_right, width, bag.len(), &base_arena, k);
+                let mut joined_seen = StateArena::new(width);
+                let mut joined_base = Vec::with_capacity(k);
+                let mut joined_row = vec![0u32; width];
+                let mut left_base = Vec::with_capacity(k);
+                let mut cand: Vec<u64> = Vec::new();
+                for li in 0..lifted_left.child.len() {
+                    let ls = &lifted_left.rows[li * width..(li + 1) * width];
+                    let lorig = lifted_left.child[li];
+                    left_base.clear();
+                    left_base.extend_from_slice(base_arena.get(StateId(ls[ROW_BASE])));
+                    index.candidates(ls, &left_base, &mut cand);
+                    crate::dp::for_each_candidate(&cand, |ri| {
+                        let rs = &lifted_right.rows[ri * width..(ri + 1) * width];
+                        let rorig = lifted_right.child[ri];
+                        if !join_rows(
+                            ls,
+                            rs,
+                            instance,
+                            pattern,
+                            &base_arena,
+                            &mut joined_base,
+                            &mut joined_row,
+                        ) {
+                            return;
                         }
-                    }
+                        let (bid, _) = base_arena.intern(&joined_base);
+                        joined_row[ROW_BASE] = bid.0;
+                        if !joined_seen.intern(&joined_row).1 {
+                            return;
+                        }
+                        extend(
+                            &joined_base,
+                            &joined_row[ROW_LABELS..],
+                            joined_row[ROW_FLAGS],
+                            bag,
+                            &bag_adj,
+                            instance,
+                            pattern,
+                            &mut base_arena,
+                            &mut scratch,
+                            &mut |row| {
+                                if table.intern(row).1 {
+                                    derivation.push([lorig, rorig]);
+                                }
+                            },
+                        );
+                    });
                 }
             }
         }
@@ -136,18 +234,31 @@ pub fn find_separating_occurrence(
         parents[node] = derivation;
     }
 
+    let mut stats = SepStats {
+        sep_states: tables.iter().map(StateArena::len).sum(),
+        base_states: base_arena.len(),
+        peak_node_states: tables.iter().map(StateArena::len).max().unwrap_or(0),
+        arena: base_arena.stats(),
+    };
+    for t in &tables {
+        stats.arena.absorb(&t.stats());
+    }
+
     // Root acceptance: complete base, and both sides hold an S vertex (counting the
-    // root-bag vertices that were never forgotten).
+    // root-bag vertices that were never forgotten). Rows are read off the arena slab.
     let root = btd.root;
     let root_bag = &btd.bags[root];
-    let accept = tables[root].iter().find(|state| {
-        if !state.base.is_complete() {
+    let accept = (0..tables[root].len() as u32).find(|&idx| {
+        let row = tables[root].get(StateId(idx));
+        let base = base_arena.get(StateId(row[ROW_BASE]));
+        if base.contains(&ST_UNMATCHED) {
             return false;
         }
-        let (mut ix, mut ox) = (state.ix, state.ox);
+        let mut ix = row[ROW_FLAGS] & FLAG_IX != 0;
+        let mut ox = row[ROW_FLAGS] & FLAG_OX != 0;
         for (pos, &v) in root_bag.iter().enumerate() {
             if instance.in_s[v as usize] {
-                match state.labels[pos] {
+                match row[ROW_LABELS + pos] {
                     LABEL_INSIDE => ix = true,
                     LABEL_OUTSIDE => ox = true,
                     _ => {}
@@ -156,306 +267,526 @@ pub fn find_separating_occurrence(
         }
         // every Image-labelled root vertex must actually be used
         for (pos, &v) in root_bag.iter().enumerate() {
-            if state.labels[pos] == LABEL_IMAGE && !state.base.mapped_pairs().any(|(_, t)| t == v) {
+            if row[ROW_LABELS + pos] == LABEL_IMAGE
+                && !words_mapped_pairs(base).any(|(_, t)| t == v)
+            {
                 return false;
             }
         }
         ix && ox
-    })?;
+    });
+    let Some(accept) = accept else {
+        return (None, stats);
+    };
 
-    // Witness reconstruction: walk the derivation chain collecting mapped targets.
+    // Witness reconstruction: walk the derivation chain collecting mapped targets,
+    // reading every state as a borrowed arena row (no clones along the chain).
     let mut mapping = vec![u32::MAX; k];
-    let mut stack = vec![(root, accept.clone())];
+    let mut stack: Vec<(usize, u32)> = vec![(root, accept)];
     let mut guard = 0usize;
-    while let Some((node, state)) = stack.pop() {
+    while let Some((node, idx)) = stack.pop() {
         guard += 1;
         if guard > 4 * btd.num_nodes() * (k + 2) {
             break;
         }
-        for (pv, t) in state.base.mapped_pairs() {
+        let row = tables[node].get(StateId(idx));
+        for (pv, t) in words_mapped_pairs(base_arena.get(StateId(row[ROW_BASE]))) {
             mapping[pv] = t;
         }
-        if let Some((l, r)) = parents[node].get(&state) {
-            if let Some([lc, rc]) = btd.children[node] {
-                if let Some(ls) = l {
-                    stack.push((lc, ls.clone()));
-                }
-                if let Some(rs) = r {
-                    stack.push((rc, rs.clone()));
-                }
+        let [l, r] = parents[node][idx as usize];
+        if let Some([lc, rc]) = btd.children[node] {
+            if l != u32::MAX {
+                stack.push((lc, l));
+            }
+            if r != u32::MAX {
+                stack.push((rc, r));
             }
         }
     }
     if mapping.contains(&u32::MAX) {
         // The derivation chain lost a mapping (should not happen); report no witness
         // rather than a bogus one.
-        return None;
+        return (None, stats);
     }
-    Some(mapping)
+    (Some(mapping), stats)
 }
 
-/// Enumerates the states of a leaf node (or the label/extension enumeration shared with
-/// interior nodes when starting from the all-unmatched base with no labels fixed).
-fn fresh_states(
-    bag: &[Vertex],
-    instance: &SeparatingInstance<'_>,
-    pattern: &Pattern,
-) -> Vec<SepState> {
-    let joined = SepState {
-        base: MatchState::all_unmatched(pattern.k()),
-        labels: vec![u8::MAX; bag.len()].into_boxed_slice(),
-        ix: false,
-        ox: false,
-    };
-    extend(&joined, bag, instance, pattern)
+/// Reusable scratch buffers of one separating-DP run.
+#[derive(Default)]
+struct Scratch {
+    base: Vec<u32>,
+    row: Vec<u32>,
+    labels: Vec<u32>,
+    allowed_targets: Vec<Vertex>,
+    undecided: Vec<usize>,
+    ext_ids: Vec<u32>,
 }
 
-/// Lifts a child state to the parent bag. Forgotten bag vertices must be "finished":
-/// `Image` vertices must actually be mapped (their pattern vertex becomes `C`, with the
-/// same forget-safety rule as the plain DP), and `Inside`/`Outside` vertices in `S`
-/// set the corresponding boolean.
-fn lift(
-    state: &SepState,
+/// The lifted rows of one child (stride = parent row width) plus the child row id each
+/// lifted row represents.
+struct LiftedRows {
+    rows: Vec<u32>,
+    child: Vec<u32>,
+}
+
+/// Join-candidate index over one lifted side of the separating DP: the plain-DP
+/// [`crate::dp::MatchIndex`] over the decoded base words, AND per-bag-position label
+/// bitsets (a decided label joins only with `Undecided` or itself). Like the base
+/// index this over-approximates — surviving candidates still run [`join_rows`] — but
+/// it turns the quadratic pairing into a few bitset ANDs per probe.
+struct SepJoinIndex {
+    base: crate::dp::MatchIndex,
+    stride: usize,
+    /// Per bag position: bitset of rows whose label there is still undecided.
+    undecided: Vec<Vec<u64>>,
+    /// Per bag position, per label value (`Image`/`Inside`/`Outside`): row bitset.
+    label: Vec<[Vec<u64>; 3]>,
+}
+
+impl SepJoinIndex {
+    fn build(
+        side: &LiftedRows,
+        width: usize,
+        bag_len: usize,
+        base_arena: &StateArena,
+        k: usize,
+    ) -> SepJoinIndex {
+        let num_rows = side.child.len();
+        let stride = num_rows.div_ceil(64);
+        // Decode the base words of every row once; the plain-DP index is built over
+        // the decoded flat buffer.
+        let mut decoded = vec![0u32; num_rows * k];
+        for r in 0..num_rows {
+            decoded[r * k..(r + 1) * k]
+                .copy_from_slice(base_arena.get(StateId(side.rows[r * width + ROW_BASE])));
+        }
+        let base = crate::dp::MatchIndex::build(&decoded, num_rows, k, k);
+        let mut undecided = vec![vec![0u64; stride]; bag_len];
+        let mut label = vec![[vec![0u64; stride], vec![0u64; stride], vec![0u64; stride]]; bag_len];
+        for r in 0..num_rows {
+            let row = &side.rows[r * width..(r + 1) * width];
+            for pos in 0..bag_len {
+                let l = row[ROW_LABELS + pos];
+                let set = if l == LABEL_UNDECIDED {
+                    &mut undecided[pos]
+                } else {
+                    &mut label[pos][l as usize]
+                };
+                set[r / 64] |= 1 << (r % 64);
+            }
+        }
+        SepJoinIndex {
+            base,
+            stride,
+            undecided,
+            label,
+        }
+    }
+
+    /// Fills `result` with the candidate rows for the probe `(row, base words)`.
+    fn candidates(&self, probe_row: &[u32], probe_base: &[u32], result: &mut Vec<u64>) {
+        self.base.candidates(probe_base, result);
+        for (pos, (und, lab)) in self.undecided.iter().zip(&self.label).enumerate() {
+            let l = probe_row[ROW_LABELS + pos];
+            if l == LABEL_UNDECIDED {
+                continue; // an undecided probe label joins with anything
+            }
+            let bucket = &lab[l as usize];
+            for w in 0..self.stride {
+                result[w] &= und[w] | bucket[w];
+            }
+        }
+    }
+}
+
+/// Lifts every row of `child_table` to the parent bag, deduplicated.
+#[allow(clippy::too_many_arguments)]
+fn lift_side(
+    child_table: &StateArena,
     child_bag: &[Vertex],
     parent_bag: &[Vertex],
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
-) -> Option<SepState> {
-    let k = state.base.k();
-    let mut ix = state.ix;
-    let mut ox = state.ox;
-    // Handle leaving bag vertices.
-    for (pos, &v) in child_bag.iter().enumerate() {
-        if parent_bag.binary_search(&v).is_ok() {
+    base_arena: &mut StateArena,
+    scratch: &mut Scratch,
+) -> LiftedRows {
+    let width = ROW_LABELS + parent_bag.len();
+    let mut out = LiftedRows {
+        rows: Vec::new(),
+        child: Vec::new(),
+    };
+    let mut seen = StateArena::new(width);
+    for idx in 0..child_table.len() as u32 {
+        if !lift_row(
+            child_table.get(StateId(idx)),
+            child_bag,
+            parent_bag,
+            instance,
+            pattern,
+            base_arena,
+            scratch,
+        ) {
             continue;
         }
-        match state.labels[pos] {
-            LABEL_IMAGE => {
-                if !state.base.mapped_pairs().any(|(_, t)| t == v) {
-                    return None; // promised to be used by the occurrence but never was
-                }
-            }
-            LABEL_INSIDE => {
-                if instance.in_s[v as usize] {
-                    ix = true;
-                }
-            }
-            LABEL_OUTSIDE => {
-                if instance.in_s[v as usize] {
-                    ox = true;
-                }
-            }
-            _ => return None,
+        if !seen.intern(&scratch.row).1 {
+            continue;
         }
+        out.rows.extend_from_slice(&scratch.row);
+        out.child.push(idx);
     }
-    // Lift the base state with forget-safety.
-    let mut words = Vec::with_capacity(k);
-    for i in 0..k {
-        match state.base.word(i) {
-            ST_UNMATCHED => words.push(ST_UNMATCHED),
-            ST_IN_CHILD => words.push(ST_IN_CHILD),
-            t => {
-                if parent_bag.binary_search(&t).is_ok() {
-                    words.push(t);
-                } else {
-                    if pattern
-                        .neighbors(i)
-                        .iter()
-                        .any(|&b| state.base.is_unmatched(b as usize))
-                    {
-                        return None;
-                    }
-                    words.push(ST_IN_CHILD);
-                }
-            }
-        }
-    }
-    // Labels of the parent bag: keep labels of shared vertices, leave new vertices
-    // undecided (u8::MAX) for the parent's extension step to fill in.
-    let labels: Vec<u8> = parent_bag
-        .iter()
-        .map(|&v| match child_bag.binary_search(&v) {
-            Ok(pos) => state.labels[pos],
-            Err(_) => u8::MAX,
-        })
-        .collect();
-    Some(SepState {
-        base: MatchState::from_raw(words),
-        labels: labels.into_boxed_slice(),
-        ix,
-        ox,
-    })
+    out
 }
 
-/// Joins two lifted states at a common bag.
-fn join(
-    a: &SepState,
-    b: &SepState,
-    bag: &[Vertex],
+/// Lifts one child row to the parent bag, writing the parent-format row into
+/// `scratch.row`. Forgotten bag vertices must be "finished": `Image` vertices must
+/// actually be mapped (their pattern vertex becomes `C`, with the same forget-safety
+/// rule as the plain DP), and `Inside`/`Outside` vertices in `S` set the corresponding
+/// flag. Returns `false` if the lift is illegal.
+fn lift_row(
+    row: &[u32],
+    child_bag: &[Vertex],
+    parent_bag: &[Vertex],
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
-) -> Option<SepState> {
-    let base = crate::dp::join(&a.base, &b.base, pattern, instance.graph)?;
-    let mut labels = Vec::with_capacity(bag.len());
-    for pos in 0..bag.len() {
-        let (la, lb) = (a.labels[pos], b.labels[pos]);
-        let combined = match (la, lb) {
-            (u8::MAX, l) | (l, u8::MAX) => l,
-            (x, y) if x == y => x,
-            _ => return None,
-        };
-        labels.push(combined);
+    base_arena: &mut StateArena,
+    scratch: &mut Scratch,
+) -> bool {
+    let mut flags = row[ROW_FLAGS];
+    {
+        let base = base_arena.get(StateId(row[ROW_BASE]));
+        // Handle leaving bag vertices.
+        for (pos, &v) in child_bag.iter().enumerate() {
+            if parent_bag.binary_search(&v).is_ok() {
+                continue;
+            }
+            match row[ROW_LABELS + pos] {
+                LABEL_IMAGE => {
+                    if !words_mapped_pairs(base).any(|(_, t)| t == v) {
+                        return false; // promised to be used by the occurrence but never was
+                    }
+                }
+                LABEL_INSIDE => {
+                    if instance.in_s[v as usize] {
+                        flags |= FLAG_IX;
+                    }
+                }
+                LABEL_OUTSIDE => {
+                    if instance.in_s[v as usize] {
+                        flags |= FLAG_OX;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        // Lift the base state with forget-safety.
+        scratch.base.clear();
+        for (i, &w) in base.iter().enumerate() {
+            match w {
+                ST_UNMATCHED | ST_IN_CHILD => scratch.base.push(w),
+                t => {
+                    if parent_bag.binary_search(&t).is_ok() {
+                        scratch.base.push(t);
+                    } else {
+                        if pattern
+                            .neighbors(i)
+                            .iter()
+                            .any(|&b| base[b as usize] == ST_UNMATCHED)
+                        {
+                            return false;
+                        }
+                        scratch.base.push(ST_IN_CHILD);
+                    }
+                }
+            }
+        }
     }
-    Some(SepState {
-        base,
-        labels: labels.into_boxed_slice(),
-        ix: a.ix || b.ix,
-        ox: a.ox || b.ox,
-    })
+    let (bid, _) = base_arena.intern(&scratch.base);
+    // Labels of the parent bag: keep labels of shared vertices, leave new vertices
+    // undecided for the parent's extension step to fill in.
+    scratch.row.clear();
+    scratch.row.push(bid.0);
+    scratch.row.push(flags);
+    for &v in parent_bag {
+        scratch.row.push(match child_bag.binary_search(&v) {
+            Ok(pos) => row[ROW_LABELS + pos],
+            Err(_) => LABEL_UNDECIDED,
+        });
+    }
+    true
+}
+
+/// Joins two lifted rows at a common bag, writing the joined base words into
+/// `joined_base` and the joined row (base id left unset) into `joined_row`.
+fn join_rows(
+    a: &[u32],
+    b: &[u32],
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+    base_arena: &StateArena,
+    joined_base: &mut Vec<u32>,
+    joined_row: &mut [u32],
+) -> bool {
+    if !crate::dp::join_words(
+        base_arena.get(StateId(a[ROW_BASE])),
+        base_arena.get(StateId(b[ROW_BASE])),
+        pattern,
+        instance.graph,
+        joined_base,
+    ) {
+        return false;
+    }
+    joined_row[ROW_FLAGS] = a[ROW_FLAGS] | b[ROW_FLAGS];
+    for pos in ROW_LABELS..a.len() {
+        let (la, lb) = (a[pos], b[pos]);
+        let combined = match (la, lb) {
+            (LABEL_UNDECIDED, l) | (l, LABEL_UNDECIDED) => l,
+            (x, y) if x == y => x,
+            _ => return false,
+        };
+        joined_row[pos] = combined;
+    }
+    true
+}
+
+/// Bag-local adjacency as bit masks: bit `j` of entry `i` is set iff the target graph
+/// has the edge `{bag[i], bag[j]}`. Computed once per node, it turns every edge probe
+/// of the `3^bag` label enumeration into one AND instead of a CSR binary search.
+fn bag_adjacency(bag: &[Vertex], graph: &CsrGraph) -> Vec<u64> {
+    assert!(
+        bag.len() <= 64,
+        "bags wider than 64 are far beyond the label enumeration's reach"
+    );
+    let mut adj = vec![0u64; bag.len()];
+    for i in 0..bag.len() {
+        for j in (i + 1)..bag.len() {
+            if graph.has_edge(bag[i], bag[j]) {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+        }
+    }
+    adj
 }
 
 /// Completes a joined state: assigns labels to still-undecided bag vertices and newly
 /// maps unmatched pattern vertices into `Image`-labelled, allowed, unused bag vertices,
 /// enforcing the separation edge constraint and the pattern adjacency constraints.
-fn extend(
-    joined: &SepState,
+/// Every completed row is emitted through `out` (borrowed — the caller interns).
+///
+/// The enumeration is factored to keep the `3^bag` label space cheap: the `Image`
+/// subset is chosen first and the match-state extensions into it are computed and
+/// interned **once**, then the `2^rest` Inside/Outside completions (maintained
+/// incrementally as position bit masks against `bag_adj`, so the separation constraint
+/// costs one AND per choice) each emit one row per precomputed extension id. The
+/// emitted set is exactly the unfactored enumeration's.
+#[allow(clippy::too_many_arguments)]
+fn extend<F: FnMut(&[u32])>(
+    joined_base: &[u32],
+    joined_labels: &[u32],
+    flags: u32,
     bag: &[Vertex],
+    bag_adj: &[u64],
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
-) -> Vec<SepState> {
-    // Step 1: enumerate label completions. Mapped targets force LABEL_IMAGE.
-    let mut forced = joined.labels.clone();
-    for (_, t) in joined.base.mapped_pairs() {
+    base_arena: &mut StateArena,
+    scratch: &mut Scratch,
+    out: &mut F,
+) {
+    // Mapped targets force LABEL_IMAGE (every mapped target of a state is in the bag).
+    scratch.labels.clear();
+    scratch.labels.extend_from_slice(joined_labels);
+    for (_, t) in words_mapped_pairs(joined_base) {
         if let Ok(pos) = bag.binary_search(&t) {
-            if forced[pos] != u8::MAX && forced[pos] != LABEL_IMAGE {
-                return Vec::new();
+            if scratch.labels[pos] != LABEL_UNDECIDED && scratch.labels[pos] != LABEL_IMAGE {
+                return;
             }
-            forced[pos] = LABEL_IMAGE;
+            scratch.labels[pos] = LABEL_IMAGE;
         }
+    }
+    // A decided Image label on a disallowed vertex can never be backed by a mapping.
+    for (pos, &v) in bag.iter().enumerate() {
+        if scratch.labels[pos] == LABEL_IMAGE && !instance.allowed[v as usize] {
+            return;
+        }
+    }
+    // Masks of the already-decided sides; labels fixed by the children were never
+    // cross-checked at join time, so reject decided-decided violations here once.
+    let mut inside_mask = 0u64;
+    let mut outside_mask = 0u64;
+    for (pos, &l) in scratch.labels.iter().enumerate() {
+        match l {
+            LABEL_INSIDE => inside_mask |= 1 << pos,
+            LABEL_OUTSIDE => outside_mask |= 1 << pos,
+            _ => {}
+        }
+    }
+    let mut m = inside_mask;
+    while m != 0 {
+        let pos = m.trailing_zeros() as usize;
+        if bag_adj[pos] & outside_mask != 0 {
+            return;
+        }
+        m &= m - 1;
     }
     // Every Image label that is not already backed by a mapped pattern vertex is a
     // promise that one of the still-unmatched pattern vertices will map there, so the
     // number of such labels is bounded by the number of unmatched pattern vertices.
-    let image_budget = joined.base.num_unmatched();
-    let mut label_choices: Vec<Box<[u8]>> = Vec::new();
-    let mut current = forced.clone();
-    enumerate_labels(
-        0,
-        &mut current,
+    let image_budget = words_num_unmatched(joined_base);
+    scratch.undecided.clear();
+    scratch
+        .undecided
+        .extend((0..bag.len()).filter(|&p| scratch.labels[p] == LABEL_UNDECIDED));
+    let mut labels = std::mem::take(&mut scratch.labels);
+    let mut row_buf = std::mem::take(&mut scratch.row);
+    let mut allowed_targets = std::mem::take(&mut scratch.allowed_targets);
+    let mut ext_ids = std::mem::take(&mut scratch.ext_ids);
+    let undecided = std::mem::take(&mut scratch.undecided);
+    let mut cx = ExtendCx {
+        joined_base,
+        flags,
         bag,
+        bag_adj,
         instance,
+        pattern,
+        undecided: &undecided,
+        labels: &mut labels,
+        allowed_targets: &mut allowed_targets,
+        ext_ids: &mut ext_ids,
+        row_buf: &mut row_buf,
+    };
+    enum_image_subsets(
+        &mut cx,
+        0,
         image_budget,
-        &mut label_choices,
+        inside_mask,
+        outside_mask,
+        base_arena,
+        out,
     );
-
-    // Step 2: for each labelling, check the separation edge constraint and enumerate
-    // pattern extensions into Image-labelled vertices.
-    let mut out = Vec::new();
-    for labels in label_choices {
-        if !edge_constraint_ok(&labels, bag, instance.graph) {
-            continue;
-        }
-        let allowed_targets: Vec<Vertex> = bag
-            .iter()
-            .enumerate()
-            .filter(|&(pos, &v)| labels[pos] == LABEL_IMAGE && instance.allowed[v as usize])
-            .map(|(_, &v)| v)
-            .collect();
-        // Image-labelled vertices that are not allowed can never be used: prune.
-        if bag
-            .iter()
-            .enumerate()
-            .any(|(pos, &v)| labels[pos] == LABEL_IMAGE && !instance.allowed[v as usize])
-        {
-            continue;
-        }
-        let base_state = SepState {
-            base: joined.base.clone(),
-            labels: labels.clone(),
-            ix: joined.ix,
-            ox: joined.ox,
-        };
-        crate::dp::extend_all(
-            &joined.base,
-            &allowed_targets,
-            pattern,
-            instance.graph,
-            &mut |ms| {
-                out.push(SepState {
-                    base: ms,
-                    ..base_state.clone()
-                });
-            },
-        );
-    }
-    out
+    scratch.labels = labels;
+    scratch.row = row_buf;
+    scratch.allowed_targets = allowed_targets;
+    scratch.ext_ids = ext_ids;
+    scratch.undecided = undecided;
 }
 
-fn enumerate_labels(
-    pos: usize,
-    current: &mut Box<[u8]>,
-    bag: &[Vertex],
-    instance: &SeparatingInstance<'_>,
-    image_budget: usize,
-    out: &mut Vec<Box<[u8]>>,
+/// Shared context of the factored label/extension enumeration.
+struct ExtendCx<'a> {
+    joined_base: &'a [u32],
+    flags: u32,
+    bag: &'a [Vertex],
+    bag_adj: &'a [u64],
+    instance: &'a SeparatingInstance<'a>,
+    pattern: &'a Pattern,
+    /// Bag positions whose labels are still undecided (fixed for the whole call).
+    undecided: &'a [usize],
+    labels: &'a mut Vec<u32>,
+    allowed_targets: &'a mut Vec<Vertex>,
+    ext_ids: &'a mut Vec<u32>,
+    row_buf: &'a mut Vec<u32>,
+}
+
+/// Chooses which undecided positions become `Image` (bounded by `budget`), then hands
+/// over to the per-subset extension computation + side enumeration.
+fn enum_image_subsets<F: FnMut(&[u32])>(
+    cx: &mut ExtendCx<'_>,
+    idx: usize,
+    budget: usize,
+    inside_mask: u64,
+    outside_mask: u64,
+    base_arena: &mut StateArena,
+    out: &mut F,
 ) {
-    if pos == current.len() {
-        out.push(current.clone());
-        return;
-    }
-    if current[pos] != u8::MAX {
-        enumerate_labels(pos + 1, current, bag, instance, image_budget, out);
-        return;
-    }
-    let v = bag[pos] as usize;
-    // Incremental separation constraint: an Inside/Outside choice must not contradict an
-    // already-labelled neighbour within the bag.
-    fn side_conflicts(
-        current: &[u8],
-        bag: &[Vertex],
-        graph: &CsrGraph,
-        pos: usize,
-        label: u8,
-    ) -> bool {
-        (0..current.len()).any(|other| {
-            other != pos
-                && current[other] != u8::MAX
-                && current[other] != LABEL_IMAGE
-                && current[other] != label
-                && graph.has_edge(bag[pos], bag[other])
-        })
-    }
-    for label in [LABEL_INSIDE, LABEL_OUTSIDE] {
-        if side_conflicts(current, bag, instance.graph, pos, label) {
-            continue;
+    if idx == cx.undecided.len() {
+        // The Image set is fixed: compute the match-state extensions into it once and
+        // intern them, then enumerate the Inside/Outside completions of the rest.
+        cx.allowed_targets.clear();
+        for (pos, &v) in cx.bag.iter().enumerate() {
+            if cx.labels[pos] == LABEL_IMAGE {
+                cx.allowed_targets.push(v);
+            }
         }
-        current[pos] = label;
-        enumerate_labels(pos + 1, current, bag, instance, image_budget, out);
-        current[pos] = u8::MAX;
+        cx.ext_ids.clear();
+        {
+            let (ext_ids, joined_base, allowed_targets, pattern, graph) = (
+                &mut *cx.ext_ids,
+                cx.joined_base,
+                &*cx.allowed_targets,
+                cx.pattern,
+                cx.instance.graph,
+            );
+            crate::dp::extend_all_words(joined_base, allowed_targets, pattern, graph, &mut |w| {
+                ext_ids.push(base_arena.intern(w).0 .0);
+            });
+        }
+        enum_sides(cx, 0, inside_mask, outside_mask, out);
+        return;
     }
-    if instance.allowed[v] && image_budget > 0 {
-        current[pos] = LABEL_IMAGE;
-        enumerate_labels(pos + 1, current, bag, instance, image_budget - 1, out);
-        current[pos] = u8::MAX;
+    let pos = cx.undecided[idx];
+    // Choice 1: not Image — the position stays open for the side enumeration.
+    enum_image_subsets(
+        cx,
+        idx + 1,
+        budget,
+        inside_mask,
+        outside_mask,
+        base_arena,
+        out,
+    );
+    // Choice 2: Image (only allowed vertices, within budget).
+    if budget > 0 && cx.instance.allowed[cx.bag[pos] as usize] {
+        cx.labels[pos] = LABEL_IMAGE;
+        enum_image_subsets(
+            cx,
+            idx + 1,
+            budget - 1,
+            inside_mask,
+            outside_mask,
+            base_arena,
+            out,
+        );
+        cx.labels[pos] = LABEL_UNDECIDED;
     }
 }
 
-/// No edge of the bag may connect an `Inside` vertex to an `Outside` vertex.
-fn edge_constraint_ok(labels: &[u8], bag: &[Vertex], graph: &CsrGraph) -> bool {
-    for i in 0..bag.len() {
-        if labels[i] == LABEL_IMAGE {
-            continue;
-        }
-        for j in (i + 1)..bag.len() {
-            if labels[j] == LABEL_IMAGE || labels[i] == labels[j] {
-                continue;
-            }
-            if graph.has_edge(bag[i], bag[j]) {
-                return false;
-            }
-        }
+/// Assigns Inside/Outside to the positions the Image subset left open; at every full
+/// assignment one row per precomputed extension id is emitted.
+fn enum_sides<F: FnMut(&[u32])>(
+    cx: &mut ExtendCx<'_>,
+    idx: usize,
+    inside_mask: u64,
+    outside_mask: u64,
+    out: &mut F,
+) {
+    // Skip positions the image-subset recursion decided.
+    let mut idx = idx;
+    while idx < cx.undecided.len() && cx.labels[cx.undecided[idx]] != LABEL_UNDECIDED {
+        idx += 1;
     }
-    true
+    if idx == cx.undecided.len() {
+        for &ext in cx.ext_ids.iter() {
+            cx.row_buf.clear();
+            cx.row_buf.push(ext);
+            cx.row_buf.push(cx.flags);
+            cx.row_buf.extend_from_slice(cx.labels);
+            out(cx.row_buf);
+        }
+        return;
+    }
+    let pos = cx.undecided[idx];
+    let bit = 1u64 << pos;
+    // Incremental separation constraint: an Inside/Outside choice must not be adjacent
+    // to any vertex already committed to the other side.
+    if cx.bag_adj[pos] & outside_mask == 0 {
+        cx.labels[pos] = LABEL_INSIDE;
+        enum_sides(cx, idx + 1, inside_mask | bit, outside_mask, out);
+        cx.labels[pos] = LABEL_UNDECIDED;
+    }
+    if cx.bag_adj[pos] & inside_mask == 0 {
+        cx.labels[pos] = LABEL_OUTSIDE;
+        enum_sides(cx, idx + 1, inside_mask, outside_mask | bit, out);
+        cx.labels[pos] = LABEL_UNDECIDED;
+    }
 }
 
 /// Checks that removing `occurrence` from the graph separates `S`: at least two
@@ -604,5 +935,27 @@ mod tests {
             allowed: &all_true(n),
         };
         assert!(find_separating_occurrence(&inst, &Pattern::cycle(8)).is_none());
+    }
+
+    #[test]
+    fn stats_reflect_interning() {
+        let g = generators::grid(4, 4);
+        let n = g.num_vertices();
+        let in_s = all_true(n);
+        let inst = SeparatingInstance {
+            graph: &g,
+            in_s: &in_s,
+            allowed: &all_true(n),
+        };
+        let (occ, stats) = find_separating_occurrence_with_stats(&inst, &Pattern::cycle(4));
+        assert!(occ.is_none());
+        assert!(stats.sep_states > 0);
+        assert!(stats.base_states > 0);
+        // Base states are shared across nodes: strictly fewer distinct match-states
+        // than separating states (each sep state references one base).
+        assert!(stats.base_states < stats.sep_states);
+        assert!(stats.peak_node_states <= stats.sep_states);
+        assert!(stats.arena.hits > 0, "no interning hits — dedup is broken");
+        assert!(stats.arena.bytes > 0);
     }
 }

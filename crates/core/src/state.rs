@@ -3,9 +3,14 @@
 //! A partial match of a decomposition-tree node `X` is a triple `(φ, C, U)`: pattern
 //! vertices are either *unmatched* (`U`), *matched in a child* (`C` — matched somewhere
 //! strictly below `X`, to a target vertex that no longer appears in the bag), or mapped
-//! by `φ` to a concrete vertex of the bag. [`MatchState`] stores one status word per
-//! pattern vertex; mapped vertices store the target vertex id directly (rather than a
-//! bag slot) so states of different nodes can be compared and lifted cheaply.
+//! by `φ` to a concrete vertex of the bag. A state is one status word per pattern
+//! vertex; mapped vertices store the target vertex id directly (rather than a bag slot)
+//! so states of different nodes can be compared and lifted cheaply.
+//!
+//! The canonical storage of states is the interning arena of [`crate::arena`]; the hot
+//! paths of the DP therefore operate on *borrowed word slices* (`&[u32]`) through the
+//! free functions below, never on owned state values. [`MatchState`] remains as the
+//! owned convenience wrapper for construction, tests, and witness material.
 
 use psi_graph::Vertex;
 
@@ -13,6 +18,35 @@ use psi_graph::Vertex;
 pub const ST_UNMATCHED: u32 = u32::MAX;
 /// Status word: the pattern vertex is matched in a child (image outside the bag).
 pub const ST_IN_CHILD: u32 = u32::MAX - 1;
+
+// ---- borrowed-slice operations (the DP hot-path layer) -------------------------------
+
+/// The target vertex status word `w` maps to, if it is a concrete mapping.
+#[inline]
+pub fn word_mapped(w: u32) -> Option<Vertex> {
+    (w < ST_IN_CHILD).then_some(w)
+}
+
+/// Whether a state (as raw words) has no unmatched pattern vertex.
+#[inline]
+pub fn words_is_complete(words: &[u32]) -> bool {
+    words.iter().all(|&w| w != ST_UNMATCHED)
+}
+
+/// Number of unmatched pattern vertices of a state given as raw words.
+#[inline]
+pub fn words_num_unmatched(words: &[u32]) -> usize {
+    words.iter().filter(|&&w| w == ST_UNMATCHED).count()
+}
+
+/// Iterator over `(pattern vertex, target vertex)` pairs mapped by a raw-word state.
+#[inline]
+pub fn words_mapped_pairs(words: &[u32]) -> impl Iterator<Item = (usize, Vertex)> + '_ {
+    words
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &w)| (w < ST_IN_CHILD).then_some((i, w)))
+}
 
 /// A partial match `(φ, C, U)`, one status word per pattern vertex.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -27,6 +61,11 @@ impl MatchState {
     /// Builds a state from raw status words.
     pub fn from_raw(words: Vec<u32>) -> Self {
         MatchState(words.into_boxed_slice())
+    }
+
+    /// Builds a state by copying a borrowed word slice (e.g. an arena row).
+    pub fn from_words(words: &[u32]) -> Self {
+        MatchState(words.to_vec().into_boxed_slice())
     }
 
     /// Number of pattern vertices.

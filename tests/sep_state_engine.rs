@@ -1,0 +1,89 @@
+//! Regression coverage for the interned DP state engine on the separating DP's
+//! adversarial path: *no-instance* searches cannot early-exit, so they materialise the
+//! full state space of every node — exactly the workload that made the C6/C8
+//! connectivity searches take minutes before states were arena-interned.
+//!
+//! The bounds asserted here are deliberately loose (≈2× the measured values) so they
+//! flag real state-space regressions, not scheduler noise.
+
+use planar_subiso::{
+    find_separating_occurrence_with_stats, vertex_connectivity, ConnectivityMode, Pattern,
+    SeparatingInstance,
+};
+use psi_graph::generators;
+use std::time::Instant;
+
+/// A timed, non-ignored adversarial C6 search: S is a pair of adjacent vertices, so no
+/// occurrence can ever separate it (the surviving S-edge keeps S connected) and the DP
+/// must exhaust every table. Asserts the verdict and an upper bound on the interned
+/// state count.
+#[test]
+fn adversarial_c6_no_instance_search_stays_bounded() {
+    let g = generators::triangulated_grid(6, 6);
+    let n = g.num_vertices();
+    let mut in_s = vec![false; n];
+    in_s[0] = true;
+    in_s[1] = true;
+    let allowed = vec![true; n];
+    let inst = SeparatingInstance {
+        graph: &g,
+        in_s: &in_s,
+        allowed: &allowed,
+    };
+    let start = Instant::now();
+    let (occ, stats) = find_separating_occurrence_with_stats(&inst, &Pattern::cycle(6));
+    let elapsed = start.elapsed();
+    println!(
+        "adversarial C6 on n={n}: {:?}, sep_states={}, base_states={}, peak_node={}, \
+         bytes={}, hits={}, misses={}",
+        elapsed,
+        stats.sep_states,
+        stats.base_states,
+        stats.peak_node_states,
+        stats.arena.bytes,
+        stats.arena.hits,
+        stats.arena.misses
+    );
+    assert!(occ.is_none(), "adjacent S pair can never be separated");
+    assert!(
+        stats.sep_states > 0 && stats.base_states > 0,
+        "accounting must be populated"
+    );
+    // Interning must keep the exhaustive search bounded: calibration bound (~2x the
+    // measured 2.91M on the seed decomposition heuristic).
+    assert!(
+        stats.sep_states < 6_000_000,
+        "separating-state explosion: {} states interned",
+        stats.sep_states
+    );
+    // The shared base arena is the point of the engine: distinct match-states must be
+    // far fewer than separating states (each sep state references one base).
+    assert!(
+        stats.base_states * 2 < stats.sep_states,
+        "base interning is not sharing: {} base vs {} sep states",
+        stats.base_states,
+        stats.sep_states
+    );
+}
+
+/// The octahedron's connectivity computation exercises two full no-instance searches
+/// (C4 and C6) before the separating C8 is found; the per-search state accounting must
+/// surface through the public result and stay bounded.
+#[test]
+fn octahedron_connectivity_reports_state_accounting() {
+    let e = psi_planar::generators::octahedron();
+    let start = Instant::now();
+    let result = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 1);
+    println!(
+        "octahedron connectivity: {:?}, states_explored={}",
+        start.elapsed(),
+        result.states_explored
+    );
+    assert_eq!(result.connectivity, 4);
+    assert!(result.states_explored > 0);
+    assert!(
+        result.states_explored < 4_000_000,
+        "connectivity search state blow-up: {}",
+        result.states_explored
+    );
+}
