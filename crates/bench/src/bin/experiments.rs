@@ -6,8 +6,9 @@
 //! relevant rows into `EXPERIMENTS.md`.
 
 use planar_subiso::{
-    build_cover, find_separating_occurrence_with_stats, run_parallel, vertex_connectivity,
-    ConnectivityMode, ParallelDpConfig, Pattern, SeparatingInstance, SubgraphIsomorphism,
+    build_cover, build_cover_with_stats, find_separating_occurrence_with_stats, run_parallel,
+    search_cover, vertex_connectivity, ConnectivityMode, ParallelDpConfig, Pattern,
+    SeparatingInstance, SubgraphIsomorphism, DEFAULT_BATCH_BUDGET,
 };
 use psi_baselines::{eppstein_sequential_decide, flow_vertex_connectivity, ullmann_decide};
 use psi_bench::{size_sweep, table1_patterns, target_with_n};
@@ -65,6 +66,192 @@ fn main() {
     if want("bench_dp") {
         bench_dp();
     }
+    if want("bench_cover") {
+        let check = args.iter().any(|a| a == "--check");
+        bench_cover(check);
+    }
+}
+
+/// One machine-readable measurement of the sharded cover pipeline.
+struct CoverBenchCase {
+    name: &'static str,
+    n: usize,
+    all_ms: Vec<f64>,
+    pieces: usize,
+    skipped_small: usize,
+    batches: usize,
+    scratch_bytes: usize,
+}
+
+impl CoverBenchCase {
+    fn median_ms(&self) -> f64 {
+        let mut sorted = self.all_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// bench_cover — machine-readable cover-pipeline baselines (`BENCH_cover.json`).
+///
+/// Covers the three cost centres of the million-vertex workload: eager cover
+/// construction across sizes up to `n = 10^6`, the streamed batch scan (construction
+/// plus disjoint-union packing, no DP), and the end-to-end `decide(C4)` at one
+/// million vertices. With `--check`, the fresh medians are compared against the
+/// committed `BENCH_cover.json` and the process exits non-zero when any case
+/// regressed by more than 2x — the nightly CI gate.
+fn bench_cover(check: bool) {
+    println!("\n== bench_cover: sharded cover-pipeline baselines -> BENCH_cover.json ==");
+    let baseline = std::fs::read_to_string("BENCH_cover.json").ok();
+    let mut cases: Vec<CoverBenchCase> = Vec::new();
+
+    // Odd run counts everywhere: `median_ms` of an even-length sample picks the upper
+    // element, which would feed the worst run into the >2x regression gate.
+    for (name, n, runs) in [
+        ("cover_build_65k", 65_536usize, 3usize),
+        ("cover_build_262k", 262_144, 3),
+        ("cover_build_1m", 1_000_000, 3),
+    ] {
+        let g = target_with_n(n);
+        let mut all_ms = Vec::new();
+        let mut last = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let (cover, stats) = build_cover_with_stats(&g, 4, 1, 7);
+            all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+            last = Some(stats);
+            drop(cover);
+        }
+        let stats = last.unwrap();
+        cases.push(CoverBenchCase {
+            name,
+            n: g.num_vertices(),
+            all_ms,
+            pieces: stats.pieces,
+            skipped_small: stats.skipped_small,
+            batches: stats.batches,
+            scratch_bytes: stats.scratch_bytes,
+        });
+    }
+
+    // Streamed scan: windows below k are skipped before construction, survivors are
+    // packed into DEFAULT_BATCH_BUDGET-vertex unions; no DP runs, so this isolates
+    // the pipeline cost that `decide` pays per cover round.
+    {
+        let g = target_with_n(262_144);
+        let mut all_ms = Vec::new();
+        let mut last = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (none, stats) =
+                search_cover::<(), _>(&g, 4, 1, 7, 4, DEFAULT_BATCH_BUDGET, |_| None);
+            all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+            assert!(none.is_none());
+            last = Some(stats);
+        }
+        let stats = last.unwrap();
+        cases.push(CoverBenchCase {
+            name: "cover_scan_262k",
+            n: g.num_vertices(),
+            all_ms,
+            pieces: stats.pieces,
+            skipped_small: stats.skipped_small,
+            batches: stats.batches,
+            scratch_bytes: stats.scratch_bytes,
+        });
+    }
+
+    // End-to-end decision at the headline size (hit in the first cover round; the
+    // cost is clustering + streaming up to the first batch with a C4).
+    {
+        let g = target_with_n(1_000_000);
+        let query = SubgraphIsomorphism::new(Pattern::cycle(4));
+        let mut all_ms = Vec::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            assert!(query.decide(&g));
+            all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+        }
+        cases.push(CoverBenchCase {
+            name: "decide_c4_1m",
+            n: g.num_vertices(),
+            all_ms,
+            pieces: 0,
+            skipped_small: 0,
+            batches: 0,
+            scratch_bytes: 0,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_cover/v1\",\n");
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n  \"cases\": [\n",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"median_ms\": {:.2}, \"all_ms\": [{}], \
+             \"pieces\": {}, \"skipped_small\": {}, \"batches\": {}, \"scratch_bytes\": {}}}{}\n",
+            c.name,
+            c.n,
+            c.median_ms(),
+            all.join(", "),
+            c.pieces,
+            c.skipped_small,
+            c.batches,
+            c.scratch_bytes,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+        println!(
+            "{:<18} n {:>8}   median {:>9.2} ms   pieces {:>7}   skipped {:>7}   batches {:>6}   scratch {:>8} B",
+            c.name, c.n, c.median_ms(), c.pieces, c.skipped_small, c.batches, c.scratch_bytes
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_cover.json", json).expect("write BENCH_cover.json");
+    println!("wrote BENCH_cover.json");
+
+    if check {
+        let Some(baseline) = baseline else {
+            println!("--check: no committed BENCH_cover.json baseline; skipping gate");
+            return;
+        };
+        let mut regressed = false;
+        for c in &cases {
+            let Some(old) = extract_case_median(&baseline, c.name) else {
+                println!("--check: case {} absent from baseline; skipping", c.name);
+                continue;
+            };
+            let fresh = c.median_ms();
+            let ratio = fresh / old;
+            let verdict = if ratio > 2.0 { "REGRESSED" } else { "ok" };
+            println!(
+                "--check: {:<18} baseline {:>9.2} ms, fresh {:>9.2} ms, ratio {:>5.2}x  {}",
+                c.name, old, fresh, ratio, verdict
+            );
+            if ratio > 2.0 {
+                regressed = true;
+            }
+        }
+        if regressed {
+            eprintln!("bench_cover regression gate failed (>2x against committed baseline)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Pulls `median_ms` of the named case out of a committed `BENCH_cover.json` without
+/// a JSON dependency (the format is written by this binary, one case per line).
+fn extract_case_median(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let idx = line.find("\"median_ms\": ")?;
+    let rest = &line[idx + "\"median_ms\": ".len()..];
+    let end = rest.find(',').unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 /// One machine-readable measurement of the DP state engine.
@@ -294,9 +481,8 @@ fn f1_cover() {
             max_mult = max_mult.max(cover.max_pieces_per_vertex(g.num_vertices()));
             if s == 0 {
                 for piece in &cover.pieces {
-                    if piece.sub.num_vertices() > 2 {
-                        max_width =
-                            max_width.max(min_degree_decomposition(&piece.sub.graph).width());
+                    if piece.num_vertices() > 2 {
+                        max_width = max_width.max(min_degree_decomposition(&piece.graph).width());
                     }
                 }
             }
@@ -341,7 +527,8 @@ fn f2_cluster() {
     }
 }
 
-/// F3 — Theorem 2.1: near-linear scaling in n.
+/// F3 — Theorem 2.1: near-linear scaling in n, up to the paper's million-vertex
+/// headline size (the sharded cover pipeline opened the top end of the sweep).
 fn f3_scaling_n() {
     println!("\n== F3: scaling in n (Theorem 2.1), pattern = C4 ==");
     println!(
@@ -349,7 +536,7 @@ fn f3_scaling_n() {
         "n", "time [ms]", "time / (n log n) [us]"
     );
     let p = Pattern::cycle(4);
-    for n in size_sweep(70_000) {
+    for n in size_sweep(psi_bench::MILLION) {
         let g = target_with_n(n);
         let query = SubgraphIsomorphism::new(p.clone());
         let (_, ms) = timed(|| query.decide(&g));

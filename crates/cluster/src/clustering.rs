@@ -7,15 +7,25 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A clustering (vertex partition) of a graph.
+///
+/// Cluster membership is stored in one flat CSR-style layout (`member_starts` +
+/// `members`) instead of a `Vec<Vec<Vertex>>`: the cover pipeline iterates clusters by
+/// dense id (and shards them into contiguous id ranges) without re-bucketising the
+/// `cluster_of` array or touching one heap allocation per cluster.
 #[derive(Clone, Debug)]
 pub struct Clustering {
     /// For every vertex the centre vertex of its cluster.
     pub center: Vec<Vertex>,
     /// Dense cluster id (`0..num_clusters`) of every vertex.
     pub cluster_of: Vec<u32>,
-    /// The vertices of every cluster, indexed by dense cluster id. The first entry of
-    /// each cluster is its centre.
-    pub clusters: Vec<Vec<Vertex>>,
+    /// CSR offsets into `members`, one range per dense cluster id.
+    member_starts: Vec<u32>,
+    /// Cluster members back-to-back in cluster-id order; the first entry of each
+    /// cluster's range is its centre, the rest follow in ascending vertex order.
+    members: Vec<Vertex>,
+    /// Position of every vertex inside `members` (the inverse permutation); gives each
+    /// vertex a dense *within-shard* index for epoch-stamped scratch.
+    member_pos: Vec<u32>,
     /// Shifted arrival time of every vertex (`dist(c, v) − δ_c + δ_max`).
     pub arrival: Vec<f64>,
 }
@@ -23,7 +33,52 @@ pub struct Clustering {
 impl Clustering {
     /// Number of clusters.
     pub fn num_clusters(&self) -> usize {
-        self.clusters.len()
+        self.member_starts.len().saturating_sub(1)
+    }
+
+    /// The members of cluster `cid` (centre first, then ascending vertex id).
+    #[inline]
+    pub fn members_of(&self, cid: u32) -> &[Vertex] {
+        let cid = cid as usize;
+        &self.members[self.member_starts[cid] as usize..self.member_starts[cid + 1] as usize]
+    }
+
+    /// Iterates all clusters' member slices in dense-id order.
+    pub fn iter_clusters(&self) -> impl ExactSizeIterator<Item = &[Vertex]> + '_ {
+        (0..self.num_clusters() as u32).map(|cid| self.members_of(cid))
+    }
+
+    /// The flat member array underlying [`Clustering::members_of`].
+    #[inline]
+    pub fn members_flat(&self) -> &[Vertex] {
+        &self.members
+    }
+
+    /// Start of cluster `cid`'s range inside [`Clustering::members_flat`].
+    #[inline]
+    pub fn member_start(&self, cid: u32) -> usize {
+        self.member_starts[cid as usize] as usize
+    }
+
+    /// Position of vertex `v` inside [`Clustering::members_flat`].
+    #[inline]
+    pub fn member_position(&self, v: Vertex) -> usize {
+        self.member_pos[v as usize] as usize
+    }
+
+    /// Builds a clustering from an explicit centre assignment (`center[v]` is the
+    /// centre vertex of `v`'s cluster; centres must be self-assigned). Intended for
+    /// tests that need a handcrafted cluster shape; the algorithmic entry points are
+    /// [`cluster`] and [`cluster_parallel`].
+    pub fn from_assignment(center: Vec<Vertex>, arrival: Vec<f64>) -> Clustering {
+        assert_eq!(center.len(), arrival.len());
+        for (v, &c) in center.iter().enumerate() {
+            assert!(
+                c == INVALID_VERTEX || center[c as usize] == c,
+                "centre of vertex {v} is not self-assigned"
+            );
+        }
+        assemble(center, arrival)
     }
 
     /// Edges of `graph` whose endpoints lie in different clusters.
@@ -57,18 +112,14 @@ impl Clustering {
     /// The largest *unshifted* BFS eccentricity of a cluster centre within its own
     /// cluster — an upper bound witness for the cluster (strong-)diameter guarantee.
     pub fn max_cluster_radius(&self, graph: &CsrGraph) -> u32 {
-        self.clusters
-            .par_iter()
-            .map(|members| {
-                let center = members[0];
-                let in_cluster: Vec<bool> = {
-                    let mut m = vec![false; graph.num_vertices()];
-                    for &v in members {
-                        m[v as usize] = true;
-                    }
-                    m
-                };
-                let t = psi_graph::bfs::bfs_restricted(graph, center, |v| in_cluster[v as usize]);
+        let ids: Vec<u32> = (0..self.num_clusters() as u32).collect();
+        ids.par_iter()
+            .map(|&cid| {
+                let members = self.members_of(cid);
+                // membership comes from the cluster_of oracle — no O(n) mask per cluster
+                let t = psi_graph::bfs::bfs_restricted(graph, members[0], |v| {
+                    self.cluster_of[v as usize] == cid
+                });
                 members
                     .iter()
                     .map(|&v| t.dist[v as usize])
@@ -111,38 +162,69 @@ impl PartialOrd for HeapEntry {
 
 fn assemble(center: Vec<Vertex>, arrival: Vec<f64>) -> Clustering {
     let n = center.len();
-    let mut cluster_ids: Vec<Vertex> = center
-        .iter()
-        .copied()
-        .filter(|&c| c != INVALID_VERTEX)
-        .collect();
-    cluster_ids.sort_unstable();
-    cluster_ids.dedup();
-    let mut dense = std::collections::HashMap::with_capacity(cluster_ids.len());
-    for (i, &c) in cluster_ids.iter().enumerate() {
-        dense.insert(c, i as u32);
+    // Dense cluster ids in ascending centre-vertex order. A vertex `c` appearing as a
+    // centre always has `center[c] == c` (only self-captured vertices ever propagate
+    // their id), so one linear scan assigns the dense ids without hashing.
+    let mut dense = vec![u32::MAX; n];
+    for &c in &center {
+        if c != INVALID_VERTEX {
+            dense[c as usize] = 0;
+        }
     }
+    let mut num_clusters = 0u32;
+    for d in dense.iter_mut() {
+        if *d == 0 {
+            *d = num_clusters;
+            num_clusters += 1;
+        }
+    }
+    // Counting sort of the members into one flat array: centre first, then ascending
+    // vertex order (the layout every consumer sees through `members_of`).
     let mut cluster_of = vec![u32::MAX; n];
-    let mut clusters: Vec<Vec<Vertex>> = vec![Vec::new(); cluster_ids.len()];
-    // Put every centre first in its own cluster list.
-    for (&c, &id) in dense.iter() {
-        clusters[id as usize].push(c);
+    let mut sizes = vec![0u32; num_clusters as usize];
+    for (v, &c) in center.iter().enumerate() {
+        if c != INVALID_VERTEX {
+            let id = dense[c as usize];
+            cluster_of[v] = id;
+            sizes[id as usize] += 1;
+        }
     }
-    for v in 0..n {
-        let c = center[v];
+    let mut member_starts = Vec::with_capacity(num_clusters as usize + 1);
+    member_starts.push(0u32);
+    let mut total = 0u32;
+    for &s in &sizes {
+        total += s;
+        member_starts.push(total);
+    }
+    let mut members = vec![INVALID_VERTEX; total as usize];
+    let mut cursor: Vec<u32> = member_starts[..num_clusters as usize].to_vec();
+    // centres claim the first slot of their range
+    for (slot, &start) in cursor.iter_mut().zip(&member_starts) {
+        debug_assert_eq!(*slot, start);
+        *slot = start + 1;
+    }
+    let mut member_pos = vec![u32::MAX; n];
+    for (v, &c) in center.iter().enumerate() {
         if c == INVALID_VERTEX {
             continue;
         }
-        let id = dense[&c];
-        cluster_of[v] = id;
-        if v as Vertex != c {
-            clusters[id as usize].push(v as Vertex);
-        }
+        let id = dense[c as usize] as usize;
+        let pos = if v as Vertex == c {
+            member_starts[id]
+        } else {
+            let p = cursor[id];
+            cursor[id] += 1;
+            p
+        };
+        members[pos as usize] = v as Vertex;
+        member_pos[v] = pos;
     }
     Clustering {
         center,
         cluster_of,
-        clusters,
+        member_starts,
+        members,
+        member_pos,
         arrival,
     }
 }
@@ -307,23 +389,29 @@ mod tests {
         assert_eq!(c.center.len(), n);
         assert!(c.center.iter().all(|&x| x != INVALID_VERTEX));
         // clusters form a partition
-        let total: usize = c.clusters.iter().map(|cl| cl.len()).sum();
+        let total: usize = c.iter_clusters().map(|cl| cl.len()).sum();
         assert_eq!(total, n);
         let mut seen = vec![false; n];
-        for cl in &c.clusters {
+        for cl in c.iter_clusters() {
             for &v in cl {
                 assert!(!seen[v as usize]);
                 seen[v as usize] = true;
             }
         }
-        // every centre belongs to its own cluster
-        for (id, cl) in c.clusters.iter().enumerate() {
+        // the flat layout and its inverse agree
+        for (pos, &v) in c.members_flat().iter().enumerate() {
+            assert_eq!(c.member_position(v), pos);
+        }
+        // every centre belongs to its own cluster, leads its range, and the rest of the
+        // range is in ascending vertex order
+        for (id, cl) in c.iter_clusters().enumerate() {
             let center = cl[0];
             assert_eq!(c.center[center as usize], center);
             assert_eq!(c.cluster_of[center as usize], id as u32);
+            assert!(cl[1..].windows(2).all(|w| w[0] < w[1]));
         }
         // clusters are connected
-        for cl in &c.clusters {
+        for cl in c.iter_clusters() {
             let sub = psi_graph::induced_subgraph(g, cl);
             assert!(psi_graph::is_connected(&sub.graph), "cluster not connected");
         }
@@ -431,7 +519,7 @@ mod tests {
         let c = cluster(&g, 3.0, 1);
         check_partition(&g, &c);
         // no cluster can span two components
-        for cl in &c.clusters {
+        for cl in c.iter_clusters() {
             let first_comp = cl[0] < 6;
             assert!(cl.iter().all(|&v| (v < 6) == first_comp));
         }

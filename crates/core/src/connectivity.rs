@@ -16,12 +16,11 @@
 //! through the randomised separating k-d cover (near-linear work, correct with high
 //! probability after `O(log n)` repetitions).
 
-use crate::cover::build_separating_cover;
+use crate::cover::search_separating_cover;
 use crate::pattern::Pattern;
 use crate::separating::{find_separating_occurrence_with_stats, SeparatingInstance};
 use psi_graph::{CsrGraph, Vertex, INVALID_VERTEX};
 use psi_planar::{face_vertex_graph, Embedding};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How the separating-cycle searches are executed.
@@ -165,24 +164,22 @@ fn search_with_cover(
         let round_seed = seed
             .wrapping_add(round as u64)
             .wrapping_mul(0x9E3779B97F4A7C15);
-        let (pieces, _clustering) = build_separating_cover(g_prime, k, d, in_s, round_seed);
-        let hit = pieces
-            .par_iter()
-            .filter(|p| p.graph.num_vertices() >= k)
-            .find_map_any(|piece| {
-                let inst = SeparatingInstance {
-                    graph: &piece.graph,
-                    in_s: &piece.in_s,
-                    allowed: &piece.allowed,
-                };
-                let (occ, stats) = find_separating_occurrence_with_stats(&inst, cycle);
-                states.fetch_add(stats.sep_states, Ordering::Relaxed);
-                occ.map(|occ| {
-                    occ.into_iter()
-                        .map(|v| piece.original_of[v as usize])
-                        .collect::<Vec<Vertex>>()
-                })
-            });
+        // Minors are searched as they are cut from their cluster — the round never
+        // materialises the full piece list, and a hit stops every shard.
+        let hit = search_separating_cover(g_prime, k, d, in_s, round_seed, k, |piece| {
+            let inst = SeparatingInstance {
+                graph: &piece.graph,
+                in_s: &piece.in_s,
+                allowed: &piece.allowed,
+            };
+            let (occ, stats) = find_separating_occurrence_with_stats(&inst, cycle);
+            states.fetch_add(stats.sep_states, Ordering::Relaxed);
+            occ.map(|occ| {
+                occ.into_iter()
+                    .map(|v| piece.original_of[v as usize])
+                    .collect::<Vec<Vertex>>()
+            })
+        });
         if let Some(occ) = hit {
             debug_assert!(occ.iter().all(|&v| v != INVALID_VERTEX));
             return Some(occ);

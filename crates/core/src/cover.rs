@@ -1,5 +1,5 @@
 //! The Parallel Treewidth k-d Cover (Section 2.1) and its S-separating variant
-//! (Section 5.2.1).
+//! (Section 5.2.1), as a **sharded streaming pipeline**.
 //!
 //! The cover turns an arbitrarily large planar target graph into a collection of
 //! overlapping induced subgraphs of bounded treewidth such that any fixed occurrence of
@@ -7,35 +7,95 @@
 //! probability at least 1/2 (Theorem 2.4):
 //!
 //! 1. run an exponential start time `2k`-clustering (Lemma 2.3),
-//! 2. run a BFS from an arbitrary root inside every cluster (the clusters have diameter
+//! 2. run a BFS from the centre inside every cluster (the clusters have diameter
 //!    `O(k log n)`, so the BFS has low depth),
 //! 3. for every BFS level `i`, output the subgraph induced by the vertices at levels
 //!    `i .. i+d` of that cluster (windows whose upper end is clipped by the deepest
 //!    level are subsumed by the last full window and skipped, cf. Figure 3).
 //!
-//! The S-separating variant additionally contracts each neighbouring cluster and each
-//! connected component of "cluster minus window" into single *merged* vertices,
-//! producing minors in which a separating occurrence of the original graph is still
-//! separating (Figure 7); merged vertices are excluded from the allowed image set.
+//! ## The sharded pipeline
+//!
+//! Clusters are grouped into contiguous-id *shards* of roughly
+//! [`SHARD_VERTEX_TARGET`] member vertices each; shards run in parallel, clusters
+//! within a shard run sequentially over **epoch-stamped scratch** sized by the shard
+//! (not by `n`), so one cover round is a single `O(n + m)` pass — the previous
+//! implementation allocated and memset two `O(n)` vectors *per cluster*. Windows with
+//! fewer than `min_vertices` vertices are never constructed at all, and constructed
+//! windows stream out as size-bucketed [`CoverBatch`]es: small windows are packed
+//! back-to-back into one disjoint-union graph (amortising tree-decomposition and DP
+//! setup), windows at least as large as the batch budget travel alone. Consumers
+//! ([`crate::isomorphism`], [`crate::listing`], [`crate::connectivity`]) process
+//! batches as they appear and stop all shards through a shared flag as soon as a
+//! witness is found, instead of materialising the full `O(nd)`-vertex piece list
+//! up front. [`build_cover`] retains the eager API (each batch is one window) for
+//! diagnostics, experiments, and the bit-identity tests.
+//!
+//! The S-separating variant additionally contracts, per cluster, every connected
+//! component of the *rest of the graph* and every connected component of
+//! "cluster minus window" into single *merged* vertices, producing minors in which an
+//! occurrence is separating if and only if it separates `S` in the original graph
+//! (Figure 7); merged vertices are excluded from the allowed image set.
 
 use psi_cluster::{cluster_parallel, Clustering};
-use psi_graph::{
-    induced_subgraph, CsrGraph, GraphBuilder, InducedSubgraph, Vertex, INVALID_VERTEX,
-};
+use psi_graph::{CsrGraph, EpochMap, EpochSet, GraphBuilder, UnionFind, Vertex, INVALID_VERTEX};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Target member count of one shard (clusters are packed greedily in id order until a
+/// shard reaches this many vertices). Thread-count independent, so batch boundaries —
+/// and with them every streamed artefact — are bit-identical across pool sizes.
+pub const SHARD_VERTEX_TARGET: usize = 4096;
+
+/// Default vertex budget of one [`CoverBatch`]: windows are packed until the union
+/// reaches this many vertices. Chosen so that the per-batch tree-decomposition stays
+/// cache-resident while the per-piece setup cost (allocation, path layering) amortises
+/// over dozens of small windows.
+pub const DEFAULT_BATCH_BUDGET: usize = 256;
+
+/// The batch budget appropriate for a `k`-vertex pattern.
+///
+/// Packing pays off when the per-window DP is near-linear (small patterns: bounded
+/// state counts, setup-dominated), and backfires when the `(τ+3)^k` factor makes a
+/// single unlucky window exponential — there a batch forces every packed window's DP
+/// to complete before the consumer can act on a hit, while solo windows (budget 0)
+/// keep the piece-level early exit. The threshold matches where the DP factor starts
+/// to dominate setup on the workloads of `bench_cover`.
+pub fn batch_budget_for(k: usize) -> usize {
+    if k <= 5 {
+        DEFAULT_BATCH_BUDGET
+    } else {
+        0
+    }
+}
 
 /// One subgraph of the k-d cover.
 #[derive(Clone, Debug)]
 pub struct CoverPiece {
-    /// The induced subgraph (with local↔global vertex maps).
-    pub sub: InducedSubgraph,
+    /// The induced window subgraph over local ids `0..len`.
+    pub graph: CsrGraph,
+    /// `local_to_global[i]` is the original id of local vertex `i`.
+    pub local_to_global: Vec<Vertex>,
     /// Dense id of the cluster this piece was cut from.
     pub cluster: u32,
     /// The BFS level the window starts at.
     pub level_start: u32,
 }
 
-/// The full cover of a target graph.
+impl CoverPiece {
+    /// Number of vertices in the window.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Whether every given global vertex lies in this window (linear scan; the piece
+    /// carries no `O(n)` reverse map by design).
+    pub fn contains_all(&self, vertices: &[Vertex]) -> bool {
+        vertices.iter().all(|v| self.local_to_global.contains(v))
+    }
+}
+
+/// The full cover of a target graph (eager materialisation; the streaming consumers
+/// use [`search_cover`] / [`map_cover_batches`] instead).
 #[derive(Clone, Debug)]
 pub struct Cover {
     /// The cover pieces.
@@ -49,14 +109,14 @@ pub struct Cover {
 impl Cover {
     /// Total number of vertices summed over all pieces (the `O(nd)` bound of Thm 2.4).
     pub fn total_piece_vertices(&self) -> usize {
-        self.pieces.iter().map(|p| p.sub.num_vertices()).sum()
+        self.pieces.iter().map(|p| p.num_vertices()).sum()
     }
 
     /// Maximum number of pieces any single original vertex belongs to.
     pub fn max_pieces_per_vertex(&self, n: usize) -> usize {
         let mut count = vec![0usize; n];
         for p in &self.pieces {
-            for &v in &p.sub.local_to_global {
+            for &v in &p.local_to_global {
                 count[v as usize] += 1;
             }
         }
@@ -65,78 +125,535 @@ impl Cover {
 
     /// Whether some piece contains all the given (global) vertices.
     pub fn some_piece_contains(&self, vertices: &[Vertex]) -> bool {
-        self.pieces.iter().any(|p| {
-            vertices.iter().all(|&v| {
-                p.sub
-                    .global_to_local
-                    .get(v as usize)
-                    .is_some_and(|&l| l != INVALID_VERTEX)
-            })
-        })
+        self.pieces.iter().any(|p| p.contains_all(vertices))
     }
 }
 
+/// Counters of one sharded cover pass (scratch bytes witness the `O(n)` memory bound).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoverStats {
+    /// Number of clusters of the round's clustering.
+    pub clusters: usize,
+    /// Number of shards the clusters were grouped into.
+    pub shards: usize,
+    /// Windows constructed (i.e. with at least `min_vertices` vertices).
+    pub pieces: usize,
+    /// Windows below `min_vertices`, skipped before any allocation.
+    pub skipped_small: usize,
+    /// Batches emitted to the consumer.
+    pub batches: usize,
+    /// Total epoch-stamped scratch resident across all shards — `O(n)` by
+    /// construction (12 bytes per member vertex), independent of the cluster count.
+    pub scratch_bytes: usize,
+}
+
+/// A size-bucketed batch of cover windows packed into one disjoint-union graph.
+///
+/// Windows are vertex-disjoint segments of `graph` (no edges cross segments), so a
+/// connected pattern occurrence in `graph` lies inside a single window and
+/// `local_to_global` translates it straight back to original vertex ids.
+#[derive(Clone, Debug)]
+pub struct CoverBatch {
+    /// The disjoint union of the packed windows.
+    pub graph: CsrGraph,
+    /// Original vertex id of every union vertex.
+    pub local_to_global: Vec<Vertex>,
+    /// `(cluster, level_start, vertex offset into the union)` per packed window, in
+    /// emission order.
+    pub windows: Vec<(u32, u32, u32)>,
+}
+
+impl CoverBatch {
+    /// Number of windows packed into this batch.
+    pub fn num_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Per-window vertex ranges `[start, end)` into the union's vertex ids.
+    pub fn segment_ranges(&self) -> Vec<(usize, usize)> {
+        (0..self.windows.len())
+            .map(|w| {
+                let start = self.windows[w].2 as usize;
+                let end = self
+                    .windows
+                    .get(w + 1)
+                    .map(|&(_, _, o)| o as usize)
+                    .unwrap_or(self.local_to_global.len());
+                (start, end)
+            })
+            .collect()
+    }
+
+    /// A binarised tree decomposition of the union, assembled **per segment** and
+    /// chained.
+    ///
+    /// Decomposing the union in one pass would let the elimination heuristic
+    /// interleave segments, producing a tree in which partial matches of *different
+    /// windows* coexist in the same DP tables — a multiplicative state blowup for
+    /// larger patterns (the `(τ+3)^k` factor squared). Decomposing each window
+    /// separately and chaining the segment trees keeps every subtree window-pure
+    /// except along the chain spine, where forget-safety admits only complete (or
+    /// empty) matches across, so the batched DP costs the sum of the per-window DPs
+    /// plus `O(1)` chain overhead.
+    pub fn decomposition(&self) -> psi_treedecomp::BinaryTreeDecomposition {
+        let mut bags: Vec<Vec<Vertex>> = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (start, end) in self.segment_ranges() {
+            let adjacency: Vec<Vec<Vertex>> = (start..end)
+                .map(|v| {
+                    self.graph
+                        .neighbors(v as Vertex)
+                        .iter()
+                        .map(|&w| w - start as Vertex)
+                        .collect()
+                })
+                .collect();
+            let seg = CsrGraph::from_sorted_adjacency(adjacency);
+            let td = psi_treedecomp::min_degree_decomposition(&seg);
+            let base = bags.len();
+            if base > 0 {
+                // attach this segment's first bag to the previous segment's last bag;
+                // segments share no vertices, so any tree over segment trees is valid
+                edges.push((base - 1, base));
+            }
+            bags.extend(
+                td.bags
+                    .iter()
+                    .map(|bag| bag.iter().map(|&v| v + start as Vertex).collect::<Vec<_>>()),
+            );
+            edges.extend(td.tree_edges.iter().map(|&(a, b)| (base + a, base + b)));
+        }
+        let td = psi_treedecomp::TreeDecomposition::new(bags, edges, self.graph.num_vertices());
+        psi_treedecomp::BinaryTreeDecomposition::from_decomposition(&td)
+    }
+}
+
+/// Shared atomic counters of one pass.
+#[derive(Default)]
+struct PassCounters {
+    pieces: AtomicUsize,
+    skipped_small: AtomicUsize,
+    batches: AtomicUsize,
+    scratch_bytes: AtomicUsize,
+}
+
+impl PassCounters {
+    fn stats(&self, clustering: &Clustering, shards: usize) -> CoverStats {
+        CoverStats {
+            clusters: clustering.num_clusters(),
+            shards,
+            pieces: self.pieces.load(Ordering::Relaxed),
+            skipped_small: self.skipped_small.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            scratch_bytes: self.scratch_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The clustering every cover round starts from (`β = 2k`, Observation 1).
+fn cover_clustering(graph: &CsrGraph, k: usize, seed: u64) -> Clustering {
+    let beta = 2.0 * k.max(1) as f64;
+    cluster_parallel(graph, beta, seed)
+}
+
+/// Contiguous cluster-id ranges of roughly [`SHARD_VERTEX_TARGET`] members each.
+fn shard_ranges(clustering: &Clustering) -> Vec<(u32, u32)> {
+    let num = clustering.num_clusters() as u32;
+    let mut shards = Vec::new();
+    let mut start = 0u32;
+    let mut members = 0usize;
+    for cid in 0..num {
+        members += clustering.members_of(cid).len();
+        if members >= SHARD_VERTEX_TARGET {
+            shards.push((start, cid + 1));
+            start = cid + 1;
+            members = 0;
+        }
+    }
+    if start < num {
+        shards.push((start, num));
+    }
+    shards
+}
+
+/// Per-shard reusable scratch: every array is sized by the shard's member count and
+/// logically cleared per cluster/window by an epoch bump.
+struct ShardScratch {
+    /// Base offset of the shard inside the clustering's flat member array.
+    base: usize,
+    /// BFS visited set, keyed by member position − base (levels are delimited by
+    /// `level_starts`, so no per-vertex distance needs storing).
+    visited: EpochSet,
+    /// Window-local (or union-local) vertex id, keyed by member position − base.
+    local_id: EpochMap<u32>,
+    /// BFS visitation order of the current cluster (each level sorted by vertex id).
+    order: Vec<Vertex>,
+    /// `level_starts[l]..level_starts[l + 1]` delimits level `l` inside `order`.
+    level_starts: Vec<u32>,
+}
+
+impl ShardScratch {
+    fn new(clustering: &Clustering, range: (u32, u32)) -> ShardScratch {
+        let base = clustering.member_start(range.0);
+        let end = clustering.member_start(range.1);
+        ShardScratch {
+            base,
+            visited: EpochSet::new(end - base),
+            local_id: EpochMap::new(end - base),
+            order: Vec::new(),
+            level_starts: Vec::new(),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.visited.bytes() + self.local_id.bytes()
+    }
+
+    /// Level-synchronous BFS from the cluster centre, restricted to the cluster by the
+    /// global `cluster_of` oracle (no membership mask is materialised). Each level of
+    /// `order` is sorted by vertex id, matching the canonical window layout.
+    fn bfs_cluster(&mut self, graph: &CsrGraph, clustering: &Clustering, cid: u32) {
+        self.visited.clear();
+        self.order.clear();
+        self.level_starts.clear();
+        let members = clustering.members_of(cid);
+        let root = members[0];
+        self.visited
+            .insert(clustering.member_position(root) - self.base);
+        self.order.push(root);
+        self.level_starts.push(0);
+        self.level_starts.push(1);
+        loop {
+            let len = self.level_starts.len();
+            let (lo, hi) = (
+                self.level_starts[len - 2] as usize,
+                self.level_starts[len - 1] as usize,
+            );
+            for i in lo..hi {
+                let u = self.order[i];
+                for &w in graph.neighbors(u) {
+                    if clustering.cluster_of[w as usize] == cid
+                        && self
+                            .visited
+                            .insert(clustering.member_position(w) - self.base)
+                    {
+                        self.order.push(w);
+                    }
+                }
+            }
+            if self.order.len() == hi {
+                break;
+            }
+            self.order[hi..].sort_unstable();
+            self.level_starts.push(self.order.len() as u32);
+        }
+    }
+
+    /// The window `[start, start + d]` as a slice of `order` (levels are contiguous).
+    fn window(&self, start: usize, d: usize) -> &[Vertex] {
+        let max_level = self.level_starts.len() - 2;
+        let end = (start + d).min(max_level);
+        &self.order[self.level_starts[start] as usize..self.level_starts[end + 1] as usize]
+    }
+
+    /// Number of BFS levels minus one (the deepest level index).
+    fn max_level(&self) -> usize {
+        self.level_starts.len() - 2
+    }
+}
+
+/// Accumulates windows into one disjoint-union batch.
+struct BatchBuilder {
+    budget: usize,
+    offsets: Vec<usize>,
+    neighbors: Vec<Vertex>,
+    local_to_global: Vec<Vertex>,
+    windows: Vec<(u32, u32, u32)>,
+}
+
+impl BatchBuilder {
+    fn new(budget: usize) -> BatchBuilder {
+        BatchBuilder {
+            budget,
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            local_to_global: Vec::new(),
+            windows: Vec::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    fn full(&self) -> bool {
+        self.local_to_global.len() >= self.budget
+    }
+
+    /// Appends the induced subgraph of `verts` (all inside cluster `cid`) as one more
+    /// disjoint segment of the union.
+    #[allow(clippy::too_many_arguments)]
+    fn append_window(
+        &mut self,
+        graph: &CsrGraph,
+        clustering: &Clustering,
+        cid: u32,
+        level_start: u32,
+        verts: &[Vertex],
+        scratch_base: usize,
+        local_id: &mut EpochMap<u32>,
+    ) {
+        let offset = self.local_to_global.len() as u32;
+        local_id.clear();
+        for (i, &v) in verts.iter().enumerate() {
+            local_id.insert(
+                clustering.member_position(v) - scratch_base,
+                offset + i as u32,
+            );
+        }
+        for &v in verts {
+            let row_start = self.neighbors.len();
+            for &w in graph.neighbors(v) {
+                if clustering.cluster_of[w as usize] == cid {
+                    if let Some(l) = local_id.get(clustering.member_position(w) - scratch_base) {
+                        self.neighbors.push(l);
+                    }
+                }
+            }
+            // neighbours arrive in ascending *global* order, but local ids follow the
+            // level-concatenated window layout — sort the row into local order
+            self.neighbors[row_start..].sort_unstable();
+            self.offsets.push(self.neighbors.len());
+        }
+        self.local_to_global.extend_from_slice(verts);
+        self.windows.push((cid, level_start, offset));
+    }
+
+    fn take(&mut self) -> CoverBatch {
+        CoverBatch {
+            graph: CsrGraph::from_csr_parts(
+                std::mem::replace(&mut self.offsets, vec![0]),
+                std::mem::take(&mut self.neighbors),
+            ),
+            local_to_global: std::mem::take(&mut self.local_to_global),
+            windows: std::mem::take(&mut self.windows),
+        }
+    }
+}
+
+/// Runs one shard: BFS every cluster of `range` over the shared scratch, stream out
+/// batches. Returns early (propagating the consumer's value) on a hit, and bails
+/// between clusters once another shard has set `stop`.
+#[allow(clippy::too_many_arguments)]
+fn run_shard<T>(
+    graph: &CsrGraph,
+    clustering: &Clustering,
+    range: (u32, u32),
+    d: usize,
+    min_vertices: usize,
+    batch_budget: usize,
+    stop: &AtomicBool,
+    counters: &PassCounters,
+    emit: &mut dyn FnMut(CoverBatch) -> Option<T>,
+) -> Option<T> {
+    let mut scratch = ShardScratch::new(clustering, range);
+    counters
+        .scratch_bytes
+        .fetch_add(scratch.bytes(), Ordering::Relaxed);
+    let mut batch = BatchBuilder::new(batch_budget);
+    let mut flush = |batch: &mut BatchBuilder| -> Option<T> {
+        if batch.is_empty() {
+            return None;
+        }
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        emit(batch.take())
+    };
+    for cid in range.0..range.1 {
+        if stop.load(Ordering::Relaxed) {
+            return None;
+        }
+        scratch.bfs_cluster(graph, clustering, cid);
+        let max_level = scratch.max_level();
+        // Only windows starting at 0 ..= max_level - d are needed; later windows are
+        // subsets of the last one (Figure 3).
+        let last_start = max_level.saturating_sub(d);
+        for start in 0..=last_start {
+            let lo = scratch.level_starts[start] as usize;
+            let hi = scratch.level_starts[((start + d).min(max_level)) + 1] as usize;
+            if hi - lo < min_vertices {
+                counters.skipped_small.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            counters.pieces.fetch_add(1, Ordering::Relaxed);
+            let window: Vec<Vertex> = scratch.window(start, d).to_vec();
+            batch.append_window(
+                graph,
+                clustering,
+                cid,
+                start as u32,
+                &window,
+                scratch.base,
+                &mut scratch.local_id,
+            );
+            if batch.full() {
+                if let Some(hit) = flush(&mut batch) {
+                    stop.store(true, Ordering::Relaxed);
+                    return Some(hit);
+                }
+            }
+        }
+    }
+    if let Some(hit) = flush(&mut batch) {
+        stop.store(true, Ordering::Relaxed);
+        return Some(hit);
+    }
+    None
+}
+
+/// Streams the cover of one round through `f`, batch by batch, stopping every shard as
+/// soon as `f` returns `Some` (cross-shard early exit). Windows with fewer than
+/// `min_vertices` vertices are skipped before construction; pass the pattern size `k`
+/// so that windows that cannot host an occurrence cost nothing.
+pub fn search_cover<T, F>(
+    graph: &CsrGraph,
+    k: usize,
+    d: usize,
+    seed: u64,
+    min_vertices: usize,
+    batch_budget: usize,
+    f: F,
+) -> (Option<T>, CoverStats)
+where
+    T: Send,
+    F: Fn(CoverBatch) -> Option<T> + Sync,
+{
+    let clustering = cover_clustering(graph, k, seed);
+    let shards = shard_ranges(&clustering);
+    let counters = PassCounters::default();
+    let stop = AtomicBool::new(false);
+    let hit = shards.par_iter().find_map_any(|&range| {
+        run_shard(
+            graph,
+            &clustering,
+            range,
+            d,
+            min_vertices,
+            batch_budget,
+            &stop,
+            &counters,
+            &mut |batch| f(batch),
+        )
+    });
+    let stats = counters.stats(&clustering, shards.len());
+    (hit, stats)
+}
+
+/// Maps every batch of one cover round through `f` and collects the results in
+/// deterministic (cluster id, level) order. No early exit — intended for listing-style
+/// consumers that need every batch.
+pub fn map_cover_batches<R, F>(
+    graph: &CsrGraph,
+    k: usize,
+    d: usize,
+    seed: u64,
+    min_vertices: usize,
+    batch_budget: usize,
+    f: F,
+) -> (Vec<R>, CoverStats)
+where
+    R: Send,
+    F: Fn(CoverBatch) -> R + Sync,
+{
+    let clustering = cover_clustering(graph, k, seed);
+    let (results, stats) = map_batches_of(graph, &clustering, d, min_vertices, batch_budget, f);
+    (results, stats)
+}
+
+/// [`map_cover_batches`] over an explicit clustering.
+fn map_batches_of<R, F>(
+    graph: &CsrGraph,
+    clustering: &Clustering,
+    d: usize,
+    min_vertices: usize,
+    batch_budget: usize,
+    f: F,
+) -> (Vec<R>, CoverStats)
+where
+    R: Send,
+    F: Fn(CoverBatch) -> R + Sync,
+{
+    let shards = shard_ranges(clustering);
+    let counters = PassCounters::default();
+    let stop = AtomicBool::new(false);
+    let per_shard: Vec<Vec<R>> = shards
+        .par_iter()
+        .map(|&range| {
+            let mut out = Vec::new();
+            let none = run_shard::<()>(
+                graph,
+                clustering,
+                range,
+                d,
+                min_vertices,
+                batch_budget,
+                &stop,
+                &counters,
+                &mut |batch| {
+                    out.push(f(batch));
+                    None
+                },
+            );
+            debug_assert!(none.is_none());
+            out
+        })
+        .collect();
+    let stats = counters.stats(clustering, shards.len());
+    (per_shard.into_iter().flatten().collect(), stats)
+}
+
 /// Builds the Parallel Treewidth k-d Cover of `graph` for a connected pattern with `k`
-/// vertices and diameter `d`.
+/// vertices and diameter `d` (eager variant: every window becomes a piece).
 ///
 /// The `seed` fixes the clustering; repeat with fresh seeds to drive the failure
 /// probability down (each fixed occurrence is covered with probability ≥ 1/2 per run).
 pub fn build_cover(graph: &CsrGraph, k: usize, d: usize, seed: u64) -> Cover {
-    let k = k.max(1);
-    let beta = 2.0 * k as f64;
-    let clustering = cluster_parallel(graph, beta, seed);
-    let window = (d + 1) as u32;
-    let pieces: Vec<CoverPiece> = clustering
-        .clusters
-        .par_iter()
-        .enumerate()
-        .flat_map_iter(|(cid, members)| {
-            cover_one_cluster(graph, members, cid as u32, d).into_iter()
-        })
-        .collect();
-    Cover {
-        pieces,
-        clustering,
-        window,
-    }
+    build_cover_with_stats(graph, k, d, seed).0
 }
 
-fn cover_one_cluster(graph: &CsrGraph, members: &[Vertex], cid: u32, d: usize) -> Vec<CoverPiece> {
-    let n = graph.num_vertices();
-    let mut in_cluster = vec![false; n];
-    for &v in members {
-        in_cluster[v as usize] = true;
-    }
-    let root = members[0];
-    let bfs = psi_graph::parallel_bfs(graph, root, Some(&in_cluster));
-    let levels = bfs.levels();
-    let max_level = levels.len().saturating_sub(1);
-    // Only windows starting at 0 ..= max_level - d are needed; later windows are subsets
-    // of the last one (Figure 3).
-    let last_start = max_level.saturating_sub(d);
-    let mut pieces = Vec::with_capacity(last_start + 1);
-    for start in 0..=last_start {
-        let end = (start + d).min(max_level);
-        let mut verts: Vec<Vertex> = Vec::new();
-        for level in &levels[start..=end] {
-            verts.extend_from_slice(level);
+/// [`build_cover`] plus the pass counters (piece counts, scratch accounting).
+pub fn build_cover_with_stats(
+    graph: &CsrGraph,
+    k: usize,
+    d: usize,
+    seed: u64,
+) -> (Cover, CoverStats) {
+    let clustering = cover_clustering(graph, k, seed);
+    // Budget 0 flushes after every window: one batch == one piece.
+    let (pieces, stats) = map_batches_of(graph, &clustering, d, 1, 0, |batch| {
+        debug_assert_eq!(batch.num_windows(), 1);
+        let (cluster, level_start, _) = batch.windows[0];
+        CoverPiece {
+            graph: batch.graph,
+            local_to_global: batch.local_to_global,
+            cluster,
+            level_start,
         }
-        if verts.is_empty() {
-            continue;
-        }
-        pieces.push(CoverPiece {
-            sub: induced_subgraph(graph, &verts),
-            cluster: cid,
-            level_start: start as u32,
-        });
-    }
-    pieces
+    });
+    (
+        Cover {
+            pieces,
+            clustering,
+            window: (d + 1) as u32,
+        },
+        stats,
+    )
 }
 
 /// One piece of the S-separating cover: a **minor** of the target graph in which some
-/// vertices are merged super-vertices (contracted neighbouring clusters or contracted
-/// leftover components). Merged vertices may not be used by the pattern image, and a
-/// merged vertex belongs to `S` if any vertex it swallowed does.
+/// vertices are merged super-vertices (contracted connected components of the graph
+/// outside the cluster, or contracted leftover components of "cluster minus window").
+/// Merged vertices may not be used by the pattern image, and a merged vertex belongs
+/// to `S` if any vertex it swallowed does.
 #[derive(Clone, Debug)]
 pub struct SeparatingCoverPiece {
     /// The minor.
@@ -153,7 +670,161 @@ pub struct SeparatingCoverPiece {
     pub level_start: u32,
 }
 
-/// Builds the S-separating k-d cover (Section 5.2.1).
+/// Per-round context of the separating cover: the cluster quotient graph `Q` (one
+/// vertex per cluster, one edge per adjacent cluster pair) and the labels needed to
+/// contract, for each cluster `c`, the connected components of `G ∖ c` faithfully.
+///
+/// Fidelity matters (Figure 7): an edge of `G` between two *different* clusters
+/// outside `c` keeps their contractions connected, so contracting each neighbouring
+/// cluster separately — as the pre-fix construction did — can disconnect vertices
+/// that a detour outside the window keeps connected, turning non-separating
+/// occurrences into false small cuts. Components of `Q ∖ {c}` are exactly the
+/// components of `G ∖ c`'s cluster structure: for the (typical) non-articulation
+/// clusters they collapse to a single merged vertex in `O(1)`; articulation clusters
+/// of `Q` fall back to a union–find sweep over `Q`'s edges.
+struct SepRound {
+    quotient: CsrGraph,
+    is_articulation: Vec<bool>,
+    /// Component label of every cluster in `Q`.
+    comp_of: Vec<u32>,
+    /// Number of S-containing clusters per `Q`-component.
+    comp_s_clusters: Vec<u32>,
+    /// Whether each cluster contains an `S` vertex.
+    has_s: Vec<bool>,
+}
+
+impl SepRound {
+    fn build(graph: &CsrGraph, clustering: &Clustering, in_s: &[bool]) -> SepRound {
+        let num_clusters = clustering.num_clusters();
+        let mut qb = GraphBuilder::new(num_clusters);
+        for (u, v) in graph.edges() {
+            let (cu, cv) = (
+                clustering.cluster_of[u as usize],
+                clustering.cluster_of[v as usize],
+            );
+            // vertices without a cluster (possible through partial assignments of
+            // `Clustering::from_assignment`) take no part in the quotient
+            if cu != cv && cu != u32::MAX && cv != u32::MAX {
+                qb.add_edge(cu, cv);
+            }
+        }
+        let quotient = qb.build();
+        let mut is_articulation = vec![false; num_clusters];
+        for a in psi_graph::articulation_points(&quotient) {
+            is_articulation[a as usize] = true;
+        }
+        let comps = psi_graph::connected_components(&quotient);
+        let mut has_s = vec![false; num_clusters];
+        for (v, &s) in in_s.iter().enumerate() {
+            if s && clustering.cluster_of[v] != u32::MAX {
+                has_s[clustering.cluster_of[v] as usize] = true;
+            }
+        }
+        let mut comp_s_clusters = vec![0u32; comps.num_components];
+        for c in 0..num_clusters {
+            if has_s[c] {
+                comp_s_clusters[comps.label[c] as usize] += 1;
+            }
+        }
+        SepRound {
+            quotient,
+            is_articulation,
+            comp_of: comps.label,
+            comp_s_clusters,
+            has_s,
+        }
+    }
+
+    /// The merged-component structure of `G ∖ cluster c`: for every cluster `x ≠ c`
+    /// (in `c`'s `Q`-component) a component id, plus per-component `S` membership.
+    /// Components not adjacent to `c` never materialise in the minor (they share no
+    /// edge with it), so ids are assigned lazily by [`BlobMap::blob_of`].
+    fn blob_map(&self, c: u32) -> BlobMap {
+        if !self.is_articulation[c as usize] {
+            // Q ∖ {c} keeps c's component connected: every outside cluster of the
+            // component lands in one merged vertex.
+            let comp = self.comp_of[c as usize] as usize;
+            let others_in_s = self.comp_s_clusters[comp] - u32::from(self.has_s[c as usize]);
+            BlobMap::Single {
+                in_s: others_in_s > 0,
+            }
+        } else {
+            let mut uf = UnionFind::new(self.quotient.num_vertices());
+            for (a, b) in self.quotient.edges() {
+                if a != c && b != c {
+                    uf.union(a as usize, b as usize);
+                }
+            }
+            let comp = self.comp_of[c as usize];
+            let mut root_in_s = std::collections::HashSet::new();
+            for x in 0..self.quotient.num_vertices() {
+                if x as u32 != c && self.comp_of[x] == comp && self.has_s[x] {
+                    let r = uf.find(x);
+                    root_in_s.insert(r);
+                }
+            }
+            BlobMap::PerRoot {
+                uf,
+                root_in_s,
+                dense: std::collections::HashMap::new(),
+                in_s: Vec::new(),
+            }
+        }
+    }
+}
+
+/// See [`SepRound::blob_map`].
+enum BlobMap {
+    Single {
+        in_s: bool,
+    },
+    PerRoot {
+        uf: UnionFind,
+        root_in_s: std::collections::HashSet<usize>,
+        dense: std::collections::HashMap<usize, u32>,
+        in_s: Vec<bool>,
+    },
+}
+
+impl BlobMap {
+    /// Dense merged-vertex id of the component containing cluster `x` (assigned in
+    /// first-touch order, which is deterministic because callers scan members and
+    /// neighbours in fixed order).
+    fn blob_of(&mut self, x: u32) -> u32 {
+        match self {
+            BlobMap::Single { .. } => 0,
+            BlobMap::PerRoot {
+                uf,
+                root_in_s,
+                dense,
+                in_s,
+            } => {
+                let root = uf.find(x as usize);
+                *dense.entry(root).or_insert_with(|| {
+                    in_s.push(root_in_s.contains(&root));
+                    (in_s.len() - 1) as u32
+                })
+            }
+        }
+    }
+
+    /// Number of merged vertices materialised so far.
+    fn num_blobs(&self) -> usize {
+        match self {
+            BlobMap::Single { .. } => 1,
+            BlobMap::PerRoot { in_s, .. } => in_s.len(),
+        }
+    }
+
+    fn blob_in_s(&self, blob: u32) -> bool {
+        match self {
+            BlobMap::Single { in_s } => *in_s,
+            BlobMap::PerRoot { in_s, .. } => in_s[blob as usize],
+        }
+    }
+}
+
+/// Builds the S-separating k-d cover (Section 5.2.1, eager variant).
 ///
 /// `in_s[v]` marks the vertices of the set `S` that the sought occurrence must separate.
 pub fn build_separating_cover(
@@ -163,126 +834,190 @@ pub fn build_separating_cover(
     in_s: &[bool],
     seed: u64,
 ) -> (Vec<SeparatingCoverPiece>, Clustering) {
-    let k = k.max(1);
-    let beta = 2.0 * k as f64;
-    let clustering = cluster_parallel(graph, beta, seed);
-    let cluster_of = clustering.cluster_of.clone();
-    let pieces: Vec<SeparatingCoverPiece> = clustering
-        .clusters
-        .par_iter()
-        .enumerate()
-        .flat_map_iter(|(cid, members)| {
-            separating_cover_one_cluster(graph, members, &cluster_of, cid as u32, d, in_s)
-                .into_iter()
-        })
-        .collect();
+    let clustering = cover_clustering(graph, k, seed);
+    let pieces = separating_cover_for_clustering(graph, &clustering, d, in_s);
     (pieces, clustering)
 }
 
-fn separating_cover_one_cluster(
+/// The separating cover induced by an explicit clustering (exposed so tests can pin
+/// adversarial cluster shapes; [`build_separating_cover`] is the randomised entry).
+pub fn separating_cover_for_clustering(
     graph: &CsrGraph,
-    members: &[Vertex],
-    cluster_of: &[u32],
-    cid: u32,
+    clustering: &Clustering,
     d: usize,
     in_s: &[bool],
 ) -> Vec<SeparatingCoverPiece> {
-    let n = graph.num_vertices();
-    let mut in_cluster = vec![false; n];
-    for &v in members {
-        in_cluster[v as usize] = true;
-    }
-    let root = members[0];
-    let bfs = psi_graph::parallel_bfs(graph, root, Some(&in_cluster));
-    let levels = bfs.levels();
-    let max_level = levels.len().saturating_sub(1);
+    let out = std::sync::Mutex::new(Vec::new());
+    let none = search_separating_clustering::<()>(graph, clustering, d, in_s, 1, &|piece| {
+        out.lock().unwrap().push(piece);
+        None
+    });
+    debug_assert!(none.is_none());
+    let mut pieces = out.into_inner().unwrap();
+    // shards race into the mutex; (cluster, level) is unique per piece, so sorting
+    // restores the canonical deterministic order
+    pieces.sort_by_key(|p| (p.cluster, p.level_start));
+    pieces
+}
+
+/// Streams the separating cover of one round through `f` piece by piece with
+/// cross-shard early exit — the `Cover`-mode connectivity pipeline consumes minors as
+/// they are cut instead of materialising all of them. Pieces whose minor has fewer
+/// than `min_vertices` vertices are skipped.
+///
+/// (Separating pieces are never batched into disjoint unions: two `S` vertices in
+/// different union segments would count as separated by *any* occurrence.)
+pub fn search_separating_cover<T: Send>(
+    graph: &CsrGraph,
+    k: usize,
+    d: usize,
+    in_s: &[bool],
+    seed: u64,
+    min_vertices: usize,
+    f: impl Fn(SeparatingCoverPiece) -> Option<T> + Sync,
+) -> Option<T> {
+    let clustering = cover_clustering(graph, k, seed);
+    search_separating_clustering(graph, &clustering, d, in_s, min_vertices, &f)
+}
+
+/// Shard-parallel driver shared by the eager and streaming separating entry points.
+///
+/// `emit` semantics: called per piece in deterministic order per shard. When it
+/// returns `Some`, every shard stops at its next cluster boundary.
+fn search_separating_clustering<T: Send>(
+    graph: &CsrGraph,
+    clustering: &Clustering,
+    d: usize,
+    in_s: &[bool],
+    min_vertices: usize,
+    emit: &(impl Fn(SeparatingCoverPiece) -> Option<T> + Sync),
+) -> Option<T> {
+    let round = SepRound::build(graph, clustering, in_s);
+    let shards = shard_ranges(clustering);
+    let stop = AtomicBool::new(false);
+    shards.par_iter().find_map_any(|&range| {
+        let mut scratch = ShardScratch::new(clustering, range);
+        for cid in range.0..range.1 {
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(hit) = separating_one_cluster(
+                graph,
+                clustering,
+                &round,
+                cid,
+                d,
+                in_s,
+                min_vertices,
+                &mut scratch,
+                emit,
+            ) {
+                stop.store(true, Ordering::Relaxed);
+                return Some(hit);
+            }
+        }
+        None
+    })
+}
+
+/// Cuts every window minor of one cluster and feeds it to `emit`.
+#[allow(clippy::too_many_arguments)]
+fn separating_one_cluster<T>(
+    graph: &CsrGraph,
+    clustering: &Clustering,
+    round: &SepRound,
+    cid: u32,
+    d: usize,
+    in_s: &[bool],
+    min_vertices: usize,
+    scratch: &mut ShardScratch,
+    emit: &impl Fn(SeparatingCoverPiece) -> Option<T>,
+) -> Option<T> {
+    let members = clustering.members_of(cid);
+    scratch.bfs_cluster(graph, clustering, cid);
+    let max_level = scratch.max_level();
     let last_start = max_level.saturating_sub(d);
 
-    // Local graph: cluster vertices keep their identity; every *other* cluster adjacent
-    // to this one becomes one merged vertex. Build once per cluster.
-    // local ids: 0..members.len() = cluster vertices (in `members` order),
-    //            members.len().. = merged neighbouring clusters (dense).
-    let mut local_of = vec![INVALID_VERTEX; n];
+    // Local base graph, built once per cluster: cluster vertices keep their identity
+    // (local ids 0.., in member order), each connected component of G ∖ cluster that
+    // touches the cluster becomes one merged vertex (dense ids after the members).
+    // Merged components are pairwise non-adjacent by maximality, so all base edges are
+    // member–member or member–blob.
+    scratch.local_id.clear();
     for (i, &v) in members.iter().enumerate() {
-        local_of[v as usize] = i as Vertex;
+        scratch
+            .local_id
+            .insert(clustering.member_position(v) - scratch.base, i as u32);
     }
-    let mut neighbour_cluster_local: std::collections::HashMap<u32, Vertex> =
-        std::collections::HashMap::new();
+    let mut blobs = round.blob_map(cid);
+    let members_n = members.len();
     let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
-    let mut next_local = members.len() as Vertex;
-    for &v in members {
-        let lv = local_of[v as usize];
+    for (i, &v) in members.iter().enumerate() {
+        let lv = i as Vertex;
         for &w in graph.neighbors(v) {
-            if in_cluster[w as usize] {
+            if clustering.cluster_of[w as usize] == cid {
                 if v < w {
-                    edges.push((lv, local_of[w as usize]));
+                    let lw = scratch
+                        .local_id
+                        .get(clustering.member_position(w) - scratch.base)
+                        .expect("cluster member has a local id");
+                    edges.push((lv, lw));
                 }
             } else {
-                let other = cluster_of[w as usize];
-                let lw = *neighbour_cluster_local.entry(other).or_insert_with(|| {
-                    let id = next_local;
-                    next_local += 1;
-                    id
-                });
-                edges.push((lv, lw));
+                let blob = blobs.blob_of(clustering.cluster_of[w as usize]);
+                edges.push((lv, members_n as Vertex + blob));
             }
         }
     }
-    let num_merged_clusters = neighbour_cluster_local.len();
-    let local_n = members.len() + num_merged_clusters;
+    let num_blobs = if edges.iter().any(|&(_, b)| (b as usize) >= members_n) {
+        blobs.num_blobs()
+    } else {
+        0
+    };
+    let local_n = members_n + num_blobs;
     let base = GraphBuilder::from_edges(local_n, &edges);
 
-    // S membership of the merged neighbouring clusters: a merged cluster is in S if any
-    // of its vertices is (conservatively: any vertex of that cluster anywhere, since the
-    // whole cluster is merged).
-    let mut merged_cluster_in_s = vec![false; num_merged_clusters];
-    for (v, &c) in cluster_of.iter().enumerate() {
-        if in_s[v] {
-            if let Some(&lw) = neighbour_cluster_local.get(&c) {
-                merged_cluster_in_s[(lw as usize) - members.len()] = true;
-            }
-        }
-    }
-
-    let mut pieces = Vec::with_capacity(last_start + 1);
+    let mut window_local = vec![false; members_n];
     for start in 0..=last_start {
-        let end = (start + d).min(max_level);
-        // Window membership over local cluster vertices.
-        let mut window_local: Vec<bool> = vec![false; members.len()];
-        let mut any = false;
-        for level in &levels[start..=end] {
-            for &v in level {
-                window_local[local_of[v as usize] as usize] = true;
-                any = true;
-            }
-        }
-        if !any {
+        let window = scratch.window(start, d);
+        if window.is_empty() {
             continue;
         }
-        // Group assignment for contraction of the local graph: window vertices stay,
-        // other cluster vertices merge per connected component of (cluster \ window),
-        // merged neighbour clusters keep one group each.
+        window_local.iter_mut().for_each(|w| *w = false);
+        for &v in window {
+            let l = scratch
+                .local_id
+                .get(clustering.member_position(v) - scratch.base)
+                .expect("window vertex has a local id");
+            window_local[l as usize] = true;
+        }
+        // Contract the base graph: window vertices stay, other cluster vertices merge
+        // per connected component of (cluster ∖ window), outside components keep one
+        // group each.
         let mask: Vec<bool> = (0..local_n)
-            .map(|lv| lv < members.len() && !window_local[lv])
+            .map(|lv| lv < members_n && !window_local[lv])
             .collect();
         let comps = psi_graph::connectivity::connected_components_masked(&base, Some(&mask));
         let mut groups: Vec<Option<u32>> = vec![None; local_n];
-        let comp_offset = num_merged_clusters as u32;
-        for lv in 0..local_n {
-            if lv >= members.len() {
-                groups[lv] = Some((lv - members.len()) as u32);
+        let comp_offset = num_blobs as u32;
+        for (lv, group) in groups.iter_mut().enumerate() {
+            if lv >= members_n {
+                *group = Some((lv - members_n) as u32);
             } else if !window_local[lv] {
-                groups[lv] = Some(comp_offset + comps.label[lv]);
+                *group = Some(comp_offset + comps.label[lv]);
             }
         }
         let contraction = psi_graph::contract_groups(&base, &groups);
         let minor_n = contraction.graph.num_vertices();
+        if minor_n < min_vertices {
+            continue;
+        }
         let mut original_of = vec![INVALID_VERTEX; minor_n];
         let mut allowed = vec![false; minor_n];
         let mut piece_in_s = vec![false; minor_n];
         for lv in 0..local_n {
             let mv = contraction.vertex_map[lv] as usize;
-            if lv < members.len() {
+            if lv < members_n {
                 let orig = members[lv];
                 if window_local[lv] {
                     original_of[mv] = orig;
@@ -291,20 +1026,23 @@ fn separating_cover_one_cluster(
                 if in_s[orig as usize] {
                     piece_in_s[mv] = true;
                 }
-            } else if merged_cluster_in_s[lv - members.len()] {
+            } else if blobs.blob_in_s((lv - members_n) as u32) {
                 piece_in_s[mv] = true;
             }
         }
-        pieces.push(SeparatingCoverPiece {
+        let piece = SeparatingCoverPiece {
             graph: contraction.graph,
             original_of,
             allowed,
             in_s: piece_in_s,
             cluster: cid,
             level_start: start as u32,
-        });
+        };
+        if let Some(hit) = emit(piece) {
+            return Some(hit);
+        }
     }
-    pieces
+    None
 }
 
 #[cfg(test)]
@@ -322,7 +1060,7 @@ mod tests {
         let n = g.num_vertices();
         let mut count = vec![0usize; n];
         for p in &cover.pieces {
-            for &v in &p.sub.local_to_global {
+            for &v in &p.local_to_global {
                 count[v as usize] += 1;
             }
         }
@@ -362,10 +1100,10 @@ mod tests {
         let d = 2usize;
         let cover = build_cover(&g, 4, d, 3);
         for p in &cover.pieces {
-            if p.sub.num_vertices() < 3 {
+            if p.num_vertices() < 3 {
                 continue;
             }
-            let td = psi_treedecomp::min_degree_decomposition(&p.sub.graph);
+            let td = psi_treedecomp::min_degree_decomposition(&p.graph);
             assert!(
                 td.width() <= 3 * (d + 1),
                 "piece width {} exceeds 3(d+1)={}",
@@ -384,11 +1122,78 @@ mod tests {
         let n = g.num_vertices();
         let mut covered = vec![false; n];
         for p in &cover.pieces {
-            for &v in &p.sub.local_to_global {
+            for &v in &p.local_to_global {
                 covered[v as usize] = true;
             }
         }
         assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn cover_pieces_are_genuine_induced_subgraphs() {
+        // The streamed construction must reproduce exactly what the generic
+        // `induced_subgraph` extracts for the same vertex set.
+        let g = generators::random_stacked_triangulation(300, 9);
+        let cover = build_cover(&g, 4, 2, 21);
+        for p in &cover.pieces {
+            let reference = psi_graph::induced_subgraph(&g, &p.local_to_global);
+            assert_eq!(p.graph, reference.graph, "cluster {}", p.cluster);
+            assert_eq!(p.local_to_global, reference.local_to_global);
+        }
+    }
+
+    #[test]
+    fn batched_cover_is_bit_identical_to_eager_cover() {
+        // Satellite regression: unpacking the size-bucketed disjoint-union batches
+        // must reproduce the eager pieces exactly (same windows, same order, same
+        // graphs) for a fixed seed, for several batch budgets.
+        let g = generators::triangulated_grid(30, 30);
+        let (k, d, seed) = (4usize, 2usize, 99u64);
+        let eager = build_cover(&g, k, d, seed);
+        for budget in [0usize, 64, 256, 100_000] {
+            let (batches, stats) = map_cover_batches(&g, k, d, seed, 1, budget, |b| b);
+            assert_eq!(stats.batches, batches.len());
+            let mut unpacked = 0usize;
+            for batch in &batches {
+                for (w, &(cluster, level_start, offset)) in batch.windows.iter().enumerate() {
+                    let end = batch
+                        .windows
+                        .get(w + 1)
+                        .map(|&(_, _, o)| o as usize)
+                        .unwrap_or(batch.local_to_global.len());
+                    let verts = &batch.local_to_global[offset as usize..end];
+                    let piece = &eager.pieces[unpacked];
+                    assert_eq!((piece.cluster, piece.level_start), (cluster, level_start));
+                    assert_eq!(piece.local_to_global, verts, "budget {budget}");
+                    // edges of the segment must match the piece graph exactly
+                    for (i, &v) in verts.iter().enumerate() {
+                        let seg: Vec<Vertex> = batch
+                            .graph
+                            .neighbors(offset + i as Vertex)
+                            .iter()
+                            .map(|&l| l - offset)
+                            .collect();
+                        assert_eq!(piece.graph.neighbors(i as Vertex), &seg[..], "vertex {v}");
+                    }
+                    unpacked += 1;
+                }
+            }
+            assert_eq!(unpacked, eager.pieces.len(), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn small_windows_are_skipped_not_constructed() {
+        let g = generators::triangulated_grid(20, 20);
+        let (k, d, seed) = (6usize, 1usize, 5u64);
+        let (cover, all) = build_cover_with_stats(&g, k, d, seed);
+        let (_, filtered) = map_cover_batches(&g, k, d, seed, k, DEFAULT_BATCH_BUDGET, |_| ());
+        let small = cover.pieces.iter().filter(|p| p.num_vertices() < k).count();
+        assert_eq!(all.pieces, cover.pieces.len());
+        assert_eq!(filtered.skipped_small, small);
+        assert_eq!(filtered.pieces, cover.pieces.len() - small);
+        // scratch stays O(n): 12 bytes per member vertex across all shards
+        assert!(filtered.scratch_bytes <= 12 * g.num_vertices() + 12 * SHARD_VERTEX_TARGET);
     }
 
     #[test]
@@ -428,7 +1233,143 @@ mod tests {
         let b = build_cover(&g, 3, 1, 11);
         assert_eq!(a.pieces.len(), b.pieces.len());
         for (x, y) in a.pieces.iter().zip(&b.pieces) {
-            assert_eq!(x.sub.local_to_global, y.sub.local_to_global);
+            assert_eq!(x.local_to_global, y.local_to_global);
         }
+    }
+
+    /// The archetype regression (separating-minor contraction fidelity): two clusters
+    /// `X` and `Y` adjacent to the window cluster `C` *and to each other*, where the
+    /// `X`–`Y` edge is the only `s`–`t` link avoiding `C`. The pre-fix construction
+    /// contracted `X` and `Y` into two merged vertices and dropped the `X`–`Y` edge
+    /// (it is incident to no member of `C`), so removing the window "separated" `s`
+    /// from `t` — a false small cut. The faithful minor contracts the connected
+    /// component {X, Y} of `G ∖ C` into one vertex.
+    #[test]
+    fn separating_minor_keeps_edges_between_outside_clusters() {
+        // vertices: X = {0 (centre), 1 = s side}, C = {2 (centre), 3}, Y = {4 (centre), 5 = t}
+        let g = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1), // inside X
+                (2, 3), // inside C
+                (4, 5), // inside Y
+                (1, 2), // X – C
+                (3, 4), // C – Y
+                (1, 4), // X – Y: the only s–t link once the window is removed
+            ],
+        );
+        let center = vec![0, 0, 2, 2, 4, 4];
+        let clustering = Clustering::from_assignment(center, vec![0.0; 6]);
+        let mut in_s = vec![false; 6];
+        in_s[0] = true; // s
+        in_s[5] = true; // t
+        let pieces = separating_cover_for_clustering(&g, &clustering, 1, &in_s);
+        // the piece cut from cluster C with the full window {2, 3}
+        let c_id = clustering.cluster_of[2];
+        let piece = pieces
+            .iter()
+            .find(|p| p.cluster == c_id && p.allowed.iter().filter(|&&a| a).count() == 2)
+            .expect("full-window piece of cluster C");
+        // Removing the entire allowed image must NOT separate S: s and t stay
+        // connected through the contracted {X, Y} component.
+        let mask: Vec<bool> = (0..piece.graph.num_vertices())
+            .map(|v| !piece.allowed[v])
+            .collect();
+        let comps = psi_graph::connectivity::connected_components_masked(&piece.graph, Some(&mask));
+        let s_labels: std::collections::HashSet<u32> = (0..piece.graph.num_vertices())
+            .filter(|&v| piece.in_s[v] && !piece.allowed[v])
+            .map(|v| comps.label[v])
+            .collect();
+        assert_eq!(
+            s_labels.len(),
+            1,
+            "outside S vertices fell apart: the X–Y edge was dropped from the minor"
+        );
+        // ... and the DP agrees: no separating occurrence of the edge pattern exists.
+        let inst = crate::separating::SeparatingInstance {
+            graph: &piece.graph,
+            in_s: &piece.in_s,
+            allowed: &piece.allowed,
+        };
+        assert!(
+            crate::separating::find_separating_occurrence(&inst, &crate::pattern::Pattern::path(2))
+                .is_none(),
+            "false small cut: non-separating occurrence reported as separating"
+        );
+    }
+
+    /// Faithfulness in the other direction: when the outside component genuinely
+    /// splits (C is an articulation cluster of the quotient), the minor must keep the
+    /// sides apart and the separating verdict must fire.
+    #[test]
+    fn separating_minor_splits_at_articulation_clusters() {
+        // X – C – Y as a path of clusters, no X–Y edge: removing C's window separates.
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (2, 3), (4, 5), (1, 2), (3, 4)]);
+        let center = vec![0, 0, 2, 2, 4, 4];
+        let clustering = Clustering::from_assignment(center, vec![0.0; 6]);
+        let mut in_s = vec![false; 6];
+        in_s[0] = true;
+        in_s[5] = true;
+        let pieces = separating_cover_for_clustering(&g, &clustering, 1, &in_s);
+        let c_id = clustering.cluster_of[2];
+        let piece = pieces
+            .iter()
+            .find(|p| p.cluster == c_id && p.allowed.iter().filter(|&&a| a).count() == 2)
+            .expect("full-window piece of cluster C");
+        let inst = crate::separating::SeparatingInstance {
+            graph: &piece.graph,
+            in_s: &piece.in_s,
+            allowed: &piece.allowed,
+        };
+        assert!(
+            crate::separating::find_separating_occurrence(&inst, &crate::pattern::Pattern::path(2))
+                .is_some(),
+            "genuinely separating occurrence was lost"
+        );
+    }
+
+    #[test]
+    fn separating_cover_tolerates_partially_assigned_clusterings() {
+        // `Clustering::from_assignment` permits unclustered vertices; they must be
+        // ignored by the quotient construction, not crash it.
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let center = vec![0, 0, INVALID_VERTEX, 3, 3];
+        let clustering = Clustering::from_assignment(center, vec![0.0; 5]);
+        let in_s = vec![true; 5];
+        let pieces = separating_cover_for_clustering(&g, &clustering, 1, &in_s);
+        assert!(!pieces.is_empty());
+    }
+
+    #[test]
+    fn streamed_separating_cover_matches_eager() {
+        let g = generators::triangulated_grid(10, 10);
+        let in_s: Vec<bool> = (0..g.num_vertices()).map(|v| v % 3 == 0).collect();
+        let (eager, _clustering) = build_separating_cover(&g, 4, 2, &in_s, 17);
+        let streamed = std::sync::Mutex::new(Vec::new());
+        let none = search_separating_cover::<()>(&g, 4, 2, &in_s, 17, 1, |p| {
+            streamed.lock().unwrap().push((
+                p.cluster,
+                p.level_start,
+                p.original_of.clone(),
+                p.in_s.clone(),
+            ));
+            None
+        });
+        assert!(none.is_none());
+        let mut streamed = streamed.into_inner().unwrap();
+        streamed.sort();
+        let mut reference: Vec<_> = eager
+            .iter()
+            .map(|p| {
+                (
+                    p.cluster,
+                    p.level_start,
+                    p.original_of.clone(),
+                    p.in_s.clone(),
+                )
+            })
+            .collect();
+        reference.sort();
+        assert_eq!(streamed, reference);
     }
 }

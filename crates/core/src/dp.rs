@@ -589,6 +589,54 @@ pub fn run_sequential(
     }
 }
 
+/// Re-runs the sequential DP *with derivation tracking* restricted to the subtree
+/// rooted at `subtree_root`, returning a result whose root is that node.
+///
+/// Used to extract a witness after a parallel (derivation-free) run has located a
+/// complete state: the tables of a node depend only on its subtree, so re-deriving
+/// just the occurrence-bearing subtree is enough — nodes outside it keep empty
+/// placeholder tables that [`recover_occurrences`] never visits.
+pub fn run_sequential_subtree(
+    graph: &CsrGraph,
+    pattern: &Pattern,
+    btd: &BinaryTreeDecomposition,
+    subtree_root: usize,
+) -> DpResult {
+    let mut in_subtree = vec![false; btd.num_nodes()];
+    let mut stack = vec![subtree_root];
+    while let Some(node) = stack.pop() {
+        in_subtree[node] = true;
+        if let Some([l, r]) = btd.children[node] {
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+    let mut tables: Vec<NodeTable> = vec![NodeTable::default(); btd.num_nodes()];
+    for node in btd.postorder() {
+        if !in_subtree[node] {
+            continue;
+        }
+        let bag = &btd.bags[node];
+        tables[node] = match btd.children[node] {
+            None => compute_node(bag, graph, pattern, None, None, true),
+            Some([l, r]) => compute_node(
+                bag,
+                graph,
+                pattern,
+                Some(&tables[l]),
+                Some(&tables[r]),
+                true,
+            ),
+        };
+    }
+    let total_states = tables.iter().map(|t| t.len()).sum();
+    DpResult {
+        tables,
+        root: subtree_root,
+        total_states,
+    }
+}
+
 /// Reconstructs occurrences (full pattern → target mappings) from a DP run with
 /// derivation tracking, starting from the complete states of the root.
 ///

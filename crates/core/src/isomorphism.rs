@@ -6,13 +6,13 @@
 //! pieces are solved in parallel (and, optionally, each piece's DP itself uses the
 //! path-parallel algorithm of Section 3.3).
 
-use crate::cover::build_cover;
-use crate::dp::{recover_occurrences, run_sequential};
+use crate::cover::{batch_budget_for, search_cover};
+use crate::dp::{recover_occurrences, run_sequential, run_sequential_subtree};
 use crate::dp_parallel::{run_parallel, ParallelDpConfig};
 use crate::pattern::{verify_occurrence, Pattern};
+use crate::state::words_is_complete;
 use psi_graph::{CsrGraph, Vertex};
 use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
-use rayon::prelude::*;
 
 /// Which DP engine runs inside each cover piece.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,14 +119,18 @@ impl SubgraphIsomorphism {
                 .seed
                 .wrapping_add(round as u64)
                 .wrapping_mul(0x9E3779B97F4A7C15);
-            let cover = build_cover(target, k, d, seed);
-            let hit = cover
-                .pieces
-                .par_iter()
-                .filter(|p| p.sub.num_vertices() >= k)
-                .find_map_any(|piece| {
-                    self.search_piece(&piece.sub.graph, Some(&piece.sub.local_to_global))
-                });
+            // Stream the cover: windows smaller than k are never constructed, small
+            // windows arrive packed into disjoint-union batches (one DP over the
+            // segment-chained decomposition per batch; solo windows for large k so
+            // the piece-level early exit survives), and a hit in any shard stops the
+            // whole round.
+            let (hit, _stats) = search_cover(target, k, d, seed, k, batch_budget_for(k), |batch| {
+                self.search_decomposed(
+                    &batch.graph,
+                    &batch.decomposition(),
+                    Some(&batch.local_to_global),
+                )
+            });
             if let Some(occ) = hit {
                 debug_assert!(verify_occurrence(&self.pattern, target, &occ));
                 return Some(occ);
@@ -139,26 +143,39 @@ impl SubgraphIsomorphism {
     fn search_piece(&self, graph: &CsrGraph, map: Option<&[Vertex]>) -> Option<Vec<Vertex>> {
         let td = min_degree_decomposition(graph);
         let btd = BinaryTreeDecomposition::from_decomposition(&td);
-        let found = match self.config.strategy {
+        self.search_decomposed(graph, &btd, map)
+    }
+
+    /// Runs the DP over an explicit decomposition (cover batches bring their own
+    /// segment-chained tree); translates local vertex ids back through `map`.
+    fn search_decomposed(
+        &self,
+        graph: &CsrGraph,
+        btd: &BinaryTreeDecomposition,
+        map: Option<&[Vertex]>,
+    ) -> Option<Vec<Vertex>> {
+        // Decision pass without derivation tracking (tracking disables the
+        // lifted-side dedup, which is exponentially more expensive on no-instance
+        // windows), then re-derive only the occurrence-bearing subtree.
+        let decision = match self.config.strategy {
             DpStrategy::PathParallel => {
-                let (result, _) =
-                    run_parallel(graph, &self.pattern, &btd, ParallelDpConfig::default());
-                if !result.found() {
-                    return None;
-                }
-                // the parallel DP does not track derivations; re-run sequentially to
-                // extract a witness (only on pieces that are known to contain one)
-                run_sequential(graph, &self.pattern, &btd, true)
+                run_parallel(graph, &self.pattern, btd, ParallelDpConfig::default()).0
             }
-            DpStrategy::Sequential => {
-                let result = run_sequential(graph, &self.pattern, &btd, true);
-                if !result.found() {
-                    return None;
-                }
-                result
-            }
+            DpStrategy::Sequential => run_sequential(graph, &self.pattern, btd, false),
         };
-        let occ = recover_occurrences(&found, &btd, 1).into_iter().next()?;
+        if !decision.found() {
+            return None;
+        }
+        // Both engines produce identical tables, so locate the first (deepest, in
+        // postorder) node holding a complete state and re-derive that node's subtree
+        // with tracking — not the whole piece/batch.
+        let node = btd
+            .postorder()
+            .into_iter()
+            .find(|&v| decision.tables[v].iter().any(words_is_complete))
+            .expect("found() implies a complete state at some node");
+        let found = run_sequential_subtree(graph, &self.pattern, btd, node);
+        let occ = recover_occurrences(&found, btd, 1).into_iter().next()?;
         Some(match map {
             Some(map) => occ.into_iter().map(|local| map[local as usize]).collect(),
             None => occ,
@@ -169,6 +186,14 @@ impl SubgraphIsomorphism {
     /// [`crate::listing::list_all`] for the iteration/termination details.
     pub fn list_all(&self, target: &CsrGraph) -> Vec<Vec<Vertex>> {
         crate::listing::list_all(&self.pattern, target, &self.config)
+    }
+
+    /// [`SubgraphIsomorphism::list_all`] with an explicit completeness verdict: when
+    /// the listing loop hits its iteration safety cap before the coin-flip stopping
+    /// rule concludes, [`crate::listing::ListingOutcome::complete`] is `false` instead
+    /// of the truncation passing silently.
+    pub fn list_all_outcome(&self, target: &CsrGraph) -> crate::listing::ListingOutcome {
+        crate::listing::list_all_outcome(&self.pattern, target, &self.config)
     }
 
     /// Counts the occurrences (by listing them; the paper notes counting is not

@@ -48,11 +48,15 @@ pub mod state;
 
 pub use arena::{ArenaStats, StateArena, StateId};
 pub use connectivity::{vertex_connectivity, ConnectivityMode, ConnectivityResult};
-pub use cover::{build_cover, build_separating_cover, Cover, CoverPiece, SeparatingCoverPiece};
-pub use dp::{run_sequential, DpResult, NodeTable};
+pub use cover::{
+    batch_budget_for, build_cover, build_cover_with_stats, build_separating_cover,
+    map_cover_batches, search_cover, search_separating_cover, separating_cover_for_clustering,
+    Cover, CoverBatch, CoverPiece, CoverStats, SeparatingCoverPiece, DEFAULT_BATCH_BUDGET,
+};
+pub use dp::{run_sequential, run_sequential_subtree, DpResult, NodeTable};
 pub use dp_parallel::{run_parallel, ParallelDpConfig, ParallelDpStats};
 pub use isomorphism::{decide, find_one, DpStrategy, QueryConfig, SubgraphIsomorphism};
-pub use listing::{count_distinct_images, list_all};
+pub use listing::{count_distinct_images, list_all, list_all_outcome, ListingOutcome};
 pub use pattern::{verify_occurrence, Pattern};
 pub use separating::{
     find_separating_occurrence, find_separating_occurrence_with_stats, is_separating, SepStats,

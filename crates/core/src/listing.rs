@@ -6,27 +6,63 @@
 //! `j` iterations (Observation 2 turns that into a high-probability guarantee that
 //! nothing was missed).
 
-use crate::cover::build_cover;
+use crate::cover::{batch_budget_for, map_cover_batches};
 use crate::dp::{recover_occurrences, run_sequential};
 use crate::isomorphism::QueryConfig;
 use crate::pattern::{verify_occurrence, Pattern};
 use psi_graph::{CsrGraph, Vertex};
 use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
-use rayon::prelude::*;
 use std::collections::HashSet;
+
+/// Hard cap on listing iterations: adversarial configurations (e.g. covers that keep
+/// revealing occurrences one at a time) must not spin forever. Hitting the cap is
+/// surfaced through [`ListingOutcome::complete`] instead of silently truncating.
+pub const MAX_LISTING_ITERATIONS: usize = 10_000;
+
+/// Result of a listing run: the occurrences plus an explicit completeness verdict.
+#[derive(Clone, Debug)]
+pub struct ListingOutcome {
+    /// The deduplicated occurrences, sorted.
+    pub occurrences: Vec<Vec<Vertex>>,
+    /// `true` when the coin-flip stopping rule concluded (the high-probability
+    /// completeness guarantee of Theorem 4.2 applies); `false` when the
+    /// [`MAX_LISTING_ITERATIONS`] safety cap fired first and the listing may miss
+    /// occurrences.
+    pub complete: bool,
+    /// Cover iterations performed.
+    pub iterations: usize,
+}
 
 /// Lists all occurrences of a connected pattern, with high probability.
 ///
 /// Occurrences are full mappings (pattern vertex `i` ↦ `mapping[i]`); two mappings onto
 /// the same vertex set but with different correspondences count as different
-/// occurrences, matching the subgraph-isomorphism definition.
+/// occurrences, matching the subgraph-isomorphism definition. Truncation by the
+/// iteration safety cap is invisible here — use [`list_all_outcome`] to observe it.
 pub fn list_all(pattern: &Pattern, target: &CsrGraph, config: &QueryConfig) -> Vec<Vec<Vertex>> {
+    list_all_outcome(pattern, target, config).occurrences
+}
+
+/// [`list_all`] with an explicit [`ListingOutcome`] (completeness + iteration count).
+pub fn list_all_outcome(
+    pattern: &Pattern,
+    target: &CsrGraph,
+    config: &QueryConfig,
+) -> ListingOutcome {
     let k = pattern.k();
     if k == 0 {
-        return vec![Vec::new()];
+        return ListingOutcome {
+            occurrences: vec![Vec::new()],
+            complete: true,
+            iterations: 0,
+        };
     }
     if k > target.num_vertices() {
-        return Vec::new();
+        return ListingOutcome {
+            occurrences: Vec::new(),
+            complete: true,
+            iterations: 0,
+        };
     }
     assert!(
         pattern.is_connected(),
@@ -39,6 +75,7 @@ pub fn list_all(pattern: &Pattern, target: &CsrGraph, config: &QueryConfig) -> V
     let mut found: HashSet<Vec<Vertex>> = HashSet::new();
     let mut iterations = 0usize;
     let mut barren_streak = 0usize;
+    let mut complete = true;
     loop {
         iterations += 1;
         let seed = config
@@ -49,15 +86,19 @@ pub fn list_all(pattern: &Pattern, target: &CsrGraph, config: &QueryConfig) -> V
         let new_this_round: Vec<Vec<Vertex>> = if config.whole_graph {
             list_piece(pattern, target, None)
         } else {
-            let cover = build_cover(target, k, d, seed);
-            cover
-                .pieces
-                .par_iter()
-                .filter(|p| p.sub.num_vertices() >= k)
-                .flat_map_iter(|piece| {
-                    list_piece(pattern, &piece.sub.graph, Some(&piece.sub.local_to_global))
-                })
-                .collect()
+            // Stream the cover in size-bucketed batches: windows below k cost
+            // nothing, small windows share one DP over the segment-chained
+            // decomposition of their disjoint union.
+            let (per_batch, _stats) =
+                map_cover_batches(target, k, d, seed, k, batch_budget_for(k), |batch| {
+                    list_decomposed(
+                        pattern,
+                        &batch.graph,
+                        &batch.decomposition(),
+                        Some(&batch.local_to_global),
+                    )
+                });
+            per_batch.into_iter().flatten().collect()
         };
         let mut any_new = false;
         for occ in new_this_round {
@@ -76,27 +117,41 @@ pub fn list_all(pattern: &Pattern, target: &CsrGraph, config: &QueryConfig) -> V
         if barren_streak >= threshold || config.whole_graph {
             break;
         }
-        // hard cap to keep adversarial configurations from spinning forever
-        if iterations > 10_000 {
+        // safety cap against adversarial configurations; surfaced, never silent
+        if iterations >= MAX_LISTING_ITERATIONS {
+            complete = false;
             break;
         }
     }
-    let mut result: Vec<Vec<Vertex>> = found.into_iter().collect();
-    result.sort_unstable();
-    result
+    let mut occurrences: Vec<Vec<Vertex>> = found.into_iter().collect();
+    occurrences.sort_unstable();
+    ListingOutcome {
+        occurrences,
+        complete,
+        iterations,
+    }
 }
 
 fn list_piece(pattern: &Pattern, graph: &CsrGraph, map: Option<&[Vertex]>) -> Vec<Vec<Vertex>> {
     let td = min_degree_decomposition(graph);
     let btd = BinaryTreeDecomposition::from_decomposition(&td);
+    list_decomposed(pattern, graph, &btd, map)
+}
+
+fn list_decomposed(
+    pattern: &Pattern,
+    graph: &CsrGraph,
+    btd: &BinaryTreeDecomposition,
+    map: Option<&[Vertex]>,
+) -> Vec<Vec<Vertex>> {
     // Derivation tracking disables the lifted-side dedup (every (left, right) pair is
     // kept so listing stays exact), but states themselves live in the per-node arenas
     // and recovery walks borrowed arena slices — only assignments are materialised.
-    let result = run_sequential(graph, pattern, &btd, true);
+    let result = run_sequential(graph, pattern, btd, true);
     if !result.found() {
         return Vec::new();
     }
-    recover_occurrences(&result, &btd, usize::MAX)
+    recover_occurrences(&result, btd, usize::MAX)
         .into_iter()
         .map(|occ| match map {
             Some(map) => occ.into_iter().map(|local| map[local as usize]).collect(),
@@ -171,6 +226,22 @@ mod tests {
     fn no_occurrences_is_empty() {
         let g = generators::grid(5, 5);
         assert!(list_all(&Pattern::triangle(), &g, &config()).is_empty());
+    }
+
+    #[test]
+    fn outcome_reports_completion() {
+        let g = generators::triangulated_grid(4, 4);
+        let out = list_all_outcome(&Pattern::triangle(), &g, &config());
+        assert!(out.complete, "stopping rule must conclude on small inputs");
+        assert!(out.iterations >= 1);
+        assert_eq!(
+            out.occurrences,
+            list_all(&Pattern::triangle(), &g, &config())
+        );
+        // trivial cases report complete without iterating
+        let empty = list_all_outcome(&Pattern::empty(), &g, &config());
+        assert!(empty.complete);
+        assert_eq!(empty.iterations, 0);
     }
 
     #[test]

@@ -43,6 +43,31 @@ impl CsrGraph {
         CsrGraph { offsets, neighbors }
     }
 
+    /// Builds a CSR graph directly from its flat parts (`offsets.len() == n + 1`,
+    /// `offsets[n] == neighbors.len()`), skipping the per-vertex `Vec` round trip of
+    /// [`CsrGraph::from_sorted_adjacency`].
+    ///
+    /// Intended for large-instance generators that can emit each (sorted, symmetric,
+    /// loop-free, deduplicated) adjacency list in place; the invariants are re-checked
+    /// in debug builds.
+    pub fn from_csr_parts(offsets: Vec<usize>, neighbors: Vec<Vertex>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
+        assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        #[cfg(debug_assertions)]
+        {
+            let n = offsets.len() - 1;
+            for u in 0..n {
+                let adj = &neighbors[offsets[u]..offsets[u + 1]];
+                debug_assert!(
+                    adj.windows(2).all(|w| w[0] < w[1]),
+                    "adjacency of {u} not sorted/deduped"
+                );
+                debug_assert!(adj.iter().all(|&v| (v as usize) < n && v as usize != u));
+            }
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
     /// An empty graph on `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         CsrGraph {

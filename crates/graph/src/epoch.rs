@@ -1,0 +1,183 @@
+//! Epoch-stamped (generation-counter) scratch arrays.
+//!
+//! The sharded cover pipeline visits thousands of clusters per round; allocating and
+//! zeroing an `O(n)` scratch vector per cluster turns the `O(n + m)` pass into
+//! `O(n · #clusters)` memset traffic. An epoch-stamped array is allocated once and
+//! "cleared" in `O(1)` by bumping a generation counter: an entry is live only if its
+//! stamp equals the current epoch, so stale entries from earlier clusters are simply
+//! never read.
+
+/// A set over `0..n` with `O(1)` clear via a generation counter.
+#[derive(Clone, Debug)]
+pub struct EpochSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        EpochSet {
+            stamp: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Removes every element in `O(1)` (amortised; a full reset happens once every
+    /// `u32::MAX` clears to handle stamp wrap-around).
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Inserts `i`; returns `true` if it was absent.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let fresh = self.stamp[i] != self.epoch;
+        self.stamp[i] = self.epoch;
+        fresh
+    }
+
+    /// Whether `i` is present.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    /// Resident bytes of the scratch (for `O(n)`-memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.stamp.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A map from `0..n` to `T` with `O(1)` clear via a generation counter.
+#[derive(Clone, Debug)]
+pub struct EpochMap<T> {
+    stamp: Vec<u32>,
+    value: Vec<T>,
+    epoch: u32,
+}
+
+impl<T: Copy + Default> EpochMap<T> {
+    /// An empty map over the domain `0..n`.
+    pub fn new(n: usize) -> Self {
+        EpochMap {
+            stamp: vec![0; n],
+            value: vec![T::default(); n],
+            epoch: 1,
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Removes every entry in `O(1)` (amortised, see [`EpochSet::clear`]).
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Sets `map[i] = v`; returns `true` if `i` had no live entry.
+    #[inline]
+    pub fn insert(&mut self, i: usize, v: T) -> bool {
+        let fresh = self.stamp[i] != self.epoch;
+        self.stamp[i] = self.epoch;
+        self.value[i] = v;
+        fresh
+    }
+
+    /// The live value at `i`, if any.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<T> {
+        (self.stamp[i] == self.epoch).then(|| self.value[i])
+    }
+
+    /// Whether `i` has a live entry.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    /// Resident bytes of the scratch (for `O(n)`-memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.stamp.len() * std::mem::size_of::<u32>() + self.value.len() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_is_logical() {
+        let mut s = EpochSet::new(8);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        s.clear();
+        assert!(!s.contains(3));
+        assert!(s.insert(3));
+    }
+
+    #[test]
+    fn map_clear_is_logical() {
+        let mut m: EpochMap<u32> = EpochMap::new(4);
+        assert_eq!(m.get(1), None);
+        assert!(m.insert(1, 42));
+        assert!(!m.insert(1, 43));
+        assert_eq!(m.get(1), Some(43));
+        m.clear();
+        assert_eq!(m.get(1), None);
+        assert!(m.insert(1, 7));
+        assert_eq!(m.get(1), Some(7));
+    }
+
+    #[test]
+    fn wraparound_resets_stamps() {
+        let mut s = EpochSet::new(2);
+        s.epoch = u32::MAX - 1;
+        s.insert(0);
+        s.clear(); // epoch -> MAX
+        assert!(!s.contains(0));
+        s.insert(1);
+        s.clear(); // wrap: full reset
+        assert!(!s.contains(0));
+        assert!(!s.contains(1));
+        s.insert(0);
+        assert!(s.contains(0));
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let s = EpochSet::new(100);
+        assert_eq!(s.bytes(), 400);
+        let m: EpochMap<u32> = EpochMap::new(100);
+        assert_eq!(m.bytes(), 800);
+    }
+}

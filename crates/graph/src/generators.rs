@@ -65,45 +65,58 @@ pub fn wheel(n: usize) -> CsrGraph {
 }
 
 /// `w × h` grid graph; vertex `(r, c)` has index `r * w + c`.
+///
+/// Assembled directly in CSR form (each vertex's sorted neighbour list is known in
+/// closed form), so million-vertex instances skip the edge-list round trip of
+/// [`GraphBuilder`] — the cover-pipeline experiments generate `n ≈ 10^6` targets.
 pub fn grid(w: usize, h: usize) -> CsrGraph {
-    assert!(w >= 1 && h >= 1);
-    let n = w * h;
-    let mut b = GraphBuilder::with_capacity(n, 2 * n);
-    let idx = |r: usize, c: usize| (r * w + c) as Vertex;
-    for r in 0..h {
-        for c in 0..w {
-            if c + 1 < w {
-                b.add_edge(idx(r, c), idx(r, c + 1));
-            }
-            if r + 1 < h {
-                b.add_edge(idx(r, c), idx(r + 1, c));
-            }
-        }
-    }
-    b.build_parallel()
+    grid_like(w, h, false)
 }
 
 /// `w × h` grid with one diagonal added per unit square (a planar triangulated grid,
-/// the workhorse target-graph family for the experiments).
+/// the workhorse target-graph family for the experiments). Direct CSR assembly, see
+/// [`grid`].
 pub fn triangulated_grid(w: usize, h: usize) -> CsrGraph {
+    grid_like(w, h, true)
+}
+
+/// Shared direct-CSR assembly of [`grid`] / [`triangulated_grid`]: emit each vertex's
+/// neighbours in ascending index order (previous row, own row, next row).
+fn grid_like(w: usize, h: usize, diagonals: bool) -> CsrGraph {
     assert!(w >= 1 && h >= 1);
     let n = w * h;
-    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut neighbors: Vec<Vertex> = Vec::with_capacity(if diagonals { 6 * n } else { 4 * n });
+    offsets.push(0usize);
     let idx = |r: usize, c: usize| (r * w + c) as Vertex;
     for r in 0..h {
         for c in 0..w {
+            // previous row: the anti-diagonal (r-1, c-1) -> (r, c) exists because the
+            // diagonal of a unit square points from its top-left to bottom-right corner
+            if diagonals && r >= 1 && c >= 1 {
+                neighbors.push(idx(r - 1, c - 1));
+            }
+            if r >= 1 {
+                neighbors.push(idx(r - 1, c));
+            }
+            // own row
+            if c >= 1 {
+                neighbors.push(idx(r, c - 1));
+            }
             if c + 1 < w {
-                b.add_edge(idx(r, c), idx(r, c + 1));
+                neighbors.push(idx(r, c + 1));
             }
+            // next row
             if r + 1 < h {
-                b.add_edge(idx(r, c), idx(r + 1, c));
+                neighbors.push(idx(r + 1, c));
+                if diagonals && c + 1 < w {
+                    neighbors.push(idx(r + 1, c + 1));
+                }
             }
-            if c + 1 < w && r + 1 < h {
-                b.add_edge(idx(r, c), idx(r + 1, c + 1));
-            }
+            offsets.push(neighbors.len());
         }
     }
-    b.build_parallel()
+    CsrGraph::from_csr_parts(offsets, neighbors)
 }
 
 /// `w × h` grid wrapped around both dimensions (a genus-1, non-planar graph for
@@ -367,6 +380,31 @@ mod tests {
                     cyc[i],
                     cyc[(i + 1) % k]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_csr_grids_match_builder_reference() {
+        for (w, h) in [(1usize, 1usize), (1, 7), (6, 1), (4, 3), (9, 11)] {
+            for diagonals in [false, true] {
+                let fast = grid_like(w, h, diagonals);
+                let mut b = GraphBuilder::new(w * h);
+                let idx = |r: usize, c: usize| (r * w + c) as Vertex;
+                for r in 0..h {
+                    for c in 0..w {
+                        if c + 1 < w {
+                            b.add_edge(idx(r, c), idx(r, c + 1));
+                        }
+                        if r + 1 < h {
+                            b.add_edge(idx(r, c), idx(r + 1, c));
+                        }
+                        if diagonals && c + 1 < w && r + 1 < h {
+                            b.add_edge(idx(r, c), idx(r + 1, c + 1));
+                        }
+                    }
+                }
+                assert_eq!(fast, b.build(), "w={w} h={h} diagonals={diagonals}");
             }
         }
     }

@@ -11,6 +11,7 @@
 //! * articulation points / biconnectivity in [`biconnectivity`],
 //! * induced-subgraph views with vertex maps in [`view`],
 //! * vertex-group contraction (graph minors) in [`contraction`],
+//! * epoch-stamped (generation-counter) scratch arrays in [`epoch`],
 //! * a zoo of deterministic and random generators in [`generators`].
 //!
 //! Vertices are dense `u32` indices (`Vertex`). All graphs are simple and undirected;
@@ -22,6 +23,7 @@ pub mod builder;
 pub mod connectivity;
 pub mod contraction;
 pub mod csr;
+pub mod epoch;
 pub mod generators;
 pub mod spanning;
 pub mod union_find;
@@ -37,6 +39,7 @@ pub use connectivity::{
 };
 pub use contraction::{contract_groups, ContractionResult};
 pub use csr::{CsrGraph, Vertex, INVALID_VERTEX};
+pub use epoch::{EpochMap, EpochSet};
 pub use spanning::{spanning_forest, SpanningForest};
 pub use union_find::UnionFind;
 pub use view::{induced_subgraph, InducedSubgraph};

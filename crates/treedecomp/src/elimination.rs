@@ -76,6 +76,64 @@ impl EliminationGame {
     }
 }
 
+/// Bucket priority queue over current degrees: the next min-degree vertex is popped
+/// from the lowest non-empty bucket (smallest vertex id first, matching the scan-based
+/// selection's `(degree, v)` tie-break exactly), and degree changes move vertices
+/// between buckets. Selection over the whole elimination costs `O((n + fill) log n)`
+/// instead of the naive `O(n²)` per-step scans — the cover pipeline decomposes many
+/// thousands of batched pieces per query, so selection must stay near-linear.
+struct DegreeBuckets {
+    buckets: Vec<BTreeSet<usize>>,
+    deg: Vec<usize>,
+    min_deg: usize,
+}
+
+impl DegreeBuckets {
+    fn new(game: &EliminationGame) -> Self {
+        let n = game.adj.len();
+        let mut buckets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut deg = vec![0usize; n];
+        for (v, slot) in deg.iter_mut().enumerate() {
+            let d = game.adj[v].len();
+            *slot = d;
+            if buckets.len() <= d {
+                buckets.resize_with(d + 1, BTreeSet::new);
+            }
+            buckets[d].insert(v);
+        }
+        DegreeBuckets {
+            buckets,
+            deg,
+            min_deg: 0,
+        }
+    }
+
+    fn pop_min(&mut self) -> usize {
+        loop {
+            if let Some(&v) = self.buckets.get(self.min_deg).and_then(|b| b.first()) {
+                self.buckets[self.min_deg].remove(&v);
+                return v;
+            }
+            self.min_deg += 1;
+            assert!(self.min_deg < self.buckets.len(), "no vertex remains");
+        }
+    }
+
+    fn update(&mut self, v: usize, new_deg: usize) {
+        let old = self.deg[v];
+        if old == new_deg {
+            return;
+        }
+        self.buckets[old].remove(&v);
+        if self.buckets.len() <= new_deg {
+            self.buckets.resize_with(new_deg + 1, BTreeSet::new);
+        }
+        self.buckets[new_deg].insert(v);
+        self.deg[v] = new_deg;
+        self.min_deg = self.min_deg.min(new_deg);
+    }
+}
+
 /// Builds a tree decomposition from a greedy elimination ordering.
 pub fn elimination_decomposition(
     graph: &CsrGraph,
@@ -91,19 +149,30 @@ pub fn elimination_decomposition(
     let mut position = vec![usize::MAX; n];
     let mut bags: Vec<Vec<Vertex>> = Vec::with_capacity(n);
     let mut neighbours_at_elim: Vec<Vec<Vertex>> = Vec::with_capacity(n);
+    let mut degree_queue = match strategy {
+        EliminationStrategy::MinDegree => Some(DegreeBuckets::new(&game)),
+        EliminationStrategy::MinFill => None,
+    };
 
     for step in 0..n {
         // pick next vertex
-        let candidate = (0..n)
-            .filter(|&v| !game.eliminated[v])
-            .min_by_key(|&v| match strategy {
-                EliminationStrategy::MinDegree => (game.adj[v].len(), 0usize, v),
-                EliminationStrategy::MinFill => (game.fill_cost(v), game.adj[v].len(), v),
-            })
-            .expect("some vertex remains");
+        let candidate = match &mut degree_queue {
+            Some(queue) => queue.pop_min(),
+            None => (0..n)
+                .filter(|&v| !game.eliminated[v])
+                .min_by_key(|&v| (game.fill_cost(v), game.adj[v].len(), v))
+                .expect("some vertex remains"),
+        };
         position[candidate] = step;
         order.push(candidate as Vertex);
         let neigh = game.eliminate(candidate);
+        if let Some(queue) = &mut degree_queue {
+            // Only the eliminated vertex's neighbourhood changes degree (it loses the
+            // edge to the eliminated vertex and gains the clique fill edges).
+            for &w in &neigh {
+                queue.update(w as usize, game.adj[w as usize].len());
+            }
+        }
         let mut bag = neigh.clone();
         bag.push(candidate as Vertex);
         bags.push(bag);
