@@ -1,0 +1,45 @@
+//! F11 — planarity engine: embed cost on embedding-stripped planar inputs and the
+//! rejection path with witness extraction. Reported with the shim's full summary
+//! statistics (min / median / mean / max, sample stddev).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psi_planar::{planar_embedding, rotation_system};
+
+fn bench_planarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f11_planarity");
+    group.sample_size(10);
+    for side in [64usize, 128] {
+        let g = psi_graph::generators::triangulated_grid(side, side);
+        group.throughput(Throughput::Elements(g.num_vertices() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("embed_grid", g.num_vertices()),
+            &g,
+            |b, g| b.iter(|| planar_embedding(g).expect("grid is planar").num_faces()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rotation_only", g.num_vertices()),
+            &g,
+            |b, g| b.iter(|| rotation_system(g).expect("grid is planar").num_vertices()),
+        );
+    }
+    let wheel = psi_graph::generators::wheel(4096);
+    group.bench_function("embed_wheel_4096", |b| {
+        b.iter(|| {
+            planar_embedding(&wheel)
+                .expect("wheel is planar")
+                .num_faces()
+        })
+    });
+    let k6 = psi_graph::generators::complete(6);
+    group.bench_function("reject_k6_with_witness", |b| {
+        b.iter(|| {
+            planar_embedding(&k6)
+                .expect_err("K6 is not planar")
+                .num_edges()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planarity);
+criterion_main!(benches);

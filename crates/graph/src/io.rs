@@ -1,0 +1,408 @@
+//! Reading and writing graphs from text formats — the front door for user-supplied
+//! instances.
+//!
+//! Two formats are supported:
+//!
+//! * **Edge list** — one `u v` pair per line, 0-based vertex ids, `#` / `%` comment
+//!   lines and blank lines ignored. An optional `n <count>` header line fixes the
+//!   vertex count (otherwise it is `max id + 1`).
+//! * **DIMACS** — the classical `p edge <n> <m>` header with `e u v` edge lines
+//!   (1-based ids) and `c` comment lines.
+//!
+//! Both parsers are forgiving where it is safe (duplicate edges are deduplicated,
+//! either endpoint order is accepted) and strict where it matters (malformed tokens,
+//! out-of-range ids, and self loops are errors with line numbers — a self loop can
+//! silently change connectivity semantics, so it is rejected rather than dropped).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vertex};
+use std::fmt;
+use std::path::Path;
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphParseError {
+    /// A line that is neither a comment, a header, nor an edge.
+    MalformedLine { line: usize, content: String },
+    /// A vertex token that does not parse as an unsigned integer.
+    BadVertex { line: usize, token: String },
+    /// A vertex id outside the declared range.
+    VertexOutOfRange { line: usize, vertex: u64, n: usize },
+    /// A self loop `u u` (the workspace's graphs are simple).
+    SelfLoop { line: usize, vertex: Vertex },
+    /// A DIMACS file without a `p edge` header, or a second header.
+    BadHeader { line: usize },
+    /// The input declares no vertices and no parsable content at all.
+    Empty,
+}
+
+impl fmt::Display for GraphParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphParseError::MalformedLine { line, content } => {
+                write!(f, "line {line}: malformed line {content:?}")
+            }
+            GraphParseError::BadVertex { line, token } => {
+                write!(f, "line {line}: bad vertex id {token:?}")
+            }
+            GraphParseError::VertexOutOfRange { line, vertex, n } => {
+                write!(f, "line {line}: vertex {vertex} out of range for n = {n}")
+            }
+            GraphParseError::SelfLoop { line, vertex } => {
+                write!(f, "line {line}: self loop at vertex {vertex}")
+            }
+            GraphParseError::BadHeader { line } => {
+                write!(f, "line {line}: bad or duplicate header")
+            }
+            GraphParseError::Empty => write!(f, "no vertices or edges in input"),
+        }
+    }
+}
+
+impl std::error::Error for GraphParseError {}
+
+/// A read failure: I/O or parse.
+#[derive(Debug)]
+pub enum GraphReadError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Parse error with the offending line.
+    Parse(GraphParseError),
+}
+
+impl fmt::Display for GraphReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphReadError::Io(e) => write!(f, "io: {e}"),
+            GraphReadError::Parse(e) => write!(f, "parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphReadError {}
+
+impl From<GraphParseError> for GraphReadError {
+    fn from(e: GraphParseError) -> Self {
+        GraphReadError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for GraphReadError {
+    fn from(e: std::io::Error) -> Self {
+        GraphReadError::Io(e)
+    }
+}
+
+/// Parses a vertex id / count token. Ids are dense `u32`s in this workspace
+/// (`u32::MAX` is the `INVALID_VERTEX` sentinel), so anything at or above that is
+/// rejected here with a line-numbered error — otherwise a huge id would silently
+/// truncate in the `as Vertex` casts, or drive `n = max_id + 1` into an allocation
+/// abort long after parsing "succeeded".
+fn parse_vertex(tok: &str, line: usize) -> Result<u64, GraphParseError> {
+    let v = tok.parse::<u64>().map_err(|_| GraphParseError::BadVertex {
+        line,
+        token: tok.to_string(),
+    })?;
+    if v >= u64::from(u32::MAX) {
+        return Err(GraphParseError::VertexOutOfRange {
+            line,
+            vertex: v,
+            n: u32::MAX as usize,
+        });
+    }
+    Ok(v)
+}
+
+fn check_range(v: u64, n: usize, line: usize) -> Result<Vertex, GraphParseError> {
+    if (v as usize) < n {
+        Ok(v as Vertex)
+    } else {
+        Err(GraphParseError::VertexOutOfRange { line, vertex: v, n })
+    }
+}
+
+/// Parses a 0-based edge list (see the module docs for the grammar).
+pub fn parse_edge_list(text: &str) -> Result<CsrGraph, GraphParseError> {
+    let mut edges: Vec<(u64, u64, usize)> = Vec::new();
+    let mut declared_n: Option<usize> = None;
+    let mut max_id: Option<u64> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.trim();
+        if content.is_empty() || content.starts_with('#') || content.starts_with('%') {
+            continue;
+        }
+        let mut toks = content.split_whitespace();
+        let first = toks.next().expect("non-empty line has a token");
+        if first == "n" {
+            let count = toks.next().ok_or_else(|| GraphParseError::MalformedLine {
+                line,
+                content: content.to_string(),
+            })?;
+            if declared_n.is_some() || toks.next().is_some() {
+                return Err(GraphParseError::BadHeader { line });
+            }
+            declared_n = Some(parse_vertex(count, line)? as usize);
+            continue;
+        }
+        let second = toks.next().ok_or_else(|| GraphParseError::MalformedLine {
+            line,
+            content: content.to_string(),
+        })?;
+        if toks.next().is_some() {
+            return Err(GraphParseError::MalformedLine {
+                line,
+                content: content.to_string(),
+            });
+        }
+        let u = parse_vertex(first, line)?;
+        let v = parse_vertex(second, line)?;
+        max_id = Some(max_id.unwrap_or(0).max(u).max(v));
+        edges.push((u, v, line));
+    }
+    let n = match (declared_n, max_id) {
+        (Some(n), _) => n,
+        (None, Some(max)) => max as usize + 1,
+        (None, None) => return Err(GraphParseError::Empty),
+    };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, line) in edges {
+        let u = check_range(u, n, line)?;
+        let v = check_range(v, n, line)?;
+        if u == v {
+            return Err(GraphParseError::SelfLoop { line, vertex: u });
+        }
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Parses a DIMACS `p edge` file (1-based `e u v` lines).
+pub fn parse_dimacs(text: &str) -> Result<CsrGraph, GraphParseError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut n = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.trim();
+        if content.is_empty() || content.starts_with('c') {
+            continue;
+        }
+        let mut toks = content.split_whitespace();
+        match toks.next() {
+            Some("p") => {
+                // `p edge n m` (also accept the historical `p col`).
+                let _format = toks.next();
+                let n_tok = toks.next().ok_or(GraphParseError::BadHeader { line })?;
+                if builder.is_some() {
+                    return Err(GraphParseError::BadHeader { line });
+                }
+                n = parse_vertex(n_tok, line)? as usize;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("e") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or(GraphParseError::BadHeader { line })?;
+                let u_tok = toks.next().ok_or_else(|| GraphParseError::MalformedLine {
+                    line,
+                    content: content.to_string(),
+                })?;
+                let v_tok = toks.next().ok_or_else(|| GraphParseError::MalformedLine {
+                    line,
+                    content: content.to_string(),
+                })?;
+                let u = parse_vertex(u_tok, line)?;
+                let v = parse_vertex(v_tok, line)?;
+                if u == 0 || v == 0 {
+                    return Err(GraphParseError::VertexOutOfRange { line, vertex: 0, n });
+                }
+                let u = check_range(u - 1, n, line)?;
+                let v = check_range(v - 1, n, line)?;
+                if u == v {
+                    return Err(GraphParseError::SelfLoop { line, vertex: u });
+                }
+                b.add_edge(u, v);
+            }
+            _ => {
+                return Err(GraphParseError::MalformedLine {
+                    line,
+                    content: content.to_string(),
+                })
+            }
+        }
+    }
+    match builder {
+        Some(b) => Ok(b.build()),
+        None => Err(GraphParseError::Empty),
+    }
+}
+
+/// Parses either supported format, sniffing DIMACS by its `p` header line.
+pub fn parse_graph(text: &str) -> Result<CsrGraph, GraphParseError> {
+    let is_dimacs = text.lines().any(|l| {
+        let t = l.trim();
+        t.starts_with("p ") || t.starts_with("e ")
+    });
+    if is_dimacs {
+        parse_dimacs(text)
+    } else {
+        parse_edge_list(text)
+    }
+}
+
+/// Loads a graph from a file, dispatching on content (and `.col` / `.dimacs`
+/// extensions) between the two formats.
+pub fn read_graph_file(path: impl AsRef<Path>) -> Result<CsrGraph, GraphReadError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let by_extension = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.eq_ignore_ascii_case("col") || e.eq_ignore_ascii_case("dimacs"));
+    let graph = match by_extension {
+        Some(true) => parse_dimacs(&text)?,
+        _ => parse_graph(&text)?,
+    };
+    Ok(graph)
+}
+
+/// Serialises a graph as a canonical edge list (with an `n` header so isolated
+/// vertices round-trip).
+pub fn write_edge_list(graph: &CsrGraph) -> String {
+    let mut out = String::with_capacity(16 + graph.num_edges() * 8);
+    out.push_str(&format!("n {}\n", graph.num_vertices()));
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = generators::triangulated_grid(5, 4);
+        let text = write_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+        // parse_graph sniffs the format too
+        assert_eq!(parse_graph(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn edge_list_accepts_comments_and_duplicates() {
+        let text = "# a triangle\n% with both comment styles\n0 1\n1 2\n\n2 0\n1 0\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_header_preserves_isolated_vertices() {
+        let g = parse_edge_list("n 5\n0 1\n").unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_list_errors_carry_line_numbers() {
+        assert_eq!(
+            parse_edge_list("0 1\n2\n"),
+            Err(GraphParseError::MalformedLine {
+                line: 2,
+                content: "2".to_string()
+            })
+        );
+        assert_eq!(
+            parse_edge_list("0 x\n"),
+            Err(GraphParseError::BadVertex {
+                line: 1,
+                token: "x".to_string()
+            })
+        );
+        assert_eq!(
+            parse_edge_list("3 3\n"),
+            Err(GraphParseError::SelfLoop { line: 1, vertex: 3 })
+        );
+        assert_eq!(
+            parse_edge_list("n 2\n0 5\n"),
+            Err(GraphParseError::VertexOutOfRange {
+                line: 2,
+                vertex: 5,
+                n: 2
+            })
+        );
+        assert_eq!(parse_edge_list("# nothing\n"), Err(GraphParseError::Empty));
+        // Ids must fit the dense u32 vertex space: a huge id is a line-numbered
+        // error, not a silent truncation or a gigantic allocation.
+        assert_eq!(
+            parse_edge_list("0 99999999999\n"),
+            Err(GraphParseError::VertexOutOfRange {
+                line: 1,
+                vertex: 99_999_999_999,
+                n: u32::MAX as usize
+            })
+        );
+        assert!(matches!(
+            parse_edge_list("n 5000000000\n0 1\n"),
+            Err(GraphParseError::VertexOutOfRange { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn dimacs_round_trip_via_generator() {
+        let g = generators::wheel(7);
+        let mut text = String::from("c a wheel\np edge 7 12\n");
+        for (u, v) in g.edges() {
+            text.push_str(&format!("e {} {}\n", u + 1, v + 1));
+        }
+        assert_eq!(parse_dimacs(&text).unwrap(), g);
+        // sniffed automatically by the `p`/`e` lines
+        assert_eq!(parse_graph(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert_eq!(
+            parse_dimacs("e 1 2\n"),
+            Err(GraphParseError::BadHeader { line: 1 })
+        );
+        assert_eq!(
+            parse_dimacs("p edge 3 1\ne 0 2\n"),
+            Err(GraphParseError::VertexOutOfRange {
+                line: 2,
+                vertex: 0,
+                n: 3
+            })
+        );
+        assert_eq!(
+            parse_dimacs("c only comments\n"),
+            Err(GraphParseError::Empty)
+        );
+    }
+
+    #[test]
+    fn file_reading_dispatches_on_content() {
+        let dir = std::env::temp_dir();
+        let p1 = dir.join("psi_io_test_edges.txt");
+        let p2 = dir.join("psi_io_test_graph.col");
+        let g = generators::grid(4, 3);
+        std::fs::write(&p1, write_edge_list(&g)).unwrap();
+        let mut dimacs = format!("p edge {} {}\n", g.num_vertices(), g.num_edges());
+        for (u, v) in g.edges() {
+            dimacs.push_str(&format!("e {} {}\n", u + 1, v + 1));
+        }
+        std::fs::write(&p2, dimacs).unwrap();
+        assert_eq!(read_graph_file(&p1).unwrap(), g);
+        assert_eq!(read_graph_file(&p2).unwrap(), g);
+        let _ = std::fs::remove_file(p1);
+        let _ = std::fs::remove_file(p2);
+        assert!(matches!(
+            read_graph_file(dir.join("psi_io_absent_file.txt")),
+            Err(GraphReadError::Io(_))
+        ));
+    }
+}

@@ -6,12 +6,13 @@
 //!
 //! * [`CsrGraph`] — an immutable compressed-sparse-row undirected graph,
 //! * [`GraphBuilder`] — a mutable edge-list builder that deduplicates and sorts,
-//! * breadth-first search (sequential and level-synchronous parallel) in [`bfs`],
+//! * breadth-first search (sequential and level-synchronous parallel) in [`mod@bfs`],
 //! * connected components and a union–find in [`connectivity`] and [`union_find`],
 //! * articulation points / biconnectivity in [`biconnectivity`],
 //! * induced-subgraph views with vertex maps in [`view`],
 //! * vertex-group contraction (graph minors) in [`contraction`],
 //! * epoch-stamped (generation-counter) scratch arrays in [`epoch`],
+//! * edge-list / DIMACS readers and writers in [`io`],
 //! * a zoo of deterministic and random generators in [`generators`].
 //!
 //! Vertices are dense `u32` indices (`Vertex`). All graphs are simple and undirected;
@@ -25,6 +26,7 @@ pub mod contraction;
 pub mod csr;
 pub mod epoch;
 pub mod generators;
+pub mod io;
 pub mod spanning;
 pub mod union_find;
 pub mod view;
@@ -40,6 +42,10 @@ pub use connectivity::{
 pub use contraction::{contract_groups, ContractionResult};
 pub use csr::{CsrGraph, Vertex, INVALID_VERTEX};
 pub use epoch::{EpochMap, EpochSet};
+pub use io::{
+    parse_dimacs, parse_edge_list, parse_graph, read_graph_file, write_edge_list, GraphParseError,
+    GraphReadError,
+};
 pub use spanning::{spanning_forest, SpanningForest};
 pub use union_find::UnionFind;
 pub use view::{induced_subgraph, InducedSubgraph};

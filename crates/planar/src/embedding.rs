@@ -11,10 +11,15 @@ pub enum EmbeddingError {
     NonEdgeOnFace { face: usize, u: Vertex, v: Vertex },
     /// An edge does not appear on exactly two facial sides.
     WrongEdgeMultiplicity { u: Vertex, v: Vertex, count: usize },
-    /// A face walk is too short to be a facial cycle.
+    /// A face walk is too short to be a facial cycle (singleton walks are allowed
+    /// only for isolated vertices, two-vertex walks only for an edge walked on both
+    /// sides).
     DegenerateFace { face: usize },
     /// Euler's formula gives a negative or non-integral genus.
     InconsistentEuler { n: usize, m: usize, f: usize },
+    /// A vertex appears on no face at all (isolated vertices must be embedded as
+    /// singleton faces).
+    VertexNotOnAnyFace { v: Vertex },
 }
 
 impl fmt::Display for EmbeddingError {
@@ -31,6 +36,9 @@ impl fmt::Display for EmbeddingError {
             }
             EmbeddingError::InconsistentEuler { n, m, f: faces } => {
                 write!(f, "Euler characteristic of n={n}, m={m}, f={faces} is not an even nonnegative genus")
+            }
+            EmbeddingError::VertexNotOnAnyFace { v } => {
+                write!(f, "vertex {v} appears on no face")
             }
         }
     }
@@ -65,24 +73,48 @@ impl Embedding {
         self.graph.num_vertices() as i64 - self.graph.num_edges() as i64 + self.faces.len() as i64
     }
 
-    /// Genus of the embedding surface (`0` for a planar embedding).
-    pub fn genus(&self) -> i64 {
-        (2 - self.euler_characteristic()) / 2
+    /// Number of connected components of the underlying graph (each embedded
+    /// separately; a valid genus-`g` embedding of `c` components has Euler
+    /// characteristic `2c − 2g`).
+    pub fn num_components(&self) -> usize {
+        if self.graph.num_vertices() == 0 {
+            return 0;
+        }
+        psi_graph::connected_components(&self.graph).num_components
     }
 
-    /// Whether the embedding is planar (genus 0).
+    /// Total genus of the embedding surfaces (`0` for a planar embedding). Each
+    /// connected component is embedded on its own surface; their genera add.
+    pub fn genus(&self) -> i64 {
+        (2 * self.num_components() as i64 - self.euler_characteristic()) / 2
+    }
+
+    /// Whether the embedding is planar (genus 0 — every component on a sphere).
     pub fn is_planar(&self) -> bool {
-        self.euler_characteristic() == 2
+        self.euler_characteristic() == 2 * self.num_components() as i64
     }
 
     /// Validates the facial structure: every consecutive face pair is an edge, every
-    /// edge lies on exactly two facial sides, and Euler's formula yields a nonnegative
-    /// integral genus.
+    /// edge lies on exactly two facial sides, every vertex appears on at least one
+    /// face (isolated vertices as singleton faces), and Euler's formula yields a
+    /// nonnegative integral genus per connected component.
     pub fn validate(&self) -> Result<(), EmbeddingError> {
         let mut edge_count: HashMap<(Vertex, Vertex), usize> = HashMap::new();
+        let mut on_face = vec![false; self.graph.num_vertices()];
         for (fi, face) in self.faces.iter().enumerate() {
-            if face.len() < 3 {
-                return Err(EmbeddingError::DegenerateFace { face: fi });
+            match face.len() {
+                0 => return Err(EmbeddingError::DegenerateFace { face: fi }),
+                // A singleton face embeds an isolated vertex inside some region.
+                1 => {
+                    if self.graph.degree(face[0]) != 0 {
+                        return Err(EmbeddingError::DegenerateFace { face: fi });
+                    }
+                    on_face[face[0] as usize] = true;
+                    continue;
+                }
+                // A two-vertex walk traverses one edge on both sides — the face of an
+                // isolated-edge component. Longer walks are the usual facial cycles.
+                _ => {}
             }
             for i in 0..face.len() {
                 let u = face[i];
@@ -90,6 +122,7 @@ impl Embedding {
                 if !self.graph.has_edge(u, v) {
                     return Err(EmbeddingError::NonEdgeOnFace { face: fi, u, v });
                 }
+                on_face[u as usize] = true;
                 *edge_count.entry((u.min(v), u.max(v))).or_insert(0) += 1;
             }
         }
@@ -99,8 +132,12 @@ impl Embedding {
                 return Err(EmbeddingError::WrongEdgeMultiplicity { u, v, count });
             }
         }
+        if let Some(v) = on_face.iter().position(|&seen| !seen) {
+            return Err(EmbeddingError::VertexNotOnAnyFace { v: v as Vertex });
+        }
         let chi = self.euler_characteristic();
-        if chi > 2 || (2 - chi) % 2 != 0 {
+        let max_chi = 2 * self.num_components() as i64;
+        if chi > max_chi || (max_chi - chi) % 2 != 0 {
             return Err(EmbeddingError::InconsistentEuler {
                 n: self.graph.num_vertices(),
                 m: self.graph.num_edges(),
@@ -196,6 +233,61 @@ mod tests {
             bad2.validate(),
             Err(EmbeddingError::WrongEdgeMultiplicity { .. })
         ));
+    }
+
+    #[test]
+    fn isolated_vertex_must_appear_on_a_face() {
+        // Triangle plus an isolated vertex 3: omitting the vertex from every face
+        // used to validate silently; now it is an explicit error.
+        let mut b = psi_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let walk: Vec<Vertex> = vec![0, 1, 2];
+        let missing = Embedding::new(g.clone(), vec![walk.clone(), walk.clone()]);
+        assert_eq!(
+            missing.validate(),
+            Err(EmbeddingError::VertexNotOnAnyFace { v: 3 })
+        );
+        // With the singleton face the embedding is a valid genus-0 embedding of two
+        // components (Euler characteristic 2c = 4).
+        let fixed = Embedding::new(g, vec![walk.clone(), walk, vec![3]]);
+        fixed.validate().unwrap();
+        assert!(fixed.is_planar());
+        assert_eq!(fixed.genus(), 0);
+        assert_eq!(fixed.num_components(), 2);
+    }
+
+    #[test]
+    fn singleton_faces_only_for_isolated_vertices() {
+        let g = psi_graph::generators::path(2);
+        // A singleton face of a non-isolated vertex is degenerate.
+        let bad = Embedding::new(g.clone(), vec![vec![0], vec![0, 1]]);
+        assert!(matches!(
+            bad.validate(),
+            Err(EmbeddingError::DegenerateFace { .. })
+        ));
+        // The digon walk of a single-edge component is the valid embedding of K2.
+        let k2 = Embedding::new(g, vec![vec![0, 1]]);
+        k2.validate().unwrap();
+        assert!(k2.is_planar());
+    }
+
+    #[test]
+    fn disconnected_embedding_validates_per_component() {
+        let g = psi_graph::generators::disjoint_union(&[
+            &psi_graph::generators::cycle(3),
+            &psi_graph::generators::cycle(4),
+        ]);
+        let t: Vec<Vertex> = vec![0, 1, 2];
+        let c: Vec<Vertex> = vec![3, 4, 5, 6];
+        let e = Embedding::new(g, vec![t.clone(), t, c.clone(), c]);
+        e.validate().unwrap();
+        assert_eq!(e.num_components(), 2);
+        assert_eq!(e.euler_characteristic(), 4);
+        assert!(e.is_planar());
+        assert_eq!(e.genus(), 0);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Property-based tests for the planarity engine.
+//!
+//! Round trip: graphs from the embedded planar generators are stripped of their
+//! native embedding and handed to the LR engine as bare [`CsrGraph`]s — the engine
+//! must recover a validating genus-0 embedding. Rejection: the Kuratowski
+//! obstructions (bare, dense, and hidden as randomly subdivided minors inside large
+//! planar hosts) must be rejected with certificates that verify independently of the
+//! LR test.
+
+use proptest::prelude::*;
+use psi_graph::{generators as gg, CsrGraph, GraphBuilder, Vertex};
+use psi_planar::{generators as pg, is_planar_graph, planar_embedding, KuratowskiKind};
+
+/// Strips the embedding off one of the embedded generator families.
+fn planar_family(family: usize, a: usize, b: usize, seed: u64) -> CsrGraph {
+    match family % 7 {
+        0 => pg::stacked_triangulation_embedded(a.max(4) * 3, seed).graph,
+        1 => pg::triangulated_grid_embedded(a.max(2), b.max(2)).graph,
+        2 => pg::grid_embedded(a.max(2), b.max(2)).graph,
+        3 => pg::wheel_embedded(a.max(4) + b).graph,
+        4 => pg::cycle_embedded(a.max(3) + b).graph,
+        5 => pg::double_wheel(a.max(5)).graph,
+        _ => gg::random_tree(a * b + 2, seed),
+    }
+}
+
+fn arb_planar_graph() -> impl Strategy<Value = CsrGraph> {
+    (0usize..7, 2usize..9, 2usize..9, 0u64..64)
+        .prop_map(|(family, a, b, seed)| planar_family(family, a, b, seed))
+}
+
+/// A disjoint union of two stripped planar families plus isolated vertices — the
+/// engine must handle multiple components and merge per-component embeddings.
+fn arb_disconnected_planar() -> impl Strategy<Value = CsrGraph> {
+    (
+        0usize..7,
+        0usize..7,
+        2usize..7,
+        2usize..7,
+        0u64..32,
+        0usize..4,
+    )
+        .prop_map(|(f1, f2, a, b, seed, isolated)| {
+            let g1 = planar_family(f1, a, b, seed);
+            let g2 = planar_family(f2, b, a, seed + 1);
+            let iso = CsrGraph::empty(isolated);
+            gg::disjoint_union(&[&g1, &g2, &iso])
+        })
+}
+
+/// Plants a subdivision of an obstruction into a planar host: `branch` vertices are
+/// host vertices, every required pair is joined by a path through fresh vertices
+/// (`len = 0` adds the edge directly; duplicates of host edges are deduplicated).
+fn plant_subdivision(
+    host: &CsrGraph,
+    branch: &[Vertex],
+    pairs: &[(usize, usize)],
+    lens: &[usize],
+) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(host.num_vertices(), host.num_edges() + 64);
+    b.extend_edges(host.edges());
+    let mut fresh = host.num_vertices() as Vertex;
+    for (k, &(i, j)) in pairs.iter().enumerate() {
+        let len = lens[k % lens.len().max(1)];
+        let (u, v) = (branch[i], branch[j]);
+        let mut prev = u;
+        for _ in 0..len {
+            b.ensure_vertex(fresh);
+            b.add_edge(prev, fresh);
+            prev = fresh;
+            fresh += 1;
+        }
+        if prev != u || !host.has_edge(u, v) {
+            b.add_edge(prev, v);
+        }
+    }
+    b.build()
+}
+
+/// Well-separated host vertices of a `w × h` grid to serve as branch vertices.
+fn grid_picks(w: usize, h: usize, count: usize) -> Vec<Vertex> {
+    let at = |r: usize, c: usize| (r * w + c) as Vertex;
+    let picks = [
+        at(0, 0),
+        at(0, w - 1),
+        at(h - 1, 0),
+        at(h - 1, w - 1),
+        at(h / 2, w / 2),
+        at(0, w / 2),
+    ];
+    picks[..count].to_vec()
+}
+
+const K5_PAIRS: [(usize, usize); 10] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (2, 3),
+    (2, 4),
+    (3, 4),
+];
+const K33_PAIRS: [(usize, usize); 9] = [
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (1, 3),
+    (1, 4),
+    (1, 5),
+    (2, 3),
+    (2, 4),
+    (2, 5),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_recovers_genus_zero_embedding(g in arb_planar_graph()) {
+        let e = planar_embedding(&g);
+        prop_assert!(e.is_ok(), "planar input rejected");
+        let e = e.unwrap();
+        prop_assert_eq!(e.validate(), Ok(()));
+        prop_assert!(e.is_planar());
+        prop_assert_eq!(e.genus(), 0);
+        prop_assert!(is_planar_graph(&g));
+    }
+
+    #[test]
+    fn engine_handles_disconnected_inputs(g in arb_disconnected_planar()) {
+        let e = planar_embedding(&g);
+        prop_assert!(e.is_ok(), "planar input rejected");
+        let e = e.unwrap();
+        prop_assert_eq!(e.validate(), Ok(()));
+        prop_assert!(e.is_planar());
+        // Euler characteristic is 2 per component on the sphere.
+        let c = psi_graph::connected_components(&g).num_components as i64;
+        prop_assert_eq!(e.euler_characteristic(), 2 * c);
+    }
+
+    #[test]
+    fn maximal_planar_face_count_is_exact(n in 4usize..120, seed in 0u64..64) {
+        // A maximal planar graph has exactly 2n − 4 (triangular) faces; the engine's
+        // embedding must agree with the generator-native one on that count.
+        let native = pg::stacked_triangulation_embedded(n, seed);
+        let e = planar_embedding(&native.graph).expect("stacked triangulation rejected");
+        prop_assert_eq!(e.num_faces(), 2 * n - 4);
+        prop_assert_eq!(e.num_faces(), native.num_faces());
+        prop_assert!(e.faces.iter().all(|f| f.len() == 3));
+    }
+
+    #[test]
+    fn hidden_k5_subdivisions_rejected(
+        w in 5usize..12,
+        h in 5usize..12,
+        lens in proptest::collection::vec(0usize..4, 10),
+    ) {
+        let host = gg::triangulated_grid(w, h);
+        let g = plant_subdivision(&host, &grid_picks(w, h, 5), &K5_PAIRS, &lens);
+        let witness = planar_embedding(&g).expect_err("hidden K5 subdivision accepted");
+        prop_assert!(witness.verify(&g), "unverifiable witness: {}", witness);
+        prop_assert!(!is_planar_graph(&g));
+    }
+
+    #[test]
+    fn hidden_k33_subdivisions_rejected(
+        w in 6usize..12,
+        h in 5usize..12,
+        lens in proptest::collection::vec(0usize..4, 9),
+    ) {
+        let host = gg::grid(w, h);
+        let g = plant_subdivision(&host, &grid_picks(w, h, 6), &K33_PAIRS, &lens);
+        let witness = planar_embedding(&g).expect_err("hidden K3,3 subdivision accepted");
+        prop_assert!(witness.verify(&g), "unverifiable witness: {}", witness);
+    }
+}
+
+#[test]
+fn canonical_obstructions_rejected_with_verified_witnesses() {
+    // The satellite checklist: K5, K3,3, K6, and a small dense random graph (an
+    // expander-like instance far above the planar edge bound).
+    let cases: Vec<(&str, CsrGraph)> = vec![
+        ("K5", gg::complete(5)),
+        ("K3,3", gg::complete_bipartite(3, 3)),
+        ("K6", gg::complete(6)),
+        ("expander", gg::erdos_renyi(20, 0.4, 3)),
+    ];
+    for (name, g) in cases {
+        match planar_embedding(&g) {
+            Ok(_) => panic!("{name} accepted as planar"),
+            Err(witness) => {
+                assert!(witness.verify(&g), "{name}: unverifiable witness {witness}");
+            }
+        }
+    }
+}
+
+#[test]
+fn k5_witness_inside_large_planar_host_is_exact_kind() {
+    // A subdivided K5 hidden in a big biconnected host: the witness must verify and
+    // classify as one of the two obstructions (K5 here — the host grid is bipartite
+    // only for the plain grid, so check kind on a known construction).
+    let host = gg::triangulated_grid(30, 30);
+    let lens = [2usize, 0, 3, 1, 2, 0, 1, 3, 2, 1];
+    let g = plant_subdivision(&host, &grid_picks(30, 30, 5), &K5_PAIRS, &lens);
+    let witness = planar_embedding(&g).expect_err("hidden K5 accepted");
+    assert!(witness.verify(&g));
+    assert!(matches!(
+        witness.kind,
+        KuratowskiKind::K5 | KuratowskiKind::K33
+    ));
+}

@@ -1,0 +1,93 @@
+//! Arbitrary-input front door: load a graph from a file, run the planarity engine,
+//! then query the pipeline — no generator-native embedding anywhere.
+//!
+//! Run with: `cargo run --release --example arbitrary_graph [path]`
+//!
+//! Without an argument the example writes a small sample edge list to a temp file
+//! first, so it is self-contained end to end: file → [`psi_graph::io`] →
+//! [`planar_subiso::embed_checked`] → decide / find / vertex connectivity.
+
+use planar_subiso::{ConnectivityMode, Pattern};
+use psi_graph::{io, CsrGraph};
+
+fn sample_file() -> std::path::PathBuf {
+    // A 6x6 triangulated grid written as a plain edge list — the kind of file a user
+    // would bring; the embedding is recomputed from scratch by the engine.
+    let g = psi_graph::generators::triangulated_grid(6, 6);
+    let path = std::env::temp_dir().join("psi_sample_graph.txt");
+    std::fs::write(&path, io::write_edge_list(&g)).expect("write sample graph");
+    path
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(sample_file);
+    println!("loading {}", path.display());
+    let graph = match io::read_graph_file(&path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot load graph: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "loaded: n = {}, m = {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Step zero: the LR planarity engine.
+    match planar_subiso::embed_checked(&graph) {
+        Ok(embedding) => {
+            embedding.validate().expect("engine embedding validates");
+            println!(
+                "planar: {} faces, genus {}",
+                embedding.num_faces(),
+                embedding.genus()
+            );
+        }
+        Err(witness) => {
+            println!("not planar: {witness}");
+            println!("certificate verifies: {}", witness.verify(&graph));
+            std::process::exit(0);
+        }
+    }
+
+    // The pipeline on the bare graph, now with its guarantees intact.
+    let c4 = Pattern::cycle(4);
+    match planar_subiso::find_one_auto(&c4, &graph).expect("planarity already checked") {
+        Some(occ) => {
+            assert!(planar_subiso::verify_occurrence(&c4, &graph, &occ));
+            println!("C4 found: {occ:?}");
+        }
+        None => println!("no C4 occurrence"),
+    }
+
+    // WholeGraph mode is exact but exponential in the face–vertex graph's treewidth —
+    // fine for small inputs, hopeless for big grids. For arbitrary user files, switch
+    // to the paper's near-linear randomised cover pipeline past a size threshold.
+    let mode = if graph.num_vertices() <= 50 {
+        ConnectivityMode::WholeGraph
+    } else {
+        ConnectivityMode::Cover { repetitions: 24 }
+    };
+    let conn = planar_subiso::vertex_connectivity_auto(&graph, mode, 1)
+        .expect("planarity already checked");
+    println!(
+        "vertex connectivity ({}): {} (cut witness: {:?})",
+        match mode {
+            ConnectivityMode::WholeGraph => "exact whole-graph mode",
+            ConnectivityMode::Cover { .. } => "randomised cover mode",
+        },
+        conn.connectivity,
+        conn.cut
+    );
+
+    // The same front door rejects a non-planar file with a checkable certificate.
+    let k5: CsrGraph = psi_graph::generators::complete(5);
+    let witness = planar_subiso::decide_auto(&c4, &k5).expect_err("K5 must be rejected");
+    println!("K5 front-door rejection: {witness}");
+    assert!(witness.verify(&k5));
+}

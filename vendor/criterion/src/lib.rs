@@ -3,10 +3,12 @@
 //! workspace vendors this stand-in; the root manifest points the `criterion`
 //! dependency here.
 //!
-//! The shim actually runs the benchmark closures and reports min / mean / max
-//! wall-clock time per iteration in a compact table — no statistics engine, no
-//! HTML reports, no command-line option parsing beyond recognising `--test`
-//! (run every benchmark exactly once, as real criterion does under `cargo test`).
+//! The shim actually runs the benchmark closures and reports min / median / mean /
+//! max wall-clock time per iteration plus the sample standard deviation in a compact
+//! table — no HTML reports, no command-line option parsing beyond recognising
+//! `--test` (run every benchmark exactly once, as real criterion does under
+//! `cargo test`). The summary statistics are also exposed programmatically as
+//! [`SampleStats`] for harnesses that post-process bench output.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -169,32 +171,80 @@ impl From<BenchmarkId> for BenchId {
     }
 }
 
+/// Summary statistics of one benchmark's timed samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleStats {
+    pub min: Duration,
+    pub median: Duration,
+    pub mean: Duration,
+    pub max: Duration,
+    /// Sample standard deviation (Bessel-corrected; zero for a single sample).
+    pub stddev: Duration,
+    pub samples: usize,
+}
+
+impl SampleStats {
+    /// Computes the summary of a non-empty sample set.
+    pub fn from_samples(results: &[Duration]) -> Option<SampleStats> {
+        if results.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Duration> = results.to_vec();
+        sorted.sort_unstable();
+        // Even sample counts average the two central elements, as real criterion does.
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2
+        };
+        let total: Duration = results.iter().sum();
+        let mean = total / results.len() as u32;
+        let mean_s = mean.as_secs_f64();
+        let stddev = if results.len() < 2 {
+            Duration::ZERO
+        } else {
+            let var = results
+                .iter()
+                .map(|d| (d.as_secs_f64() - mean_s).powi(2))
+                .sum::<f64>()
+                / (results.len() - 1) as f64;
+            Duration::from_secs_f64(var.sqrt())
+        };
+        Some(SampleStats {
+            min: sorted[0],
+            median,
+            mean,
+            max: *sorted.last().unwrap(),
+            stddev,
+            samples: results.len(),
+        })
+    }
+}
+
 fn report(group: &str, id: &str, results: &[Duration], throughput: Option<Throughput>) {
-    if results.is_empty() {
+    let Some(stats) = SampleStats::from_samples(results) else {
         println!("{group}/{id}: no samples");
         return;
-    }
-    let total: Duration = results.iter().sum();
-    let mean = total / results.len() as u32;
-    let min = results.iter().min().unwrap();
-    let max = results.iter().max().unwrap();
+    };
     let thr = match throughput {
         Some(Throughput::Elements(n)) => {
-            let per_sec = n as f64 / mean.as_secs_f64();
+            let per_sec = n as f64 / stats.mean.as_secs_f64();
             format!("  {per_sec:.3e} elem/s")
         }
         Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
-            let per_sec = n as f64 / mean.as_secs_f64();
+            let per_sec = n as f64 / stats.mean.as_secs_f64();
             format!("  {per_sec:.3e} B/s")
         }
         None => String::new(),
     };
     println!(
-        "{group}/{id}: [{} {} {}] ({} samples){thr}",
-        fmt_duration(*min),
-        fmt_duration(mean),
-        fmt_duration(*max),
-        results.len(),
+        "{group}/{id}: [min {} med {} mean {} max {}] σ {} ({} samples){thr}",
+        fmt_duration(stats.min),
+        fmt_duration(stats.median),
+        fmt_duration(stats.mean),
+        fmt_duration(stats.max),
+        fmt_duration(stats.stddev),
+        stats.samples,
     );
 }
 
@@ -290,5 +340,27 @@ mod tests {
         group.finish();
         // warm-up + one timed sample in test mode
         assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn sample_stats_summary() {
+        let ms = Duration::from_millis;
+        let stats = SampleStats::from_samples(&[ms(4), ms(2), ms(6), ms(2), ms(2)]).unwrap();
+        assert_eq!(stats.min, ms(2));
+        assert_eq!(stats.median, ms(2));
+        assert_eq!(stats.max, ms(6));
+        assert_eq!(stats.samples, 5);
+        // mean 3.2 ms, sample variance 3.2 ms² -> stddev ~1.789 ms
+        assert_eq!(stats.mean, Duration::from_micros(3200));
+        let sd_ms = stats.stddev.as_secs_f64() * 1000.0;
+        assert!((sd_ms - 1.78885).abs() < 1e-3, "stddev {sd_ms}");
+        // even sample counts average the central pair
+        let even = SampleStats::from_samples(&[ms(1), ms(2), ms(3), ms(10)]).unwrap();
+        assert_eq!(even.median, Duration::from_micros(2500));
+        assert!(SampleStats::from_samples(&[]).is_none());
+        assert_eq!(
+            SampleStats::from_samples(&[ms(7)]).unwrap().stddev,
+            Duration::ZERO
+        );
     }
 }

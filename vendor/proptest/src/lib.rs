@@ -251,6 +251,8 @@ impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
 
 /// `any::<T>()` — uniform over the whole domain of `T`.
 pub struct Any<T>(core::marker::PhantomData<T>);
@@ -270,7 +272,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Acceptable vector-length specifications for [`vec`].
+    /// Acceptable vector-length specifications for [`fn@vec`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -5,11 +5,11 @@
 //!
 //! Unlike the original sequential shim, this implementation is **genuinely parallel**:
 //!
-//! * [`pool`] provides a global, lazily-initialized work-stealing thread pool (sized by
+//! * `pool` (internal) provides a global, lazily-initialized work-stealing thread pool (sized by
 //!   the `PSI_THREADS` environment variable, default: available parallelism) plus
 //!   per-[`ThreadPool`] pools with worker deques, an injector queue for external
 //!   threads, and a blocking [`join`] that keeps stealing while it waits.
-//! * [`iter`] bridges `par_iter` / `into_par_iter` / `par_iter_mut` over indexed
+//! * `iter` (internal) bridges `par_iter` / `into_par_iter` / `par_iter_mut` over indexed
 //!   sources (slices, `Vec`s, integer ranges) onto the pool by recursive halving, with
 //!   order-preserving merges (deterministic `collect`), an associative [`reduce`], and
 //!   early-exit `find_map_any` / `find_any` via a shared atomic flag.
