@@ -11,7 +11,9 @@
 //! instead of a silently meaningless answer.
 
 use crate::connectivity::{vertex_connectivity, ConnectivityMode, ConnectivityResult};
+use crate::index::{IndexParams, PsiIndex};
 use crate::isomorphism::SubgraphIsomorphism;
+use crate::listing::ListingOutcome;
 use crate::pattern::Pattern;
 use psi_graph::{CsrGraph, Vertex};
 use psi_planar::{check_planarity, planar_embedding, Embedding, NonPlanarWitness};
@@ -49,13 +51,28 @@ pub fn find_one_auto(
     SubgraphIsomorphism::new(pattern.clone()).find_one_checked(target)
 }
 
-/// Lists all occurrences on an arbitrary graph (see [`decide_auto`]).
+/// Lists occurrences on an arbitrary graph (see [`decide_auto`]). The full
+/// [`ListingOutcome`] is returned so a truncated enumeration (the coin-flip loop
+/// hitting [`crate::listing::MAX_LISTING_ITERATIONS`]) surfaces as
+/// `complete == false` instead of silently looking exhaustive.
 pub fn list_all_auto(
     pattern: &Pattern,
     target: &CsrGraph,
-) -> Result<Vec<Vec<Vertex>>, Box<NonPlanarWitness>> {
+) -> Result<ListingOutcome, Box<NonPlanarWitness>> {
     planarity_gate(target)?;
-    Ok(SubgraphIsomorphism::new(pattern.clone()).list_all(target))
+    Ok(SubgraphIsomorphism::new(pattern.clone()).list_all_outcome(target))
+}
+
+/// Builds a [`PsiIndex`] from an arbitrary graph: the planarity engine supplies the
+/// embedding (rejecting non-planar inputs with the certificate), then the build-once
+/// / serve-many artifact is constructed over it. This is the front door for serving
+/// query batches against user-supplied targets — see [`crate::index`].
+pub fn build_index_auto(
+    target: &CsrGraph,
+    params: IndexParams,
+) -> Result<PsiIndex, Box<NonPlanarWitness>> {
+    let embedding = embed_checked(target)?;
+    Ok(PsiIndex::build(&embedding, params))
 }
 
 /// Computes planar vertex connectivity of a bare graph: the planarity engine supplies
@@ -152,10 +169,24 @@ mod tests {
     }
 
     #[test]
-    fn list_all_auto_gates_on_planarity() {
+    fn list_all_auto_gates_on_planarity_and_reports_completeness() {
         let g = gg::triangulated_grid(5, 5);
-        let triangles = list_all_auto(&Pattern::triangle(), &g).unwrap();
-        assert!(!triangles.is_empty());
+        let outcome = list_all_auto(&Pattern::triangle(), &g).unwrap();
+        assert!(!outcome.occurrences.is_empty());
+        assert!(
+            outcome.complete,
+            "small instance must enumerate exhaustively"
+        );
+        assert!(outcome.iterations > 0);
         assert!(list_all_auto(&Pattern::triangle(), &gg::complete_bipartite(3, 3)).is_err());
+    }
+
+    #[test]
+    fn build_index_auto_gates_on_planarity() {
+        let g = gg::triangulated_grid(8, 8);
+        let index = build_index_auto(&g, IndexParams::default()).unwrap();
+        let engine = crate::index::IndexedEngine::new(&index);
+        assert!(engine.decide(&Pattern::cycle(4)).unwrap());
+        assert!(build_index_auto(&gg::complete(5), IndexParams::default()).is_err());
     }
 }

@@ -20,7 +20,7 @@ use crate::cover::search_separating_cover;
 use crate::pattern::Pattern;
 use crate::separating::{find_separating_occurrence_with_stats, SeparatingInstance};
 use psi_graph::{CsrGraph, Vertex, INVALID_VERTEX};
-use psi_planar::{face_vertex_graph, Embedding};
+use psi_planar::{face_vertex_graph, Embedding, FaceVertexGraph};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How the separating-cycle searches are executed.
@@ -54,40 +54,77 @@ pub fn vertex_connectivity(
     mode: ConnectivityMode,
     seed: u64,
 ) -> ConnectivityResult {
-    let g = &embedding.graph;
-    let n = g.num_vertices();
-    // Degenerate and tiny cases: the definition requires at least c + 1 vertices.
-    if n <= 1 {
-        return ConnectivityResult {
-            connectivity: 0,
-            cut: Vec::new(),
-            states_explored: 0,
-        };
-    }
-    if !psi_graph::is_connected(g) {
-        return ConnectivityResult {
-            connectivity: 0,
-            cut: Vec::new(),
-            states_explored: 0,
-        };
-    }
-    if n == 2 {
-        return ConnectivityResult {
-            connectivity: 1,
-            cut: Vec::new(),
-            states_explored: 0,
-        };
-    }
-    let aps = psi_graph::articulation_points(g);
-    if let Some(&a) = aps.first() {
-        return ConnectivityResult {
-            connectivity: 1,
-            cut: vec![a],
-            states_explored: 0,
-        };
+    if let Some(early) = degenerate_connectivity(&embedding.graph) {
+        return early;
     }
     // G is 2-connected from here on; Lemma 5.1 applies.
     let fv = face_vertex_graph(embedding);
+    separating_cycle_connectivity(&embedding.graph, &fv, mode, seed)
+}
+
+/// [`vertex_connectivity`] against a **prebuilt** face–vertex graph.
+///
+/// The face–vertex construction is pure preprocessing — it depends only on the
+/// embedding, not on the query — so a build-once artifact
+/// ([`crate::index::PsiIndex`]) stores it and serves every connectivity query
+/// without re-deriving it. `fv` must be the face–vertex graph of an embedding of
+/// `graph` (`fv.num_original == graph.num_vertices()`).
+pub fn vertex_connectivity_with_fv(
+    graph: &CsrGraph,
+    fv: &FaceVertexGraph,
+    mode: ConnectivityMode,
+    seed: u64,
+) -> ConnectivityResult {
+    assert_eq!(
+        fv.num_original,
+        graph.num_vertices(),
+        "face–vertex graph does not belong to this target"
+    );
+    if let Some(early) = degenerate_connectivity(graph) {
+        return early;
+    }
+    separating_cycle_connectivity(graph, fv, mode, seed)
+}
+
+/// Degenerate and tiny cases decided on the substrate (the definition requires at
+/// least `c + 1` vertices): disconnected (`c = 0`), `K2`, and articulation points
+/// (`c = 1`).
+fn degenerate_connectivity(g: &CsrGraph) -> Option<ConnectivityResult> {
+    let n = g.num_vertices();
+    if n <= 1 || !psi_graph::is_connected(g) {
+        return Some(ConnectivityResult {
+            connectivity: 0,
+            cut: Vec::new(),
+            states_explored: 0,
+        });
+    }
+    if n == 2 {
+        return Some(ConnectivityResult {
+            connectivity: 1,
+            cut: Vec::new(),
+            states_explored: 0,
+        });
+    }
+    let aps = psi_graph::articulation_points(g);
+    if let Some(&a) = aps.first() {
+        return Some(ConnectivityResult {
+            connectivity: 1,
+            cut: vec![a],
+            states_explored: 0,
+        });
+    }
+    None
+}
+
+/// The separating-cycle loop of Lemma 5.1 on a 2-connected `g` with its face–vertex
+/// graph.
+fn separating_cycle_connectivity(
+    g: &CsrGraph,
+    fv: &FaceVertexGraph,
+    mode: ConnectivityMode,
+    seed: u64,
+) -> ConnectivityResult {
+    let n = g.num_vertices();
     let n_prime = fv.graph.num_vertices();
     let in_s: Vec<bool> = (0..n_prime).map(|v| fv.is_original(v as Vertex)).collect();
     let allowed = vec![true; n_prime];
@@ -186,6 +223,117 @@ fn search_with_cover(
         }
     }
     None
+}
+
+/// Maximum number of pairwise internally-vertex-disjoint `s`–`t` paths, capped at
+/// `cap` — by Menger's theorem, for non-adjacent pairs this is the minimum `s`–`t`
+/// vertex cut size. Planar callers pass `cap = 5` (Euler's formula bounds planar
+/// connectivity by 5), making the cost `O(cap · (n + m))`: unit-capacity augmenting
+/// paths on the vertex-split flow network, stopped at `cap`.
+///
+/// Adjacent pairs are fine: the direct edge counts as one (internally-vertex-
+/// disjoint) path, so the result is still well-defined — it just no longer equals a
+/// cut size, since no vertex cut separates adjacent vertices.
+///
+/// The function is read-only on `graph` (per-query scratch only), so batches of
+/// pairs run concurrently against one shared target — the
+/// [`crate::index::IndexedEngine::connectivity_batch`] front end does exactly that.
+pub fn st_connectivity_capped(graph: &CsrGraph, s: Vertex, t: Vertex, cap: usize) -> usize {
+    let n = graph.num_vertices();
+    assert!((s as usize) < n && (t as usize) < n, "s/t out of range");
+    assert_ne!(s, t, "s and t must differ");
+    if cap == 0 {
+        return 0;
+    }
+    // Vertex-split network: node 2v = v_in, 2v + 1 = v_out; split arcs carry
+    // capacity 1, edge arcs u_out → v_in capacity 1 (unit edge caps make the direct
+    // s–t edge count once, matching path semantics). Flow goes s_out → t_in.
+    let num_nodes = 2 * n;
+    let arc_pairs = n + graph.num_edges() * 2;
+    let mut to: Vec<u32> = Vec::with_capacity(arc_pairs * 2);
+    let mut res_cap: Vec<u8> = Vec::with_capacity(arc_pairs * 2);
+    let mut deg = vec![0u32; num_nodes];
+    let push_arc =
+        |to: &mut Vec<u32>, res_cap: &mut Vec<u8>, deg: &mut Vec<u32>, a: usize, b: usize| {
+            // forward arc 2i, reverse arc 2i + 1
+            to.push(b as u32);
+            res_cap.push(1);
+            to.push(a as u32);
+            res_cap.push(0);
+            deg[a] += 1;
+            deg[b] += 1;
+        };
+    for v in 0..n {
+        push_arc(&mut to, &mut res_cap, &mut deg, 2 * v, 2 * v + 1);
+    }
+    for (u, v) in graph.edges() {
+        let (u, v) = (u as usize, v as usize);
+        push_arc(&mut to, &mut res_cap, &mut deg, 2 * u + 1, 2 * v);
+        push_arc(&mut to, &mut res_cap, &mut deg, 2 * v + 1, 2 * u);
+    }
+    // CSR over arc ids (each arc id appears in its tail's list; reverse arcs too, so
+    // residual traversal is uniform).
+    let mut start = vec![0usize; num_nodes + 1];
+    for v in 0..num_nodes {
+        start[v + 1] = start[v] + deg[v] as usize;
+    }
+    let mut fill = start.clone();
+    let mut arc_ids = vec![0u32; to.len()];
+    for (arc, &head) in to.iter().enumerate() {
+        // the tail of arc `arc` is the head of its partner `arc ^ 1`
+        let tail = to[arc ^ 1] as usize;
+        let _ = head;
+        arc_ids[fill[tail]] = arc as u32;
+        fill[tail] += 1;
+    }
+
+    let source = 2 * s as usize + 1;
+    let sink = 2 * t as usize;
+    let mut flow = 0usize;
+    let mut parent_arc: Vec<u32> = vec![u32::MAX; num_nodes];
+    let mut queue: Vec<u32> = Vec::with_capacity(num_nodes);
+    while flow < cap {
+        // BFS for an augmenting path in the residual network.
+        parent_arc.iter_mut().for_each(|p| *p = u32::MAX);
+        queue.clear();
+        queue.push(source as u32);
+        parent_arc[source] = u32::MAX - 1; // visited marker for the source
+        let mut head = 0;
+        let mut reached = false;
+        'bfs: while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            for &arc in &arc_ids[start[v]..start[v + 1]] {
+                let arc = arc as usize;
+                if res_cap[arc] == 0 {
+                    continue;
+                }
+                let w = to[arc] as usize;
+                if parent_arc[w] != u32::MAX {
+                    continue;
+                }
+                parent_arc[w] = arc as u32;
+                if w == sink {
+                    reached = true;
+                    break 'bfs;
+                }
+                queue.push(w as u32);
+            }
+        }
+        if !reached {
+            break;
+        }
+        // Augment one unit along the parent chain.
+        let mut v = sink;
+        while v != source {
+            let arc = parent_arc[v] as usize;
+            res_cap[arc] -= 1;
+            res_cap[arc ^ 1] += 1;
+            v = to[arc ^ 1] as usize;
+        }
+        flow += 1;
+    }
+    flow
 }
 
 /// Whether removing `cut` disconnects the graph (used to verify witnesses).
@@ -292,6 +440,75 @@ mod tests {
         let result = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 1);
         assert_eq!(result.connectivity, 3);
         assert!(is_vertex_cut(&e.graph, &result.cut));
+    }
+
+    #[test]
+    fn st_connectivity_known_values() {
+        // path: one internal path
+        let p = psi_graph::generators::path(5);
+        assert_eq!(st_connectivity_capped(&p, 0, 4, 5), 1);
+        // cycle: two disjoint arcs
+        let c = psi_graph::generators::cycle(6);
+        assert_eq!(st_connectivity_capped(&c, 0, 3, 5), 2);
+        // cap is honoured
+        assert_eq!(st_connectivity_capped(&c, 0, 3, 1), 1);
+        assert_eq!(st_connectivity_capped(&c, 0, 3, 0), 0);
+        // K4 (adjacent pair): direct edge + two length-2 detours
+        let k4 = psi_graph::generators::complete(4);
+        assert_eq!(st_connectivity_capped(&k4, 0, 1, 5), 3);
+        // octahedron: antipodal vertices are non-adjacent with 4 disjoint paths
+        let oct = pg::octahedron().graph;
+        let (s, t) = (
+            0u32,
+            (0..6u32).find(|&v| v != 0 && !oct.has_edge(0, v)).unwrap(),
+        );
+        assert_eq!(st_connectivity_capped(&oct, s, t, 5), 4);
+        // disconnected pair
+        let two = psi_graph::generators::disjoint_union(&[
+            &psi_graph::generators::cycle(3),
+            &psi_graph::generators::cycle(3),
+        ]);
+        assert_eq!(st_connectivity_capped(&two, 0, 3, 5), 0);
+    }
+
+    #[test]
+    fn st_connectivity_matches_flow_baseline() {
+        let g = psi_graph::generators::random_stacked_triangulation(60, 11);
+        let n = g.num_vertices() as Vertex;
+        let mut checked = 0;
+        for s in 0..n {
+            for t in (s + 1)..n {
+                if g.has_edge(s, t) {
+                    continue; // the baseline saturates adjacent pairs by convention
+                }
+                let ours = st_connectivity_capped(&g, s, t, 5);
+                let baseline = psi_baselines::maxflow::local_vertex_connectivity(&g, s, t, 5);
+                assert_eq!(ours, baseline, "pair ({s}, {t})");
+                checked += 1;
+                if checked >= 200 {
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prebuilt_fv_matches_fresh_connectivity() {
+        for e in [
+            pg::wheel_embedded(8),
+            pg::octahedron(),
+            pg::grid_embedded(4, 4),
+            pg::cycle_embedded(9),
+            pg::stacked_triangulation_embedded(18, 5),
+        ] {
+            let fresh = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 1);
+            let fv = face_vertex_graph(&e);
+            let reused =
+                vertex_connectivity_with_fv(&e.graph, &fv, ConnectivityMode::WholeGraph, 1);
+            assert_eq!(fresh.connectivity, reused.connectivity);
+            assert_eq!(fresh.cut, reused.cut);
+            assert_eq!(fresh.states_explored, reused.states_explored);
+        }
     }
 
     #[test]

@@ -152,7 +152,7 @@ pub struct CoverStats {
 /// Windows are vertex-disjoint segments of `graph` (no edges cross segments), so a
 /// connected pattern occurrence in `graph` lies inside a single window and
 /// `local_to_global` translates it straight back to original vertex ids.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoverBatch {
     /// The disjoint union of the packed windows.
     pub graph: CsrGraph,
@@ -565,12 +565,17 @@ where
     F: Fn(CoverBatch) -> R + Sync,
 {
     let clustering = cover_clustering(graph, k, seed);
-    let (results, stats) = map_batches_of(graph, &clustering, d, min_vertices, batch_budget, f);
+    let (results, stats) =
+        map_cover_batches_for_clustering(graph, &clustering, d, min_vertices, batch_budget, f);
     (results, stats)
 }
 
-/// [`map_cover_batches`] over an explicit clustering.
-fn map_batches_of<R, F>(
+/// [`map_cover_batches`] over an explicit clustering — the single streaming driver
+/// every batch-producing entry point funnels through. Public so consumers that fix
+/// their own clustering (tests pinning adversarial cluster shapes, the index builder)
+/// reuse the exact sharded pipeline instead of a parallel construction, keeping
+/// emitted batches bit-identical across all entry points.
+pub fn map_cover_batches_for_clustering<R, F>(
     graph: &CsrGraph,
     clustering: &Clustering,
     d: usize,
@@ -629,7 +634,7 @@ pub fn build_cover_with_stats(
 ) -> (Cover, CoverStats) {
     let clustering = cover_clustering(graph, k, seed);
     // Budget 0 flushes after every window: one batch == one piece.
-    let (pieces, stats) = map_batches_of(graph, &clustering, d, 1, 0, |batch| {
+    let (pieces, stats) = map_cover_batches_for_clustering(graph, &clustering, d, 1, 0, |batch| {
         debug_assert_eq!(batch.num_windows(), 1);
         let (cluster, level_start, _) = batch.windows[0];
         CoverPiece {

@@ -154,32 +154,7 @@ impl SubgraphIsomorphism {
         btd: &BinaryTreeDecomposition,
         map: Option<&[Vertex]>,
     ) -> Option<Vec<Vertex>> {
-        // Decision pass without derivation tracking (tracking disables the
-        // lifted-side dedup, which is exponentially more expensive on no-instance
-        // windows), then re-derive only the occurrence-bearing subtree.
-        let decision = match self.config.strategy {
-            DpStrategy::PathParallel => {
-                run_parallel(graph, &self.pattern, btd, ParallelDpConfig::default()).0
-            }
-            DpStrategy::Sequential => run_sequential(graph, &self.pattern, btd, false),
-        };
-        if !decision.found() {
-            return None;
-        }
-        // Both engines produce identical tables, so locate the first (deepest, in
-        // postorder) node holding a complete state and re-derive that node's subtree
-        // with tracking — not the whole piece/batch.
-        let node = btd
-            .postorder()
-            .into_iter()
-            .find(|&v| decision.tables[v].iter().any(words_is_complete))
-            .expect("found() implies a complete state at some node");
-        let found = run_sequential_subtree(graph, &self.pattern, btd, node);
-        let occ = recover_occurrences(&found, btd, 1).into_iter().next()?;
-        Some(match map {
-            Some(map) => occ.into_iter().map(|local| map[local as usize]).collect(),
-            None => occ,
-        })
+        search_decomposed_with(self.config.strategy, &self.pattern, graph, btd, map)
     }
 
     /// Lists all occurrences with high probability (Section 4.2). See
@@ -201,6 +176,63 @@ impl SubgraphIsomorphism {
     pub fn count(&self, target: &CsrGraph) -> usize {
         self.list_all(target).len()
     }
+}
+
+/// Decision-only DP over one piece/batch: runs the chosen engine without derivation
+/// tracking and reports whether a complete match exists. Shared by the classic query
+/// path and the prebuilt-index engine ([`crate::index::IndexedEngine`]).
+pub(crate) fn decide_decomposed(
+    strategy: DpStrategy,
+    pattern: &Pattern,
+    graph: &CsrGraph,
+    btd: &BinaryTreeDecomposition,
+) -> bool {
+    let decision = match strategy {
+        DpStrategy::PathParallel => {
+            run_parallel(graph, pattern, btd, ParallelDpConfig::default()).0
+        }
+        DpStrategy::Sequential => run_sequential(graph, pattern, btd, false),
+    };
+    decision.found()
+}
+
+/// Runs the DP over an explicit decomposition and recovers one occurrence,
+/// translating local vertex ids back through `map`. Shared by
+/// [`SubgraphIsomorphism`] and the prebuilt-index engine
+/// ([`crate::index::IndexedEngine`]) — both split into a decision pass without
+/// derivation tracking (tracking disables the lifted-side dedup, which is
+/// exponentially more expensive on no-instance windows) followed by re-deriving only
+/// the occurrence-bearing subtree.
+pub(crate) fn search_decomposed_with(
+    strategy: DpStrategy,
+    pattern: &Pattern,
+    graph: &CsrGraph,
+    btd: &BinaryTreeDecomposition,
+    map: Option<&[Vertex]>,
+) -> Option<Vec<Vertex>> {
+    let decision = match strategy {
+        DpStrategy::PathParallel => {
+            run_parallel(graph, pattern, btd, ParallelDpConfig::default()).0
+        }
+        DpStrategy::Sequential => run_sequential(graph, pattern, btd, false),
+    };
+    if !decision.found() {
+        return None;
+    }
+    // Both engines produce identical tables, so locate the first (deepest, in
+    // postorder) node holding a complete state and re-derive that node's subtree
+    // with tracking — not the whole piece/batch.
+    let node = btd
+        .postorder()
+        .into_iter()
+        .find(|&v| decision.tables[v].iter().any(words_is_complete))
+        .expect("found() implies a complete state at some node");
+    let found = run_sequential_subtree(graph, pattern, btd, node);
+    let occ = recover_occurrences(&found, btd, 1).into_iter().next()?;
+    Some(match map {
+        Some(map) => occ.into_iter().map(|local| map[local as usize]).collect(),
+        None => occ,
+    })
 }
 
 /// Convenience wrapper: decide with default configuration.

@@ -24,6 +24,10 @@
 //! 6. [`separating`] / [`connectivity`] — S-separating subgraph isomorphism
 //!    (Section 5.2) and planar vertex connectivity via separating cycles in the
 //!    face–vertex graph (Sections 5.1, Lemma 5.2).
+//! 7. [`index`] — the versioned build-once / serve-many artifact: cover rounds,
+//!    embedding, face–vertex graph, and per-batch decompositions frozen into one
+//!    immutable [`index::PsiIndex`] (optionally serialised via [`psi_graph::io`]),
+//!    served concurrently by [`index::IndexedEngine`] batch queries.
 //!
 //! ## Quick start
 //!
@@ -44,6 +48,7 @@ pub mod cover;
 pub mod disconnected;
 pub mod dp;
 pub mod dp_parallel;
+pub mod index;
 pub mod isomorphism;
 pub mod listing;
 pub mod pattern;
@@ -52,17 +57,25 @@ pub mod state;
 
 pub use arena::{ArenaStats, StateArena, StateId};
 pub use auto::{
-    decide_auto, embed_checked, find_one_auto, list_all_auto, planarity_gate,
+    build_index_auto, decide_auto, embed_checked, find_one_auto, list_all_auto, planarity_gate,
     vertex_connectivity_auto,
 };
-pub use connectivity::{vertex_connectivity, ConnectivityMode, ConnectivityResult};
+pub use connectivity::{
+    st_connectivity_capped, vertex_connectivity, vertex_connectivity_with_fv, ConnectivityMode,
+    ConnectivityResult,
+};
 pub use cover::{
     batch_budget_for, build_cover, build_cover_with_stats, build_separating_cover,
-    map_cover_batches, search_cover, search_separating_cover, separating_cover_for_clustering,
-    Cover, CoverBatch, CoverPiece, CoverStats, SeparatingCoverPiece, DEFAULT_BATCH_BUDGET,
+    map_cover_batches, map_cover_batches_for_clustering, search_cover, search_separating_cover,
+    separating_cover_for_clustering, Cover, CoverBatch, CoverPiece, CoverStats,
+    SeparatingCoverPiece, DEFAULT_BATCH_BUDGET,
 };
 pub use dp::{run_sequential, run_sequential_subtree, DpResult, NodeTable};
 pub use dp_parallel::{run_parallel, ParallelDpConfig, ParallelDpStats};
+pub use index::{
+    FlatDecomposition, IndexLoadError, IndexParams, IndexedBatch, IndexedEngine, PsiIndex,
+    QueryError, CONNECTIVITY_CAP, FAST_PATH_NODE_BUDGET, INDEX_SCHEMA_VERSION,
+};
 pub use isomorphism::{decide, find_one, DpStrategy, QueryConfig, SubgraphIsomorphism};
 pub use listing::{count_distinct_images, list_all, list_all_outcome, ListingOutcome};
 pub use pattern::{verify_occurrence, Pattern};

@@ -161,6 +161,20 @@ impl CsrGraph {
     pub fn degree_sum(&self) -> usize {
         self.neighbors.len()
     }
+
+    /// The raw CSR offset array (`n + 1` entries); with
+    /// [`CsrGraph::csr_neighbors`] this is the flat serialised form consumed by
+    /// [`crate::io::encode_csr`].
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbour array (see [`CsrGraph::csr_offsets`]).
+    #[inline]
+    pub fn csr_neighbors(&self) -> &[Vertex] {
+        &self.neighbors
+    }
 }
 
 impl fmt::Debug for CsrGraph {

@@ -277,6 +277,457 @@ pub fn write_edge_list(graph: &CsrGraph) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Binary sectioned container (index artifacts)
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every sectioned binary file written by this workspace.
+pub const SECTION_MAGIC: [u8; 8] = *b"PSISECT\0";
+
+/// Maximum section-name length (names are stored NUL-padded in 8 bytes).
+pub const SECTION_NAME_LEN: usize = 8;
+
+/// FNV-1a 64-bit hash — the per-section payload checksum of the sectioned container.
+///
+/// Not cryptographic; it exists to turn silent file corruption (truncation aside,
+/// which the section table catches by itself) into a structured
+/// [`SectionReadError::ChecksumMismatch`] instead of a semantic failure deep inside
+/// payload decoding.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A failure while reading a sectioned binary file. Every variant names the part of
+/// the file it refers to, mirroring the line-numbered text-parser errors above.
+#[derive(Debug)]
+pub enum SectionReadError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`SECTION_MAGIC`].
+    BadMagic { found: [u8; 8] },
+    /// The file's schema version is not the one the reader supports.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The file ends before the header or section table is complete.
+    TruncatedHeader { file_len: usize },
+    /// A section-table name is not NUL-padded ASCII.
+    BadSectionName { index: usize },
+    /// Two sections share a name.
+    DuplicateSection { section: String },
+    /// A section's `[offset, offset + len)` range does not lie inside the file.
+    SectionOutOfBounds {
+        section: String,
+        offset: u64,
+        len: u64,
+        file_len: usize,
+    },
+    /// A section's payload bytes do not hash to the checksum recorded in the table.
+    ChecksumMismatch { section: String },
+}
+
+impl fmt::Display for SectionReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SectionReadError::Io(e) => write!(f, "io: {e}"),
+            SectionReadError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (not a sectioned PSI file)")
+            }
+            SectionReadError::UnsupportedVersion { found, supported } => {
+                write!(f, "schema version {found} unsupported (reader supports {supported})")
+            }
+            SectionReadError::TruncatedHeader { file_len } => {
+                write!(f, "file truncated inside header/section table ({file_len} bytes)")
+            }
+            SectionReadError::BadSectionName { index } => {
+                write!(f, "section {index}: name is not NUL-padded ASCII")
+            }
+            SectionReadError::DuplicateSection { section } => {
+                write!(f, "section {section:?} appears twice")
+            }
+            SectionReadError::SectionOutOfBounds {
+                section,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "section {section:?}: range [{offset}, {offset}+{len}) outside file of {file_len} bytes"
+            ),
+            SectionReadError::ChecksumMismatch { section } => {
+                write!(f, "section {section:?}: payload checksum mismatch (file corrupted)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SectionReadError {}
+
+impl From<std::io::Error> for SectionReadError {
+    fn from(e: std::io::Error) -> Self {
+        SectionReadError::Io(e)
+    }
+}
+
+/// An in-memory sectioned binary file: a schema version plus named byte payloads.
+///
+/// On disk the layout is `magic (8) | version (u32) | section count (u32) | table |
+/// payloads`, where each table entry is `name ([u8; 8], NUL-padded) | offset (u64,
+/// absolute) | len (u64) | fnv1a64 checksum (u64)`, everything little-endian.
+/// Payloads are opaque here — semantic encoding/decoding belongs to the caller
+/// (e.g. `planar_subiso`'s index artifact); this layer owns framing, versioning and
+/// corruption detection only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SectionedFile {
+    /// Caller-defined schema version, checked against the reader's expectation.
+    pub version: u32,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SectionedFile {
+    /// An empty container with the given schema version.
+    pub fn new(version: u32) -> Self {
+        SectionedFile {
+            version,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section. Panics on names longer than [`SECTION_NAME_LEN`] bytes,
+    /// non-ASCII names, embedded NULs, or duplicates — section names are compile-time
+    /// constants of the writer, not data.
+    pub fn push_section(&mut self, name: &str, payload: Vec<u8>) {
+        assert!(
+            name.len() <= SECTION_NAME_LEN && !name.is_empty(),
+            "section name {name:?} must be 1..={SECTION_NAME_LEN} bytes"
+        );
+        assert!(
+            name.bytes().all(|b| b.is_ascii() && b != 0),
+            "section name {name:?} must be ASCII without NULs"
+        );
+        assert!(
+            self.section(name).is_none(),
+            "duplicate section name {name:?}"
+        );
+        self.sections.push((name.to_string(), payload));
+    }
+
+    /// The payload of `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// Section names in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Serialises the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table_end = 8 + 4 + 4 + self.sections.len() * (SECTION_NAME_LEN + 24);
+        let total: usize = table_end + self.sections.iter().map(|(_, p)| p.len()).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&SECTION_MAGIC);
+        push_u32(&mut out, self.version);
+        push_u32(&mut out, self.sections.len() as u32);
+        let mut offset = table_end as u64;
+        for (name, payload) in &self.sections {
+            let mut name_bytes = [0u8; SECTION_NAME_LEN];
+            name_bytes[..name.len()].copy_from_slice(name.as_bytes());
+            out.extend_from_slice(&name_bytes);
+            push_u64(&mut out, offset);
+            push_u64(&mut out, payload.len() as u64);
+            push_u64(&mut out, fnv1a64(payload));
+            offset += payload.len() as u64;
+        }
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Parses a container from bytes, verifying magic, version, section-table sanity
+    /// and every payload checksum.
+    pub fn from_bytes(data: &[u8], supported_version: u32) -> Result<Self, SectionReadError> {
+        let mut r = SliceReader::new(data);
+        let magic = r.take_bytes(8).ok_or(SectionReadError::TruncatedHeader {
+            file_len: data.len(),
+        })?;
+        if magic != SECTION_MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(magic);
+            return Err(SectionReadError::BadMagic { found });
+        }
+        let truncated = || SectionReadError::TruncatedHeader {
+            file_len: data.len(),
+        };
+        let version = r.take_u32().ok_or_else(truncated)?;
+        if version != supported_version {
+            return Err(SectionReadError::UnsupportedVersion {
+                found: version,
+                supported: supported_version,
+            });
+        }
+        let count = r.take_u32().ok_or_else(truncated)? as usize;
+        let mut entries: Vec<(String, u64, u64, u64)> = Vec::with_capacity(count.min(1024));
+        for index in 0..count {
+            let name_bytes = r.take_bytes(SECTION_NAME_LEN).ok_or_else(truncated)?;
+            let end = name_bytes
+                .iter()
+                .position(|&b| b == 0)
+                .unwrap_or(SECTION_NAME_LEN);
+            if end == 0
+                || !name_bytes[..end].iter().all(|b| b.is_ascii())
+                || !name_bytes[end..].iter().all(|&b| b == 0)
+            {
+                return Err(SectionReadError::BadSectionName { index });
+            }
+            let name = String::from_utf8(name_bytes[..end].to_vec())
+                .map_err(|_| SectionReadError::BadSectionName { index })?;
+            let offset = r.take_u64().ok_or_else(truncated)?;
+            let len = r.take_u64().ok_or_else(truncated)?;
+            let checksum = r.take_u64().ok_or_else(truncated)?;
+            if entries.iter().any(|(n, _, _, _)| *n == name) {
+                return Err(SectionReadError::DuplicateSection { section: name });
+            }
+            entries.push((name, offset, len, checksum));
+        }
+        let mut sections = Vec::with_capacity(entries.len());
+        for (name, offset, len, checksum) in entries {
+            let start = usize::try_from(offset).ok();
+            let end = offset
+                .checked_add(len)
+                .and_then(|e| usize::try_from(e).ok());
+            let payload = match (start, end) {
+                (Some(s), Some(e)) if e <= data.len() && s <= e => &data[s..e],
+                _ => {
+                    return Err(SectionReadError::SectionOutOfBounds {
+                        section: name,
+                        offset,
+                        len,
+                        file_len: data.len(),
+                    })
+                }
+            };
+            if fnv1a64(payload) != checksum {
+                return Err(SectionReadError::ChecksumMismatch { section: name });
+            }
+            sections.push((name, payload.to_vec()));
+        }
+        Ok(SectionedFile { version, sections })
+    }
+
+    /// Writes the container to a file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a container from a file (see [`SectionedFile::from_bytes`]).
+    pub fn read_from(
+        path: impl AsRef<Path>,
+        supported_version: u32,
+    ) -> Result<Self, SectionReadError> {
+        let data = std::fs::read(path)?;
+        SectionedFile::from_bytes(&data, supported_version)
+    }
+}
+
+/// Appends a `u32` little-endian.
+#[inline]
+pub fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+#[inline]
+pub fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` slice little-endian, without a length prefix (callers frame).
+pub fn push_u32_slice(out: &mut Vec<u8>, vs: &[u32]) {
+    out.reserve(vs.len() * 4);
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// A little-endian byte cursor over a payload slice. All `take_*` methods return
+/// `None` past the end; callers convert that into their own labelled errors.
+pub struct SliceReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    /// A cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        SliceReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the cursor consumed every byte (decoders check this to reject
+    /// trailing garbage).
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `len` raw bytes.
+    pub fn take_bytes(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Takes a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Option<u32> {
+        self.take_bytes(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Takes a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Option<u64> {
+        self.take_bytes(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Takes `len` little-endian `u32`s.
+    pub fn take_u32_vec(&mut self, len: usize) -> Option<Vec<u32>> {
+        let bytes = self.take_bytes(len.checked_mul(4)?)?;
+        Some(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
+
+    /// Takes `len` little-endian `u64`s.
+    pub fn take_u64_vec(&mut self, len: usize) -> Option<Vec<u64>> {
+        let bytes = self.take_bytes(len.checked_mul(8)?)?;
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
+}
+
+/// A failure while decoding a serialised CSR graph (see [`decode_csr`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsrDecodeError {
+    /// The payload ends before the declared arrays do.
+    Truncated,
+    /// The declared vertex or neighbour count does not fit in memory addressing.
+    TooLarge { n: u64, total: u64 },
+    /// `offsets` is not non-decreasing, or does not end at the neighbour count.
+    BadOffsets { vertex: usize },
+    /// A neighbour id is `>= n`.
+    NeighborOutOfRange { vertex: usize, neighbor: u32 },
+    /// An adjacency list is not strictly increasing (unsorted or duplicated).
+    AdjacencyNotSorted { vertex: usize },
+    /// A self loop (the workspace's graphs are simple).
+    SelfLoop { vertex: usize },
+}
+
+impl fmt::Display for CsrDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrDecodeError::Truncated => write!(f, "payload truncated"),
+            CsrDecodeError::TooLarge { n, total } => {
+                write!(f, "declared sizes n={n}, degree-sum={total} too large")
+            }
+            CsrDecodeError::BadOffsets { vertex } => {
+                write!(f, "offset array broken at vertex {vertex}")
+            }
+            CsrDecodeError::NeighborOutOfRange { vertex, neighbor } => {
+                write!(f, "vertex {vertex}: neighbour {neighbor} out of range")
+            }
+            CsrDecodeError::AdjacencyNotSorted { vertex } => {
+                write!(f, "vertex {vertex}: adjacency not sorted/deduplicated")
+            }
+            CsrDecodeError::SelfLoop { vertex } => write!(f, "vertex {vertex}: self loop"),
+        }
+    }
+}
+
+impl std::error::Error for CsrDecodeError {}
+
+/// Serialises a CSR graph as `n (u64) | degree-sum (u64) | offsets (n+1 × u64) |
+/// neighbours (degree-sum × u32)`, little-endian.
+pub fn encode_csr(graph: &CsrGraph, out: &mut Vec<u8>) {
+    let offsets = graph.csr_offsets();
+    let neighbors = graph.csr_neighbors();
+    push_u64(out, graph.num_vertices() as u64);
+    push_u64(out, neighbors.len() as u64);
+    out.reserve(offsets.len() * 8 + neighbors.len() * 4);
+    for &o in offsets {
+        push_u64(out, o as u64);
+    }
+    push_u32_slice(out, neighbors);
+}
+
+/// Decodes a CSR graph written by [`encode_csr`], re-validating every structural
+/// invariant ([`CsrGraph::from_csr_parts`] only checks them in debug builds):
+/// monotone offsets ending at the neighbour count, in-range sorted deduplicated
+/// adjacencies, no self loops. Adjacency *symmetry* is not re-checked here (it is
+/// `O(m log m)`); the container checksum already rules out accidental corruption.
+pub fn decode_csr(r: &mut SliceReader) -> Result<CsrGraph, CsrDecodeError> {
+    let n = r.take_u64().ok_or(CsrDecodeError::Truncated)?;
+    let total = r.take_u64().ok_or(CsrDecodeError::Truncated)?;
+    let n_us = usize::try_from(n).map_err(|_| CsrDecodeError::TooLarge { n, total })?;
+    let total_us = usize::try_from(total).map_err(|_| CsrDecodeError::TooLarge { n, total })?;
+    if n_us.checked_add(1).is_none() || total_us.checked_mul(4).is_none() {
+        return Err(CsrDecodeError::TooLarge { n, total });
+    }
+    let raw_offsets = r.take_u64_vec(n_us + 1).ok_or(CsrDecodeError::Truncated)?;
+    let neighbors = r.take_u32_vec(total_us).ok_or(CsrDecodeError::Truncated)?;
+    let mut offsets = Vec::with_capacity(n_us + 1);
+    for (i, &o) in raw_offsets.iter().enumerate() {
+        let o = usize::try_from(o).map_err(|_| CsrDecodeError::BadOffsets { vertex: i })?;
+        if o > total_us || offsets.last().is_some_and(|&prev| o < prev) {
+            return Err(CsrDecodeError::BadOffsets { vertex: i });
+        }
+        offsets.push(o);
+    }
+    if *offsets.last().unwrap() != total_us {
+        return Err(CsrDecodeError::BadOffsets { vertex: n_us });
+    }
+    for u in 0..n_us {
+        let adj = &neighbors[offsets[u]..offsets[u + 1]];
+        for (i, &v) in adj.iter().enumerate() {
+            if v as usize >= n_us {
+                return Err(CsrDecodeError::NeighborOutOfRange {
+                    vertex: u,
+                    neighbor: v,
+                });
+            }
+            if v as usize == u {
+                return Err(CsrDecodeError::SelfLoop { vertex: u });
+            }
+            if i > 0 && adj[i - 1] >= v {
+                return Err(CsrDecodeError::AdjacencyNotSorted { vertex: u });
+            }
+        }
+    }
+    Ok(CsrGraph::from_csr_parts(offsets, neighbors))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +854,144 @@ mod tests {
         assert!(matches!(
             read_graph_file(dir.join("psi_io_absent_file.txt")),
             Err(GraphReadError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn sectioned_file_round_trip() {
+        let mut f = SectionedFile::new(7);
+        f.push_section("meta", vec![1, 2, 3]);
+        f.push_section("empty", Vec::new());
+        f.push_section("big", (0..1000u32).flat_map(|v| v.to_le_bytes()).collect());
+        let bytes = f.to_bytes();
+        let back = SectionedFile::from_bytes(&bytes, 7).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.section("meta"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(back.section("empty"), Some(&[][..]));
+        assert_eq!(back.section("absent"), None);
+        assert_eq!(
+            back.section_names().collect::<Vec<_>>(),
+            vec!["meta", "empty", "big"]
+        );
+        // byte-idempotent re-serialisation
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn sectioned_file_rejects_malformed_inputs() {
+        let mut f = SectionedFile::new(3);
+        f.push_section("data", vec![42; 64]);
+        let bytes = f.to_bytes();
+
+        // wrong magic
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            SectionedFile::from_bytes(&bad, 3),
+            Err(SectionReadError::BadMagic { .. })
+        ));
+
+        // version mismatch (both a newer file and a reader expecting another schema)
+        assert!(matches!(
+            SectionedFile::from_bytes(&bytes, 4),
+            Err(SectionReadError::UnsupportedVersion {
+                found: 3,
+                supported: 4
+            })
+        ));
+
+        // truncations at every prefix length either fail the header or a section range
+        for cut in [0, 4, 9, 13, 17, 25, 40, bytes.len() - 1] {
+            let err = SectionedFile::from_bytes(&bytes[..cut], 3).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SectionReadError::TruncatedHeader { .. }
+                        | SectionReadError::SectionOutOfBounds { .. }
+                        | SectionReadError::BadMagic { .. }
+                ),
+                "cut {cut}: unexpected {err:?}"
+            );
+        }
+
+        // a payload bit flip trips the checksum with the section named
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        match SectionedFile::from_bytes(&flipped, 3) {
+            Err(SectionReadError::ChecksumMismatch { section }) => assert_eq!(section, "data"),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csr_codec_round_trip_and_validation() {
+        for g in [
+            generators::triangulated_grid(6, 5),
+            generators::complete(5),
+            CsrGraph::empty(4),
+            CsrGraph::empty(0),
+        ] {
+            let mut out = Vec::new();
+            encode_csr(&g, &mut out);
+            let mut r = SliceReader::new(&out);
+            let back = decode_csr(&mut r).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(back, g);
+        }
+
+        // truncated payload
+        let mut out = Vec::new();
+        encode_csr(&generators::cycle(5), &mut out);
+        let cut = out.len() - 3;
+        assert_eq!(
+            decode_csr(&mut SliceReader::new(&out[..cut])),
+            Err(CsrDecodeError::Truncated)
+        );
+
+        // hand-built payloads with structural violations
+        fn raw(n: u64, offsets: &[u64], neighbors: &[u32]) -> Vec<u8> {
+            let mut out = Vec::new();
+            push_u64(&mut out, n);
+            push_u64(&mut out, neighbors.len() as u64);
+            for &o in offsets {
+                push_u64(&mut out, o);
+            }
+            push_u32_slice(&mut out, neighbors);
+            out
+        }
+        // decreasing offsets
+        let bad = raw(2, &[0, 2, 1], &[1, 0]);
+        assert!(matches!(
+            decode_csr(&mut SliceReader::new(&bad)),
+            Err(CsrDecodeError::BadOffsets { .. })
+        ));
+        // neighbour out of range
+        let bad = raw(2, &[0, 1, 2], &[5, 0]);
+        assert_eq!(
+            decode_csr(&mut SliceReader::new(&bad)),
+            Err(CsrDecodeError::NeighborOutOfRange {
+                vertex: 0,
+                neighbor: 5
+            })
+        );
+        // self loop
+        let bad = raw(2, &[0, 1, 2], &[0, 0]);
+        assert_eq!(
+            decode_csr(&mut SliceReader::new(&bad)),
+            Err(CsrDecodeError::SelfLoop { vertex: 0 })
+        );
+        // unsorted adjacency
+        let bad = raw(3, &[0, 2, 3, 3], &[2, 1, 0]);
+        assert_eq!(
+            decode_csr(&mut SliceReader::new(&bad)),
+            Err(CsrDecodeError::AdjacencyNotSorted { vertex: 0 })
+        );
+        // absurd declared size fails cleanly instead of allocating
+        let bad = raw(u64::MAX - 1, &[0], &[]);
+        assert!(matches!(
+            decode_csr(&mut SliceReader::new(&bad)),
+            Err(CsrDecodeError::TooLarge { .. }) | Err(CsrDecodeError::Truncated)
         ));
     }
 }
