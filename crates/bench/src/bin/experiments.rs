@@ -7,9 +7,9 @@
 
 use planar_subiso::{
     build_cover, build_cover_with_stats, find_separating_occurrence_with_stats, run_parallel,
-    search_cover, vertex_connectivity, ConnectivityMode, IndexParams, IndexedEngine,
-    ParallelDpConfig, Pattern, PsiIndex, SeparatingInstance, SubgraphIsomorphism,
-    DEFAULT_BATCH_BUDGET,
+    search_cover, vertex_connectivity, ConnectivityMode, DynamicPsiIndex, IndexParams,
+    IndexedEngine, ParallelDpConfig, Pattern, Psi, PsiIndex, SeparatingInstance,
+    SubgraphIsomorphism, DEFAULT_BATCH_BUDGET,
 };
 use psi_baselines::{eppstein_sequential_decide, flow_vertex_connectivity, ullmann_decide};
 use psi_bench::{size_sweep, table1_patterns, target_with_n};
@@ -79,6 +79,10 @@ fn main() {
         let check = args.iter().any(|a| a == "--check");
         bench_serve(check);
     }
+    if want("bench_dynamic") {
+        let check = args.iter().any(|a| a == "--check");
+        bench_dynamic(check);
+    }
 }
 
 /// One machine-readable measurement of the planarity engine.
@@ -143,7 +147,7 @@ fn grid_with_hidden_k5(side: usize) -> psi_graph::CsrGraph {
 /// instance (embedding-stripped triangulated grids plus a maximal planar stacked
 /// triangulation), the rejection path (witness extraction for a `K5` hidden in a
 /// large planar block), and the end-to-end arbitrary-graph front door
-/// (`decide_auto(C4)`, i.e. the LR planarity gate + cover pipeline). With `--check`,
+/// (`Psi::decide_in(C4)`, i.e. the LR planarity gate + cover pipeline). With `--check`,
 /// fresh medians are gated at 2x against the committed `BENCH_planarity.json` —
 /// the same nightly CI contract as `bench_cover`.
 fn bench_planarity(check: bool) {
@@ -223,7 +227,7 @@ fn bench_planarity(check: bool) {
         let mut all_ms = Vec::new();
         for _ in 0..3 {
             let start = Instant::now();
-            assert!(planar_subiso::decide_auto(&c4, &g).expect("grid rejected"));
+            assert!(Psi::decide_in(&c4, &g).expect("grid rejected"));
             all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
         }
         cases.push(PlanarityBenchCase {
@@ -705,6 +709,237 @@ fn bench_serve(check: bool) {
         }
         if regressed {
             eprintln!("bench_serve regression gate failed (>2x against committed baseline)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// bench_dynamic — machine-readable incremental-mutation baselines
+/// (`BENCH_dynamic.json`).
+///
+/// Measures the dynamic index at the headline `n = 10^6` size (a plain embedded
+/// grid, so cell-diagonal inserts stay planar and co-facial): opening the live
+/// engine, amortised single-edge insert and delete (256 spread-out cell diagonals
+/// per timed call — the paper-scale contrast is a full from-scratch rebuild per
+/// mutation, i.e. the `index_build_1m` cost in `BENCH_serve.json`), a mixed churn
+/// loop interleaving mutations with `decide(C4)` queries, and the freeze back to
+/// the immutable artifact. With `--check`, fresh medians gate >2x regressions
+/// against the committed `BENCH_dynamic.json` with the same absolute-slack rule
+/// as `bench_serve`.
+fn bench_dynamic(check: bool) {
+    println!("\n== bench_dynamic: incremental-mutation baselines -> BENCH_dynamic.json ==");
+    let baseline = std::fs::read_to_string("BENCH_dynamic.json").ok();
+    let mut cases: Vec<ServeBenchCase> = Vec::new();
+
+    let (w, h) = (1000usize, 1000usize);
+    let embedding = pg::grid_embedded(w, h);
+    let n = embedding.graph.num_vertices();
+    let params = IndexParams::default();
+
+    // Open: thaw the scratch build into the live mutable engine.
+    let mut all_ms = Vec::new();
+    let mut dynamic = None;
+    for _ in 0..3 {
+        let (built, ms) = timed(|| DynamicPsiIndex::build(&embedding, params));
+        all_ms.push(ms);
+        dynamic = Some(built);
+    }
+    let mut dynamic = dynamic.unwrap();
+    cases.push(ServeBenchCase {
+        name: "dynamic_open_1m",
+        n,
+        all_ms,
+        queries: 1,
+        bytes: 0,
+    });
+    drop(embedding);
+
+    // One round's worth of spread-out cell diagonals: distinct rows (37 and 331
+    // are units mod 998), so the cells — and the inserted edges — are distinct.
+    let mutations = 256usize;
+    let diagonals = |round: usize| -> Vec<(u32, u32)> {
+        (0..mutations)
+            .map(|i| {
+                let r = (37 * i + 331 * round) % (h - 2);
+                let c = (53 * i + 577 * round + 11) % (w - 2);
+                ((r * w + c) as u32, ((r + 1) * w + c + 1) as u32)
+            })
+            .collect()
+    };
+
+    // Amortised insert / delete: each round inserts 256 diagonals in one timed
+    // call, then deletes the same 256 in another, restoring the plain grid.
+    // Mutations are local repairs (clustering + face surgery + dirty marks);
+    // the deferred batch rebuild is timed as its own case (`dynamic_flush_1m`,
+    // the flush of one 256-insert backlog), so the split between mutation
+    // latency and maintenance throughput is explicit, not hidden.
+    let mut insert_ms = Vec::new();
+    let mut flush_ms = Vec::new();
+    let mut delete_ms = Vec::new();
+    for round in 0..3 {
+        let edges = diagonals(round);
+        let (_, ms) = timed(|| {
+            for &(u, v) in &edges {
+                dynamic.insert_edge(u, v).expect("planar diagonal rejected");
+            }
+        });
+        insert_ms.push(ms);
+        let (_, ms) = timed(|| dynamic.flush());
+        flush_ms.push(ms);
+        let (_, ms) = timed(|| {
+            for &(u, v) in &edges {
+                dynamic
+                    .delete_edge(u, v)
+                    .expect("inserted diagonal missing");
+            }
+        });
+        delete_ms.push(ms);
+        dynamic.flush(); // restore a clean engine for the next round
+    }
+    println!(
+        "  (dynamic_insert_1m amortised: {:.4} ms/mutation latency + {:.4} ms/mutation \
+         deferred flush; rebuild-per-mutation would cost the full dynamic_open_1m median)",
+        median_of(&insert_ms) / mutations as f64,
+        median_of(&flush_ms) / mutations as f64
+    );
+    cases.push(ServeBenchCase {
+        name: "dynamic_insert_1m",
+        n,
+        all_ms: insert_ms,
+        queries: mutations,
+        bytes: 0,
+    });
+    cases.push(ServeBenchCase {
+        name: "dynamic_flush_1m",
+        n,
+        all_ms: flush_ms,
+        queries: mutations,
+        bytes: 0,
+    });
+    cases.push(ServeBenchCase {
+        name: "dynamic_delete_1m",
+        n,
+        all_ms: delete_ms,
+        queries: mutations,
+        bytes: 0,
+    });
+
+    // Mixed churn: insert-delete pairs with a decide(C4) interleaved every 8
+    // pairs — the serve-while-mutating workload.
+    {
+        let c4 = Pattern::cycle(4);
+        let mut all_ms = Vec::new();
+        for round in 3..6 {
+            let edges = diagonals(round);
+            let (_, ms) = timed(|| {
+                for (i, &(u, v)) in edges.iter().take(128).enumerate() {
+                    dynamic.insert_edge(u, v).expect("planar diagonal rejected");
+                    dynamic
+                        .delete_edge(u, v)
+                        .expect("inserted diagonal missing");
+                    if i % 8 == 7 {
+                        assert!(dynamic.decide(&c4).expect("C4 query rejected"));
+                    }
+                }
+            });
+            all_ms.push(ms);
+        }
+        cases.push(ServeBenchCase {
+            name: "dynamic_churn_mixed_1m",
+            n,
+            all_ms,
+            queries: 256,
+            bytes: 0,
+        });
+    }
+
+    // Freeze: canonicalise the live state back into the immutable artifact
+    // (bit-identical to a from-scratch build of the current graph).
+    {
+        let mut all_ms = Vec::new();
+        let mut bytes = 0u64;
+        for _ in 0..3 {
+            let (frozen, ms) = timed(|| dynamic.freeze());
+            all_ms.push(ms);
+            bytes = frozen.to_bytes().len() as u64;
+        }
+        cases.push(ServeBenchCase {
+            name: "dynamic_freeze_1m",
+            n,
+            all_ms,
+            queries: 1,
+            bytes,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_dynamic/v1\",\n");
+    json.push_str(
+        "  \"notes\": \"incremental index mutation (PR 7): per-mutation cost is \
+         median_ms / queries; insert/delete are mutation latency (local repair \
+         + dirty marks), dynamic_flush_1m is the deferred batch rebuild of one \
+         256-insert backlog; the static alternative pays the dynamic_open_1m \
+         rebuild per mutation\",\n",
+    );
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n  \"cases\": [\n",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"all_ms\": [{}], \
+             \"queries\": {}, \"per_query_ms\": {:.6}, \"bytes\": {}}}{}\n",
+            c.name,
+            c.n,
+            c.median_ms(),
+            all.join(", "),
+            c.queries,
+            c.median_ms() / c.queries as f64,
+            c.bytes,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+        println!(
+            "{:<22} n {:>8}   median {:>9.2} ms   queries {:>4}   per-query {:>10.6} ms   bytes {:>11}",
+            c.name,
+            c.n,
+            c.median_ms(),
+            c.queries,
+            c.median_ms() / c.queries as f64,
+            c.bytes
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_dynamic.json", json).expect("write BENCH_dynamic.json");
+    println!("wrote BENCH_dynamic.json");
+
+    if check {
+        let Some(baseline) = baseline else {
+            println!("--check: no committed BENCH_dynamic.json baseline; skipping gate");
+            return;
+        };
+        let mut regressed = false;
+        for c in &cases {
+            let Some(old) = extract_case_median(&baseline, c.name) else {
+                println!("--check: case {} absent from baseline; skipping", c.name);
+                continue;
+            };
+            let fresh = c.median_ms();
+            let ratio = fresh / old;
+            let bad = ratio > 2.0 && fresh > old + 10.0;
+            let verdict = if bad { "REGRESSED" } else { "ok" };
+            println!(
+                "--check: {:<22} baseline {:>9.2} ms, fresh {:>9.2} ms, ratio {:>5.2}x  {}",
+                c.name, old, fresh, ratio, verdict
+            );
+            if bad {
+                regressed = true;
+            }
+        }
+        if regressed {
+            eprintln!("bench_dynamic regression gate failed (>2x against committed baseline)");
             std::process::exit(1);
         }
     }

@@ -19,7 +19,9 @@
 //! probability at least 1/2.
 
 pub mod clustering;
+pub mod incremental;
 pub mod shifts;
 
 pub use clustering::{cluster, cluster_parallel, Clustering};
+pub use incremental::DynamicClustering;
 pub use shifts::exponential_shifts;

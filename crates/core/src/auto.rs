@@ -1,14 +1,26 @@
 //! Arbitrary-graph entry points: run the planarity engine first, then the pipeline.
 //!
-//! The core query API ([`crate::isomorphism`]) takes a bare [`CsrGraph`] but *assumes*
-//! it is planar — the k-d cover guarantees (Theorem 2.4) and the connectivity
-//! reduction (Section 5.1) are only meaningful for planar inputs, and
-//! [`crate::connectivity::vertex_connectivity`] needs an embedding outright. These
-//! `_auto` variants close the gap for user-supplied instances (edge lists from
-//! [`psi_graph::io`], fuzzed inputs, …): they run the LR planarity engine
-//! ([`psi_planar::planar_embedding`]) as step zero, feed planar inputs to the
-//! pipeline, and reject non-planar inputs with a checkable Kuratowski certificate
-//! instead of a silently meaningless answer.
+//! **Deprecated in favour of the [`crate::psi::Psi`] facade.** The `_auto` free
+//! functions predate the unified front door; each now has a one-line equivalent:
+//!
+//! | old | new |
+//! |---|---|
+//! | `decide_auto(p, g)` | [`Psi::decide_in`](crate::Psi::decide_in)`(p, g)` |
+//! | `find_one_auto(p, g)` | [`Psi::find_one_in`](crate::Psi::find_one_in)`(p, g)` |
+//! | `list_all_auto(p, g)` | [`Psi::list_all_in`](crate::Psi::list_all_in)`(p, g)` |
+//! | `vertex_connectivity_auto(g, m, s)` | [`Psi::vertex_connectivity_of`](crate::Psi::vertex_connectivity_of)`(g, m, s)` |
+//! | `build_index_auto(g, params)` | [`Psi::builder()`](crate::Psi::builder)` … .open(g)?.freeze()` |
+//!
+//! The shims below keep the historical `Result<_, Box<NonPlanarWitness>>`
+//! signatures; the facade folds that and every other failure into one
+//! [`crate::PsiError`]. The rationale is unchanged: the core query API
+//! ([`crate::isomorphism`]) takes a bare [`CsrGraph`] but *assumes* it is planar —
+//! the k-d cover guarantees (Theorem 2.4) and the connectivity reduction
+//! (Section 5.1) are only meaningful for planar inputs — so arbitrary instances
+//! must pass the LR planarity engine first and non-planar inputs are rejected
+//! with a checkable Kuratowski certificate instead of a silently meaningless
+//! answer. [`embed_checked`] and [`planarity_gate`] remain the supported
+//! low-level gates.
 
 use crate::connectivity::{vertex_connectivity, ConnectivityMode, ConnectivityResult};
 use crate::index::{IndexParams, PsiIndex};
@@ -39,11 +51,17 @@ pub fn planarity_gate(target: &CsrGraph) -> Result<(), Box<NonPlanarWitness>> {
 /// planarity gate ([`planarity_gate`]; test phases only, no embedding is built),
 /// then the cover pipeline runs. Non-planar targets are rejected with a verifiable
 /// [`NonPlanarWitness`].
+#[deprecated(
+    note = "use `Psi::decide_in` (one-shot) or `Psi::builder().open(..)` (serve-many) instead"
+)]
+#[allow(deprecated)]
 pub fn decide_auto(pattern: &Pattern, target: &CsrGraph) -> Result<bool, Box<NonPlanarWitness>> {
     find_one_auto(pattern, target).map(|occ| occ.is_some() || pattern.k() == 0)
 }
 
 /// Finds one occurrence on an arbitrary graph (see [`decide_auto`]).
+#[deprecated(note = "use `Psi::find_one_in` instead")]
+#[allow(deprecated)]
 pub fn find_one_auto(
     pattern: &Pattern,
     target: &CsrGraph,
@@ -55,6 +73,7 @@ pub fn find_one_auto(
 /// [`ListingOutcome`] is returned so a truncated enumeration (the coin-flip loop
 /// hitting [`crate::listing::MAX_LISTING_ITERATIONS`]) surfaces as
 /// `complete == false` instead of silently looking exhaustive.
+#[deprecated(note = "use `Psi::list_all_in` instead")]
 pub fn list_all_auto(
     pattern: &Pattern,
     target: &CsrGraph,
@@ -67,6 +86,7 @@ pub fn list_all_auto(
 /// embedding (rejecting non-planar inputs with the certificate), then the build-once
 /// / serve-many artifact is constructed over it. This is the front door for serving
 /// query batches against user-supplied targets — see [`crate::index`].
+#[deprecated(note = "use `Psi::builder().open(..)?.freeze()` instead")]
 pub fn build_index_auto(
     target: &CsrGraph,
     params: IndexParams,
@@ -78,6 +98,7 @@ pub fn build_index_auto(
 /// Computes planar vertex connectivity of a bare graph: the planarity engine supplies
 /// the embedding the face–vertex construction (Section 5.1) requires, which until now
 /// only generator-native embeddings could.
+#[deprecated(note = "use `Psi::vertex_connectivity_of` instead")]
 pub fn vertex_connectivity_auto(
     target: &CsrGraph,
     mode: ConnectivityMode,
@@ -91,6 +112,7 @@ impl SubgraphIsomorphism {
     /// [`SubgraphIsomorphism::find_one`] behind the planarity gate: the target is
     /// LR-tested and embedded first, and non-planar targets return the certificate
     /// instead of an answer whose cover guarantees would be void.
+    #[deprecated(note = "use `Psi::find_one_in` instead")]
     pub fn find_one_checked(
         &self,
         target: &CsrGraph,
@@ -101,6 +123,8 @@ impl SubgraphIsomorphism {
 
     /// [`SubgraphIsomorphism::decide`] behind the planarity gate (see
     /// [`SubgraphIsomorphism::find_one_checked`]).
+    #[deprecated(note = "use `Psi::decide_in` instead")]
+    #[allow(deprecated)]
     pub fn decide_checked(&self, target: &CsrGraph) -> Result<bool, Box<NonPlanarWitness>> {
         Ok(self.find_one_checked(target)?.is_some() || self.pattern().k() == 0)
     }
@@ -108,6 +132,8 @@ impl SubgraphIsomorphism {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::pattern::verify_occurrence;
     use psi_graph::generators as gg;

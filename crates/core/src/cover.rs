@@ -23,7 +23,11 @@
 //! fewer than `min_vertices` vertices are never constructed at all, and constructed
 //! windows stream out as size-bucketed [`CoverBatch`]es: small windows are packed
 //! back-to-back into one disjoint-union graph (amortising tree-decomposition and DP
-//! setup), windows at least as large as the batch budget travel alone. Consumers
+//! setup), windows at least as large as the batch budget travel alone. Batches are
+//! *cluster-pure* (flushed at every cluster boundary) and stamped with the cluster's
+//! centre vertex, so the batch stream is a function of the cluster set alone — not of
+//! shard boundaries or dense cluster numbering — which is what lets the dynamic index
+//! rebuild single clusters and splice the results in bit-identically. Consumers
 //! ([`crate::isomorphism`], [`crate::listing`], [`crate::connectivity`]) process
 //! batches as they appear and stop all shards through a shared flag as soon as a
 //! witness is found, instead of materialising the full `O(nd)`-vertex piece list
@@ -37,7 +41,9 @@
 //! (Figure 7); merged vertices are excluded from the allowed image set.
 
 use psi_cluster::{cluster_parallel, Clustering};
-use psi_graph::{CsrGraph, EpochMap, EpochSet, GraphBuilder, UnionFind, Vertex, INVALID_VERTEX};
+use psi_graph::{
+    CsrGraph, EpochMap, EpochSet, GraphBuilder, NeighborSource, UnionFind, Vertex, INVALID_VERTEX,
+};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -75,7 +81,9 @@ pub struct CoverPiece {
     pub graph: CsrGraph,
     /// `local_to_global[i]` is the original id of local vertex `i`.
     pub local_to_global: Vec<Vertex>,
-    /// Dense id of the cluster this piece was cut from.
+    /// Centre vertex of the cluster this piece was cut from. (A centre vertex, not a
+    /// dense cluster id: dense ids renumber globally whenever the centre set changes,
+    /// while centre stamps survive incremental updates of untouched clusters.)
     pub cluster: u32,
     /// The BFS level the window starts at.
     pub level_start: u32,
@@ -158,8 +166,9 @@ pub struct CoverBatch {
     pub graph: CsrGraph,
     /// Original vertex id of every union vertex.
     pub local_to_global: Vec<Vertex>,
-    /// `(cluster, level_start, vertex offset into the union)` per packed window, in
-    /// emission order.
+    /// `(cluster centre vertex, level_start, vertex offset into the union)` per
+    /// packed window, in emission order. All windows of a batch come from the same
+    /// cluster (batches are cluster-pure, see [`emit_cluster_batches`]).
     pub windows: Vec<(u32, u32, u32)>,
 }
 
@@ -230,7 +239,7 @@ impl CoverBatch {
 
 /// Shared atomic counters of one pass.
 #[derive(Default)]
-struct PassCounters {
+pub(crate) struct PassCounters {
     pieces: AtomicUsize,
     skipped_small: AtomicUsize,
     batches: AtomicUsize,
@@ -276,15 +285,56 @@ fn shard_ranges(clustering: &Clustering) -> Vec<(u32, u32)> {
     shards
 }
 
-/// Per-shard reusable scratch: every array is sized by the shard's member count and
-/// logically cleared per cluster/window by an epoch bump.
-struct ShardScratch {
+/// One cluster as the streaming emitter sees it: the BFS root, a membership oracle,
+/// and a dense scratch-slot mapping for the cluster's vertices.
+///
+/// The full build implements this over a [`Clustering`]'s flat member layout
+/// ([`StaticClusterView`]); the dynamic index implements it over the
+/// [`psi_cluster::DynamicClustering`] centre oracle with vertex ids as slots. Both
+/// feed the same [`emit_cluster_batches`] — the single code path that guarantees an
+/// incremental per-cluster rebuild is bit-identical to the from-scratch build.
+pub(crate) trait ClusterView {
+    /// The cluster's centre vertex (BFS root and canonical window stamp).
+    fn center(&self) -> Vertex;
+    /// Whether `v` belongs to this cluster.
+    fn contains(&self, v: Vertex) -> bool;
+    /// Dense scratch slot of `v` (only called when `contains(v)` holds).
+    fn slot(&self, v: Vertex) -> usize;
+}
+
+/// Cluster `cid` of a dense [`Clustering`], slotted by shard-relative member position.
+pub(crate) struct StaticClusterView<'a> {
+    clustering: &'a Clustering,
     /// Base offset of the shard inside the clustering's flat member array.
     base: usize,
-    /// BFS visited set, keyed by member position − base (levels are delimited by
+    cid: u32,
+}
+
+impl ClusterView for StaticClusterView<'_> {
+    #[inline]
+    fn center(&self) -> Vertex {
+        self.clustering.members_of(self.cid)[0]
+    }
+
+    #[inline]
+    fn contains(&self, v: Vertex) -> bool {
+        self.clustering.cluster_of[v as usize] == self.cid
+    }
+
+    #[inline]
+    fn slot(&self, v: Vertex) -> usize {
+        self.clustering.member_position(v) - self.base
+    }
+}
+
+/// Reusable per-cluster scratch: every array is sized by the slot space (the shard's
+/// member count for the static build, `n` for the dynamic rebuild) and logically
+/// cleared per cluster/window by an epoch bump.
+pub(crate) struct ClusterScratch {
+    /// BFS visited set, keyed by [`ClusterView::slot`] (levels are delimited by
     /// `level_starts`, so no per-vertex distance needs storing).
     visited: EpochSet,
-    /// Window-local (or union-local) vertex id, keyed by member position − base.
+    /// Window-local (or union-local) vertex id, keyed by [`ClusterView::slot`].
     local_id: EpochMap<u32>,
     /// BFS visitation order of the current cluster (each level sorted by vertex id).
     order: Vec<Vertex>,
@@ -292,34 +342,29 @@ struct ShardScratch {
     level_starts: Vec<u32>,
 }
 
-impl ShardScratch {
-    fn new(clustering: &Clustering, range: (u32, u32)) -> ShardScratch {
-        let base = clustering.member_start(range.0);
-        let end = clustering.member_start(range.1);
-        ShardScratch {
-            base,
-            visited: EpochSet::new(end - base),
-            local_id: EpochMap::new(end - base),
+impl ClusterScratch {
+    pub(crate) fn new(slots: usize) -> ClusterScratch {
+        ClusterScratch {
+            visited: EpochSet::new(slots),
+            local_id: EpochMap::new(slots),
             order: Vec::new(),
             level_starts: Vec::new(),
         }
     }
 
-    fn bytes(&self) -> usize {
+    pub(crate) fn bytes(&self) -> usize {
         self.visited.bytes() + self.local_id.bytes()
     }
 
     /// Level-synchronous BFS from the cluster centre, restricted to the cluster by the
-    /// global `cluster_of` oracle (no membership mask is materialised). Each level of
-    /// `order` is sorted by vertex id, matching the canonical window layout.
-    fn bfs_cluster(&mut self, graph: &CsrGraph, clustering: &Clustering, cid: u32) {
+    /// membership oracle (no membership mask is materialised). Each level of `order`
+    /// is sorted by vertex id, matching the canonical window layout.
+    fn bfs_cluster<G: NeighborSource + ?Sized, V: ClusterView>(&mut self, graph: &G, view: &V) {
         self.visited.clear();
         self.order.clear();
         self.level_starts.clear();
-        let members = clustering.members_of(cid);
-        let root = members[0];
-        self.visited
-            .insert(clustering.member_position(root) - self.base);
+        let root = view.center();
+        self.visited.insert(view.slot(root));
         self.order.push(root);
         self.level_starts.push(0);
         self.level_starts.push(1);
@@ -331,12 +376,8 @@ impl ShardScratch {
             );
             for i in lo..hi {
                 let u = self.order[i];
-                for &w in graph.neighbors(u) {
-                    if clustering.cluster_of[w as usize] == cid
-                        && self
-                            .visited
-                            .insert(clustering.member_position(w) - self.base)
-                    {
+                for &w in graph.neighbors_of(u) {
+                    if view.contains(w) && self.visited.insert(view.slot(w)) {
                         self.order.push(w);
                     }
                 }
@@ -363,7 +404,7 @@ impl ShardScratch {
 }
 
 /// Accumulates windows into one disjoint-union batch.
-struct BatchBuilder {
+pub(crate) struct BatchBuilder {
     budget: usize,
     offsets: Vec<usize>,
     neighbors: Vec<Vertex>,
@@ -372,7 +413,7 @@ struct BatchBuilder {
 }
 
 impl BatchBuilder {
-    fn new(budget: usize) -> BatchBuilder {
+    pub(crate) fn new(budget: usize) -> BatchBuilder {
         BatchBuilder {
             budget,
             offsets: vec![0],
@@ -390,32 +431,26 @@ impl BatchBuilder {
         self.local_to_global.len() >= self.budget
     }
 
-    /// Appends the induced subgraph of `verts` (all inside cluster `cid`) as one more
-    /// disjoint segment of the union.
-    #[allow(clippy::too_many_arguments)]
-    fn append_window(
+    /// Appends the induced subgraph of `verts` (all inside `view`'s cluster) as one
+    /// more disjoint segment of the union, stamped with the cluster's centre vertex.
+    fn append_window<G: NeighborSource + ?Sized, V: ClusterView>(
         &mut self,
-        graph: &CsrGraph,
-        clustering: &Clustering,
-        cid: u32,
+        graph: &G,
+        view: &V,
         level_start: u32,
         verts: &[Vertex],
-        scratch_base: usize,
         local_id: &mut EpochMap<u32>,
     ) {
         let offset = self.local_to_global.len() as u32;
         local_id.clear();
         for (i, &v) in verts.iter().enumerate() {
-            local_id.insert(
-                clustering.member_position(v) - scratch_base,
-                offset + i as u32,
-            );
+            local_id.insert(view.slot(v), offset + i as u32);
         }
         for &v in verts {
             let row_start = self.neighbors.len();
-            for &w in graph.neighbors(v) {
-                if clustering.cluster_of[w as usize] == cid {
-                    if let Some(l) = local_id.get(clustering.member_position(w) - scratch_base) {
+            for &w in graph.neighbors_of(v) {
+                if view.contains(w) {
+                    if let Some(l) = local_id.get(view.slot(w)) {
                         self.neighbors.push(l);
                     }
                 }
@@ -426,7 +461,7 @@ impl BatchBuilder {
             self.offsets.push(self.neighbors.len());
         }
         self.local_to_global.extend_from_slice(verts);
-        self.windows.push((cid, level_start, offset));
+        self.windows.push((view.center(), level_start, offset));
     }
 
     fn take(&mut self) -> CoverBatch {
@@ -439,6 +474,60 @@ impl BatchBuilder {
             windows: std::mem::take(&mut self.windows),
         }
     }
+}
+
+/// Streams every window batch of one cluster: BFS from the centre, cut the windows
+/// `[i, i + d]`, pack them into `batch`, flush on budget **and at the cluster's end**.
+///
+/// Batches are therefore *cluster-pure* — no batch ever spans two clusters — so a
+/// round's batch stream is the concatenation of independent per-cluster streams in
+/// ascending centre-vertex order, regardless of how clusters were sharded. The full
+/// build ([`run_shard`]) and the dynamic index's per-cluster rebuild both funnel
+/// through this one function; together with the centre-vertex window stamps (dense
+/// cluster ids renumber globally when the centre set changes) this makes an
+/// incrementally maintained round bit-identical to a from-scratch rebuild *by
+/// construction*.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_cluster_batches<T, G: NeighborSource + ?Sized, V: ClusterView>(
+    graph: &G,
+    view: &V,
+    d: usize,
+    min_vertices: usize,
+    scratch: &mut ClusterScratch,
+    batch: &mut BatchBuilder,
+    counters: &PassCounters,
+    emit: &mut dyn FnMut(CoverBatch) -> Option<T>,
+) -> Option<T> {
+    debug_assert!(batch.is_empty(), "batches must not span clusters");
+    scratch.bfs_cluster(graph, view);
+    let max_level = scratch.max_level();
+    // Only windows starting at 0 ..= max_level - d are needed; later windows are
+    // subsets of the last one (Figure 3).
+    let last_start = max_level.saturating_sub(d);
+    for start in 0..=last_start {
+        let lo = scratch.level_starts[start] as usize;
+        let hi = scratch.level_starts[((start + d).min(max_level)) + 1] as usize;
+        if hi - lo < min_vertices {
+            counters.skipped_small.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        counters.pieces.fetch_add(1, Ordering::Relaxed);
+        let window: Vec<Vertex> = scratch.window(start, d).to_vec();
+        batch.append_window(graph, view, start as u32, &window, &mut scratch.local_id);
+        if batch.full() {
+            counters.batches.fetch_add(1, Ordering::Relaxed);
+            if let Some(hit) = emit(batch.take()) {
+                return Some(hit);
+            }
+        }
+    }
+    if !batch.is_empty() {
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = emit(batch.take()) {
+            return Some(hit);
+        }
+    }
+    None
 }
 
 /// Runs one shard: BFS every cluster of `range` over the shared scratch, stream out
@@ -456,56 +545,34 @@ fn run_shard<T>(
     counters: &PassCounters,
     emit: &mut dyn FnMut(CoverBatch) -> Option<T>,
 ) -> Option<T> {
-    let mut scratch = ShardScratch::new(clustering, range);
+    let base = clustering.member_start(range.0);
+    let mut scratch = ClusterScratch::new(clustering.member_start(range.1) - base);
     counters
         .scratch_bytes
         .fetch_add(scratch.bytes(), Ordering::Relaxed);
     let mut batch = BatchBuilder::new(batch_budget);
-    let mut flush = |batch: &mut BatchBuilder| -> Option<T> {
-        if batch.is_empty() {
-            return None;
-        }
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        emit(batch.take())
-    };
     for cid in range.0..range.1 {
         if stop.load(Ordering::Relaxed) {
             return None;
         }
-        scratch.bfs_cluster(graph, clustering, cid);
-        let max_level = scratch.max_level();
-        // Only windows starting at 0 ..= max_level - d are needed; later windows are
-        // subsets of the last one (Figure 3).
-        let last_start = max_level.saturating_sub(d);
-        for start in 0..=last_start {
-            let lo = scratch.level_starts[start] as usize;
-            let hi = scratch.level_starts[((start + d).min(max_level)) + 1] as usize;
-            if hi - lo < min_vertices {
-                counters.skipped_small.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            counters.pieces.fetch_add(1, Ordering::Relaxed);
-            let window: Vec<Vertex> = scratch.window(start, d).to_vec();
-            batch.append_window(
-                graph,
-                clustering,
-                cid,
-                start as u32,
-                &window,
-                scratch.base,
-                &mut scratch.local_id,
-            );
-            if batch.full() {
-                if let Some(hit) = flush(&mut batch) {
-                    stop.store(true, Ordering::Relaxed);
-                    return Some(hit);
-                }
-            }
+        let view = StaticClusterView {
+            clustering,
+            base,
+            cid,
+        };
+        if let Some(hit) = emit_cluster_batches(
+            graph,
+            &view,
+            d,
+            min_vertices,
+            &mut scratch,
+            &mut batch,
+            counters,
+            emit,
+        ) {
+            stop.store(true, Ordering::Relaxed);
+            return Some(hit);
         }
-    }
-    if let Some(hit) = flush(&mut batch) {
-        stop.store(true, Ordering::Relaxed);
-        return Some(hit);
     }
     None
 }
@@ -901,15 +968,22 @@ fn search_separating_clustering<T: Send>(
     let shards = shard_ranges(clustering);
     let stop = AtomicBool::new(false);
     shards.par_iter().find_map_any(|&range| {
-        let mut scratch = ShardScratch::new(clustering, range);
+        let base = clustering.member_start(range.0);
+        let mut scratch = ClusterScratch::new(clustering.member_start(range.1) - base);
         for cid in range.0..range.1 {
             if stop.load(Ordering::Relaxed) {
                 return None;
             }
+            let view = StaticClusterView {
+                clustering,
+                base,
+                cid,
+            };
             if let Some(hit) = separating_one_cluster(
                 graph,
                 clustering,
                 &round,
+                &view,
                 cid,
                 d,
                 in_s,
@@ -931,15 +1005,16 @@ fn separating_one_cluster<T>(
     graph: &CsrGraph,
     clustering: &Clustering,
     round: &SepRound,
+    view: &StaticClusterView<'_>,
     cid: u32,
     d: usize,
     in_s: &[bool],
     min_vertices: usize,
-    scratch: &mut ShardScratch,
+    scratch: &mut ClusterScratch,
     emit: &impl Fn(SeparatingCoverPiece) -> Option<T>,
 ) -> Option<T> {
     let members = clustering.members_of(cid);
-    scratch.bfs_cluster(graph, clustering, cid);
+    scratch.bfs_cluster(graph, view);
     let max_level = scratch.max_level();
     let last_start = max_level.saturating_sub(d);
 
@@ -950,9 +1025,7 @@ fn separating_one_cluster<T>(
     // member–member or member–blob.
     scratch.local_id.clear();
     for (i, &v) in members.iter().enumerate() {
-        scratch
-            .local_id
-            .insert(clustering.member_position(v) - scratch.base, i as u32);
+        scratch.local_id.insert(view.slot(v), i as u32);
     }
     let mut blobs = round.blob_map(cid);
     let members_n = members.len();
@@ -960,11 +1033,11 @@ fn separating_one_cluster<T>(
     for (i, &v) in members.iter().enumerate() {
         let lv = i as Vertex;
         for &w in graph.neighbors(v) {
-            if clustering.cluster_of[w as usize] == cid {
+            if view.contains(w) {
                 if v < w {
                     let lw = scratch
                         .local_id
-                        .get(clustering.member_position(w) - scratch.base)
+                        .get(view.slot(w))
                         .expect("cluster member has a local id");
                     edges.push((lv, lw));
                 }
@@ -992,7 +1065,7 @@ fn separating_one_cluster<T>(
         for &v in window {
             let l = scratch
                 .local_id
-                .get(clustering.member_position(v) - scratch.base)
+                .get(view.slot(v))
                 .expect("window vertex has a local id");
             window_local[l as usize] = true;
         }

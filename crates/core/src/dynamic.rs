@@ -1,0 +1,1076 @@
+//! Dynamic index mutation: incremental cover maintenance under edge flips.
+//!
+//! [`DynamicPsiIndex`] is the mutable counterpart of the immutable
+//! [`PsiIndex`] artifact. It keeps, per stored round, the live
+//! [`DynamicClustering`] state of the exponential-start-time clustering plus the
+//! round's batches grouped by cluster centre. An edge flip then costs only
+//!
+//! 1. an embedding repair — a face split/merge for the four local cases
+//!    (chord inside a face, cross-component join, bridge deletion, ordinary
+//!    deletion), or a planarity re-test *scoped to the affected biconnected
+//!    block* with a full re-embed as the structural fallback,
+//! 2. a per-round clustering repair (lazy Dijkstra over the provably affected
+//!    vertices only — see [`psi_cluster::incremental`]),
+//! 3. *marking dirty* exactly the clusters whose membership or induced subgraph
+//!    changed. Their batches are rebuilt lazily — by the next query, freeze, or
+//!    explicit [`DynamicPsiIndex::flush`] — through [`emit_cluster_batches`],
+//!    the same single code path the from-scratch build uses. Deferral is what
+//!    makes mutations cheap at scale: the flip itself is a local repair, and a
+//!    cluster hit by many flips between two queries is rebuilt once, not once
+//!    per flip.
+//!
+//! Because batches are cluster-pure, window stamps carry the centre *vertex*
+//! (not a dense renumbered id), and each round's canonical stream is the
+//! concatenation of per-cluster streams in ascending centre order, splicing the
+//! rebuilt clusters into the per-round `BTreeMap` reproduces the from-scratch
+//! byte stream exactly: [`DynamicPsiIndex::freeze`] is **bit-for-bit identical**
+//! to [`PsiIndex::build`] on the mutated graph — the invariant the determinism
+//! suite pins under `PSI_THREADS = {1, 4}`.
+//!
+//! Queries ([`DynamicPsiIndex::decide`], [`DynamicPsiIndex::find_one`], the
+//! batch variants, and the connectivity front ends) scan rounds in order and
+//! clusters in ascending centre order — the same order the frozen engine scans
+//! its flat batch stream — so verdicts *and witnesses* match the frozen
+//! [`crate::IndexedEngine`] answer for every thread count.
+
+use crate::connectivity::{
+    st_connectivity_capped, vertex_connectivity_with_fv, ConnectivityMode, ConnectivityResult,
+};
+use crate::cover::{emit_cluster_batches, BatchBuilder, ClusterScratch, ClusterView, PassCounters};
+use crate::index::{
+    admit_pattern, decide_in_batches, find_in_batches, FlatDecomposition, IndexParams,
+    IndexedBatch, PsiIndex, QueryError, CONNECTIVITY_CAP,
+};
+use crate::isomorphism::DpStrategy;
+use crate::pattern::Pattern;
+use psi_cluster::DynamicClustering;
+use psi_graph::{
+    biconnected_components, induced_subgraph, AdjacencyList, CsrGraph, NeighborSource, Vertex,
+};
+use psi_planar::{
+    check_planarity, face_vertex_graph, planar_embedding, Embedding, FaceVertexGraph,
+    NonPlanarWitness,
+};
+use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Errors and stats
+// ---------------------------------------------------------------------------
+
+/// Why an edge mutation was rejected. Every rejection leaves the index exactly
+/// as it was — mutations are atomic.
+#[derive(Clone, Debug)]
+pub enum MutationError {
+    /// An endpoint is not a vertex of the target.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: Vertex,
+        /// Number of target vertices.
+        n: usize,
+    },
+    /// Both endpoints are the same vertex (the target is simple).
+    SelfLoop {
+        /// The repeated endpoint.
+        vertex: Vertex,
+    },
+    /// The edge to insert already exists.
+    DuplicateEdge {
+        /// Smaller endpoint.
+        u: Vertex,
+        /// Larger endpoint.
+        v: Vertex,
+    },
+    /// The edge to delete does not exist.
+    MissingEdge {
+        /// Smaller endpoint.
+        u: Vertex,
+        /// Larger endpoint.
+        v: Vertex,
+    },
+    /// Inserting the edge would make the target non-planar; the boxed witness is
+    /// a Kuratowski subdivision of the *would-be* graph (in target vertex ids)
+    /// containing the rejected edge's biconnected block.
+    NonPlanar(Box<NonPlanarWitness>),
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for {n}-vertex target")
+            }
+            MutationError::SelfLoop { vertex } => {
+                write!(
+                    f,
+                    "self loop at vertex {vertex} rejected (target is simple)"
+                )
+            }
+            MutationError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u},{v}) already present")
+            }
+            MutationError::MissingEdge { u, v } => {
+                write!(f, "edge ({u},{v}) not present")
+            }
+            MutationError::NonPlanar(w) => {
+                write!(f, "insertion would break planarity: {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::NonPlanar(w) => Some(w.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// What one accepted mutation touched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Clusters whose membership or induced subgraph this mutation changed,
+    /// summed over rounds (includes clusters that ceased to exist). Their
+    /// batches are marked dirty, not rebuilt inline.
+    pub affected_clusters: usize,
+    /// Dirty clusters awaiting rebuild after this mutation, summed over rounds
+    /// — the backlog the next query, freeze, or [`DynamicPsiIndex::flush`]
+    /// pays for. Smaller than the running sum of `affected_clusters` when
+    /// flips revisit the same clusters.
+    pub dirty_clusters: usize,
+    /// Whether the embedding had to be rebuilt from scratch (same-component
+    /// insertion outside every face — a biconnected-block merge).
+    pub reembedded: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Face store: the maintained embedding
+// ---------------------------------------------------------------------------
+
+/// The facial walks of the maintained embedding, mutable in place.
+///
+/// Faces are tombstoned on removal so ids stay stable; `incident[v]` lists the
+/// faces `v` lies on, one entry per *occurrence* on the walk. The store is only
+/// consulted for surgery decisions (which faces an edge flip touches) and for
+/// the lazily derived face–vertex graph; the frozen artifact re-canonicalises
+/// its faces through [`planar_embedding`], so the store needs to stay *valid*,
+/// never canonical.
+struct FaceStore {
+    walks: Vec<Option<Vec<Vertex>>>,
+    incident: Vec<Vec<u32>>,
+}
+
+impl FaceStore {
+    fn from_walks(n: usize, walks: Vec<Vec<Vertex>>) -> FaceStore {
+        let mut store = FaceStore {
+            walks: Vec::with_capacity(walks.len()),
+            incident: vec![Vec::new(); n],
+        };
+        for walk in walks {
+            store.add(walk);
+        }
+        store
+    }
+
+    fn add(&mut self, walk: Vec<Vertex>) -> u32 {
+        let id = self.walks.len() as u32;
+        for &v in &walk {
+            self.incident[v as usize].push(id);
+        }
+        self.walks.push(Some(walk));
+        id
+    }
+
+    fn remove(&mut self, id: u32) -> Vec<Vertex> {
+        let walk = self.walks[id as usize]
+            .take()
+            .expect("face already removed");
+        for &v in &walk {
+            let inc = &mut self.incident[v as usize];
+            let at = inc.iter().position(|&f| f == id).expect("incidence desync");
+            inc.swap_remove(at);
+        }
+        walk
+    }
+
+    fn walk(&self, id: u32) -> &[Vertex] {
+        self.walks[id as usize].as_deref().expect("face removed")
+    }
+
+    /// Any face whose walk visits both `u` and `v` (the chord-insertion fast path).
+    fn common_face(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        self.incident[u as usize]
+            .iter()
+            .copied()
+            .find(|&f| self.walk(f).contains(&v))
+    }
+
+    /// Some face `v` lies on (every vertex lies on at least one).
+    fn any_face_of(&self, v: Vertex) -> u32 {
+        self.incident[v as usize][0]
+    }
+
+    /// The `(face, walk position)` of both facial sides of edge `{u, v}`.
+    fn edge_sides(&self, u: Vertex, v: Vertex) -> [(u32, usize); 2] {
+        let mut fids: Vec<u32> = self.incident[u as usize].clone();
+        fids.sort_unstable();
+        fids.dedup();
+        let mut sides: Vec<(u32, usize)> = Vec::with_capacity(2);
+        for f in fids {
+            let walk = self.walk(f);
+            let len = walk.len();
+            if len < 2 {
+                continue;
+            }
+            for q in 0..len {
+                let (x, y) = (walk[q], walk[(q + 1) % len]);
+                if (x == u && y == v) || (x == v && y == u) {
+                    sides.push((f, q));
+                }
+            }
+        }
+        debug_assert_eq!(sides.len(), 2, "edge must lie on exactly two facial sides");
+        [sides[0], sides[1]]
+    }
+
+    /// Splits the face `f` along the new chord `{u, v}` (both endpoints lie on
+    /// `f`'s walk): `F ↦ F[i..=j]` and `F[j..] ++ F[..=i]`, each closed by one
+    /// side of the chord.
+    fn split_for_insert(&mut self, f: u32, u: Vertex, v: Vertex) {
+        let walk = self.remove(f);
+        let mut i = walk.iter().position(|&x| x == u).expect("u not on face");
+        let mut j = walk.iter().position(|&x| x == v).expect("v not on face");
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        // Cyclically adjacent occurrences would mean the edge already exists
+        // (rejected before surgery), so both parts have at least three vertices.
+        let part1: Vec<Vertex> = walk[i..=j].to_vec();
+        let mut part2: Vec<Vertex> = walk[j..].to_vec();
+        part2.extend_from_slice(&walk[..=i]);
+        self.add(part1);
+        self.add(part2);
+    }
+
+    /// Merges a face of `u`'s component with a face of `v`'s component around the
+    /// new edge `{u, v}`: the merged walk crosses the edge twice,
+    /// `[u, a₁..aₚ, u, v, b₁..b_q, v]`, with the repeated endpoint dropped for
+    /// singleton (isolated-vertex) faces.
+    fn merge_for_insert(&mut self, fu: u32, fv: u32, u: Vertex, v: Vertex) {
+        let wu = self.remove(fu);
+        let wv = self.remove(fv);
+        let mut merged = Vec::with_capacity(wu.len() + wv.len() + 2);
+        if wu.len() == 1 {
+            merged.push(u);
+        } else {
+            let i = wu.iter().position(|&x| x == u).expect("u not on face");
+            merged.extend_from_slice(&wu[i..]);
+            merged.extend_from_slice(&wu[..i]);
+            merged.push(u);
+        }
+        if wv.len() == 1 {
+            merged.push(v);
+        } else {
+            let j = wv.iter().position(|&x| x == v).expect("v not on face");
+            merged.extend_from_slice(&wv[j..]);
+            merged.extend_from_slice(&wv[..j]);
+            merged.push(v);
+        }
+        self.add(merged);
+    }
+
+    /// Deletes the bridge `{u, v}` whose two sides lie on the single face `f`,
+    /// splitting it into the walk around `u`'s side and the walk around `v`'s
+    /// side (an endpoint of degree one becomes a singleton face).
+    fn split_for_bridge_delete(&mut self, f: u32, u: Vertex, v: Vertex) {
+        let walk = self.remove(f);
+        let len = walk.len();
+        let q = (0..len)
+            .find(|&q| walk[q] == u && walk[(q + 1) % len] == v)
+            .expect("directed side (u,v) not on face");
+        let rotated = rotate_after(&walk, q); // starts at v, ends at u, closes over {u,v}
+        let p = (0..len - 1)
+            .find(|&p| rotated[p] == v && rotated[p + 1] == u)
+            .expect("directed side (v,u) not on face");
+        let v_side: Vec<Vertex> = if p == 0 {
+            vec![v]
+        } else {
+            rotated[..p].to_vec()
+        };
+        let u_side: Vec<Vertex> = if p + 1 == len - 1 {
+            vec![u]
+        } else {
+            rotated[p + 1..len - 1].to_vec()
+        };
+        self.add(v_side);
+        self.add(u_side);
+    }
+
+    /// Deletes the non-bridge edge `{u, v}`, merging the two faces on its sides.
+    fn merge_for_delete(&mut self, s1: (u32, usize), s2: (u32, usize)) {
+        let w1 = self.remove(s1.0);
+        let mut w2 = self.remove(s2.0);
+        let len1 = w1.len();
+        let (x, y) = (w1[s1.1], w1[(s1.1 + 1) % len1]);
+        let mut q2 = s2.1;
+        let len2 = w2.len();
+        debug_assert!(len2 >= 3, "digon faces only occur around bridges");
+        if w2[q2] == x {
+            // Both walks traverse the edge in the same direction (an improperly
+            // oriented component, e.g. after hand-built input): flip one side.
+            w2.reverse();
+            q2 = (0..len2)
+                .find(|&q| w2[q] == y && w2[(q + 1) % len2] == x)
+                .expect("reversed side not found");
+        }
+        let r1 = rotate_after(&w1, s1.1); // [y .. x], closes over the deleted edge
+        let r2 = rotate_after(&w2, q2); // [x .. y], closes over the deleted edge
+        let mut merged = r1;
+        merged.extend_from_slice(&r2[1..len2 - 1]);
+        self.add(merged);
+    }
+
+    /// Live walks in stable id order (for embedding validation and the lazily
+    /// derived face–vertex graph).
+    fn compact(&self) -> Vec<Vec<Vertex>> {
+        self.walks.iter().flatten().cloned().collect()
+    }
+}
+
+/// The walk rotated to start right after position `q`: `walk[q+1..] ++ walk[..=q]`.
+fn rotate_after(walk: &[Vertex], q: usize) -> Vec<Vertex> {
+    let mut out = Vec::with_capacity(walk.len());
+    out.extend_from_slice(&walk[q + 1..]);
+    out.extend_from_slice(&walk[..=q]);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The dynamic cluster view
+// ---------------------------------------------------------------------------
+
+/// A cluster of the live [`DynamicClustering`], viewed through the centre
+/// oracle with vertex ids as scratch slots (the scratch is sized `n` and kept
+/// resident across mutations).
+struct DynClusterView<'a> {
+    clustering: &'a DynamicClustering,
+    center: Vertex,
+}
+
+impl ClusterView for DynClusterView<'_> {
+    #[inline]
+    fn center(&self) -> Vertex {
+        self.center
+    }
+
+    #[inline]
+    fn contains(&self, v: Vertex) -> bool {
+        self.clustering.center_of(v) == self.center
+    }
+
+    #[inline]
+    fn slot(&self, v: Vertex) -> usize {
+        v as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The dynamic index
+// ---------------------------------------------------------------------------
+
+/// The mutable index: supports [`DynamicPsiIndex::insert_edge`] and
+/// [`DynamicPsiIndex::delete_edge`] in time proportional to the affected
+/// clusters, serves the same queries as the frozen engine with identical
+/// answers, and [`DynamicPsiIndex::freeze`]s back to a byte-identical
+/// [`PsiIndex`]. See the module docs for the invariants that make this work.
+pub struct DynamicPsiIndex {
+    params: IndexParams,
+    strategy: DpStrategy,
+    graph: AdjacencyList,
+    faces: FaceStore,
+    /// One live clustering per stored round, same `(β, seed)` as at build time.
+    clusterings: Vec<DynamicClustering>,
+    /// Per round: the round's batches keyed by cluster centre. Iterating values
+    /// in key order reproduces the frozen round's flat batch stream.
+    rounds: Vec<BTreeMap<Vertex, Vec<IndexedBatch>>>,
+    /// Per round: centres whose batches are stale and must be re-emitted before
+    /// the next batch scan (ordered so the flush is deterministic).
+    dirty: Vec<BTreeSet<Vertex>>,
+    scratch: ClusterScratch,
+    batch: BatchBuilder,
+    counters: PassCounters,
+    /// Lazily re-derived caches, reset by every mutation.
+    csr: OnceLock<CsrGraph>,
+    fv: OnceLock<FaceVertexGraph>,
+}
+
+impl fmt::Debug for DynamicPsiIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynamicPsiIndex")
+            .field("n", &self.graph.num_vertices())
+            .field("m", &self.graph.num_edges())
+            .field("rounds", &self.rounds.len())
+            .field(
+                "dirty_clusters",
+                &self.dirty.iter().map(BTreeSet::len).sum::<usize>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl DynamicPsiIndex {
+    /// Thaws a frozen index into its mutable form. Costs one clustering pass per
+    /// round (the per-vertex arrival state is not serialised — it is a pure
+    /// function of the target and the frozen seeds) plus the batch regrouping.
+    pub fn thaw(index: PsiIndex) -> DynamicPsiIndex {
+        let (params, target, face_offsets, face_data, rounds) = index.into_parts();
+        let n = target.num_vertices();
+        let walks: Vec<Vec<Vertex>> = (0..face_offsets.len() - 1)
+            .map(|i| face_data[face_offsets[i] as usize..face_offsets[i + 1] as usize].to_vec())
+            .collect();
+        let clusterings: Vec<DynamicClustering> = (0..params.rounds)
+            .map(|r| DynamicClustering::from_graph(&target, params.beta(), params.round_seed(r)))
+            .collect();
+        let grouped: Vec<BTreeMap<Vertex, Vec<IndexedBatch>>> = rounds
+            .into_iter()
+            .map(|round| {
+                let mut by_center: BTreeMap<Vertex, Vec<IndexedBatch>> = BTreeMap::new();
+                for ib in round {
+                    by_center.entry(ib.batch.windows[0].0).or_default().push(ib);
+                }
+                by_center
+            })
+            .collect();
+        let csr = OnceLock::new();
+        let _ = csr.set(target.clone());
+        let dirty = vec![BTreeSet::new(); clusterings.len()];
+        DynamicPsiIndex {
+            params,
+            strategy: DpStrategy::Sequential,
+            graph: AdjacencyList::from_csr(&target),
+            faces: FaceStore::from_walks(n, walks),
+            clusterings,
+            rounds: grouped,
+            dirty,
+            scratch: ClusterScratch::new(n),
+            batch: BatchBuilder::new(params.batch_budget as usize),
+            counters: PassCounters::default(),
+            csr,
+            fv: OnceLock::new(),
+        }
+    }
+
+    /// Builds a fresh dynamic index ([`PsiIndex::build`] + [`DynamicPsiIndex::thaw`]).
+    pub fn build(embedding: &Embedding, params: IndexParams) -> DynamicPsiIndex {
+        Self::thaw(PsiIndex::build(embedding, params))
+    }
+
+    /// Selects the DP engine run inside each scanned batch at query time.
+    pub fn set_strategy(&mut self, strategy: DpStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The build parameters shared with the frozen artifact.
+    pub fn params(&self) -> IndexParams {
+        self.params
+    }
+
+    /// Number of target vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of target edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Whether the target currently contains edge `{u, v}`.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.graph.has_edge(u, v)
+    }
+
+    /// The target as CSR (rebuilt lazily after a mutation, then cached).
+    pub fn target_csr(&self) -> &CsrGraph {
+        self.csr.get_or_init(|| self.graph.to_csr())
+    }
+
+    /// The maintained embedding (target plus live facial walks). `O(n + m)`.
+    pub fn embedding(&self) -> Embedding {
+        Embedding::new(self.target_csr().clone(), self.faces.compact())
+    }
+
+    // --- mutations --------------------------------------------------------
+
+    fn check_endpoints(&self, u: Vertex, v: Vertex) -> Result<(), MutationError> {
+        let n = self.graph.num_vertices();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(MutationError::VertexOutOfRange { vertex: x, n });
+            }
+        }
+        if u == v {
+            return Err(MutationError::SelfLoop { vertex: u });
+        }
+        Ok(())
+    }
+
+    /// Inserts edge `{u, v}`, maintaining planarity (rejecting with a verified
+    /// Kuratowski witness when the edge would break it), the embedding, and
+    /// every round's clustering; the affected clusters' batches are marked
+    /// dirty and rebuilt by the next query/freeze/[`DynamicPsiIndex::flush`].
+    /// The mutation itself is a local repair — independent of `n` for the two
+    /// local cases (chord inside a face, cross-component join).
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> Result<UpdateStats, MutationError> {
+        self.check_endpoints(u, v)?;
+        if self.graph.has_edge(u, v) {
+            return Err(MutationError::DuplicateEdge {
+                u: u.min(v),
+                v: u.max(v),
+            });
+        }
+        let mut stats = UpdateStats::default();
+        if let Some(f) = self.faces.common_face(u, v) {
+            // The new edge is a chord of face `f`: split it, planarity untouched.
+            self.graph.insert_edge(u, v);
+            self.faces.split_for_insert(f, u, v);
+        } else if !self.connected(u, v) {
+            // Bridging two components: merge a face of each around the edge.
+            let (fu, fv) = (self.faces.any_face_of(u), self.faces.any_face_of(v));
+            self.graph.insert_edge(u, v);
+            self.faces.merge_for_insert(fu, fv, u, v);
+        } else {
+            // Same component, no shared face: the insertion merges biconnected
+            // blocks. Re-test planarity scoped to the merged block, then fall
+            // back to a full re-embed (the block merge invalidates walks far
+            // from the edge, so no local splice is possible).
+            self.graph.insert_edge(u, v);
+            let csr = self.graph.to_csr();
+            if let Err(e) = scoped_planarity_check(&csr, u, v) {
+                self.graph.delete_edge(u, v);
+                return Err(e);
+            }
+            let embedding =
+                planar_embedding(&csr).expect("block-scoped planarity test admitted the edge");
+            self.faces = FaceStore::from_walks(csr.num_vertices(), embedding.faces);
+            stats.reembedded = true;
+        }
+        for r in 0..self.clusterings.len() {
+            let mut affected = self.clusterings[r].insert_edge(&self.graph, u, v);
+            // An intra-cluster edge changes that cluster's induced subgraph (and
+            // its BFS levels) even when no vertex is re-assigned.
+            let (cu, cv) = (
+                self.clusterings[r].center_of(u),
+                self.clusterings[r].center_of(v),
+            );
+            if cu == cv {
+                merge_center(&mut affected, cu);
+            }
+            stats.affected_clusters += affected.len();
+            self.dirty[r].extend(affected);
+        }
+        stats.dirty_clusters = self.dirty.iter().map(BTreeSet::len).sum();
+        self.invalidate_caches();
+        Ok(stats)
+    }
+
+    /// Deletes edge `{u, v}`, maintaining the embedding (face merge, or face
+    /// split for a bridge) and every round's clustering; the affected clusters'
+    /// batches are marked dirty and rebuilt lazily, as for
+    /// [`DynamicPsiIndex::insert_edge`]. Deletion can never break planarity, so
+    /// it always succeeds once the edge exists.
+    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> Result<UpdateStats, MutationError> {
+        self.check_endpoints(u, v)?;
+        if !self.graph.has_edge(u, v) {
+            return Err(MutationError::MissingEdge {
+                u: u.min(v),
+                v: u.max(v),
+            });
+        }
+        let sides = self.faces.edge_sides(u, v);
+        if sides[0].0 == sides[1].0 {
+            self.faces.split_for_bridge_delete(sides[0].0, u, v);
+        } else {
+            self.faces.merge_for_delete(sides[0], sides[1]);
+        }
+        self.graph.delete_edge(u, v);
+        let mut stats = UpdateStats::default();
+        for r in 0..self.clusterings.len() {
+            // Capture the centres *before* the repair: if the edge was
+            // intra-cluster, that cluster's induced subgraph shrinks even when
+            // membership survives.
+            let (cu, cv) = (
+                self.clusterings[r].center_of(u),
+                self.clusterings[r].center_of(v),
+            );
+            let mut affected = self.clusterings[r].delete_edge(&self.graph, u, v);
+            if cu == cv {
+                merge_center(&mut affected, cu);
+            }
+            stats.affected_clusters += affected.len();
+            self.dirty[r].extend(affected);
+        }
+        stats.dirty_clusters = self.dirty.iter().map(BTreeSet::len).sum();
+        self.invalidate_caches();
+        Ok(stats)
+    }
+
+    /// Rebuilds the batches of every cluster dirtied since the last flush and
+    /// returns the number of batches re-emitted. Queries, [`Self::freeze`], and
+    /// the batch front ends flush implicitly; call this directly to pay the
+    /// rebuild at a moment of your choosing (e.g. off the serving path). A
+    /// cluster dirtied by many flips is rebuilt once, from the *current*
+    /// clustering state — batches are a pure function of membership, so the
+    /// result is identical to eager per-flip rebuilds.
+    pub fn flush(&mut self) -> usize {
+        let mut rebuilt = 0usize;
+        for r in 0..self.dirty.len() {
+            if self.dirty[r].is_empty() {
+                continue;
+            }
+            let affected: Vec<Vertex> = std::mem::take(&mut self.dirty[r]).into_iter().collect();
+            rebuilt += self.rebuild_clusters(r, &affected);
+        }
+        rebuilt
+    }
+
+    /// Whether `u` and `v` lie in the same connected component (graph-local BFS;
+    /// only reached when the insertion is not a face chord).
+    fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        let mut seen: HashSet<Vertex> = HashSet::new();
+        seen.insert(u);
+        let mut stack = vec![u];
+        while let Some(x) = stack.pop() {
+            if x == v {
+                return true;
+            }
+            for &w in self.graph.neighbors_of(x) {
+                if seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// Re-emits the batches of every centre in `affected` (sorted, deduplicated)
+    /// for round `r`, through the same [`emit_cluster_batches`] path as the
+    /// from-scratch build. Centres that are no longer centres are just removed.
+    fn rebuild_clusters(&mut self, r: usize, affected: &[Vertex]) -> usize {
+        let d = self.params.d as usize;
+        let mut rebuilt = 0usize;
+        for &c in affected {
+            self.rounds[r].remove(&c);
+            if self.clusterings[r].center_of(c) != c {
+                continue; // the cluster dissolved; nothing to re-emit
+            }
+            let view = DynClusterView {
+                clustering: &self.clusterings[r],
+                center: c,
+            };
+            let mut batches: Vec<IndexedBatch> = Vec::new();
+            let _: Option<()> = emit_cluster_batches(
+                &self.graph,
+                &view,
+                d,
+                1, // min_vertices: mirror the build (serve k' < k patterns too)
+                &mut self.scratch,
+                &mut self.batch,
+                &self.counters,
+                &mut |b| {
+                    let decomp = FlatDecomposition::from_binary(&b.decomposition());
+                    batches.push(IndexedBatch { batch: b, decomp });
+                    None
+                },
+            );
+            rebuilt += batches.len();
+            self.rounds[r].insert(c, batches);
+        }
+        rebuilt
+    }
+
+    fn invalidate_caches(&mut self) {
+        self.csr = OnceLock::new();
+        self.fv = OnceLock::new();
+    }
+
+    // --- freezing ---------------------------------------------------------
+
+    /// Freezes back to the immutable artifact (flushing any dirty clusters
+    /// first). The result is **bit-for-bit identical** (struct and
+    /// [`PsiIndex::to_bytes`] stream) to [`PsiIndex::build`] on the current
+    /// graph: rounds concatenate the per-centre streams in ascending centre
+    /// order — the canonical stream — and the faces are re-canonicalised
+    /// through [`planar_embedding`], which is a pure function of the target.
+    pub fn freeze(&mut self) -> PsiIndex {
+        self.flush();
+        let target = self.target_csr();
+        let embedding =
+            planar_embedding(target).expect("the dynamic index maintains a planar target");
+        let rounds: Vec<Vec<IndexedBatch>> = self
+            .rounds
+            .iter()
+            .map(|round| round.values().flatten().cloned().collect())
+            .collect();
+        PsiIndex::from_parts(self.params, &embedding, rounds)
+    }
+
+    // --- queries ----------------------------------------------------------
+
+    /// Decides whether `pattern` occurs in the live target (flushing dirty
+    /// clusters first); same contract (and, batch for batch, same scan) as
+    /// [`crate::IndexedEngine::decide`].
+    pub fn decide(&mut self, pattern: &Pattern) -> Result<bool, QueryError> {
+        self.flush();
+        self.decide_flushed(pattern)
+    }
+
+    fn decide_flushed(&self, pattern: &Pattern) -> Result<bool, QueryError> {
+        if let Some(short) = admit_pattern(&self.params, self.graph.num_vertices(), pattern)? {
+            return Ok(short.is_some());
+        }
+        Ok(self
+            .rounds
+            .iter()
+            .any(|round| decide_in_batches(self.strategy, pattern, round.values().flatten())))
+    }
+
+    /// Finds one occurrence (flushing dirty clusters first); the witness is the
+    /// first hit in (round, centre, emission) order — identical to the frozen
+    /// engine's stored-order witness.
+    pub fn find_one(&mut self, pattern: &Pattern) -> Result<Option<Vec<Vertex>>, QueryError> {
+        self.flush();
+        self.find_one_flushed(pattern)
+    }
+
+    fn find_one_flushed(&self, pattern: &Pattern) -> Result<Option<Vec<Vertex>>, QueryError> {
+        if let Some(short) = admit_pattern(&self.params, self.graph.num_vertices(), pattern)? {
+            return Ok(short);
+        }
+        let target = self.target_csr();
+        for round in &self.rounds {
+            if let Some(occ) =
+                find_in_batches(self.strategy, pattern, target, round.values().flatten())
+            {
+                return Ok(Some(occ));
+            }
+        }
+        Ok(None)
+    }
+
+    /// [`DynamicPsiIndex::decide`] over many patterns on the work-stealing pool,
+    /// answers in input order (one flush up front, then read-only scans).
+    pub fn decide_batch(&mut self, patterns: &[Pattern]) -> Vec<Result<bool, QueryError>> {
+        self.flush();
+        let this = &*self;
+        patterns
+            .par_iter()
+            .map(|p| this.decide_flushed(p))
+            .collect()
+    }
+
+    /// [`DynamicPsiIndex::find_one`] over many patterns (input order,
+    /// deterministic witnesses; one flush up front).
+    pub fn find_one_batch(
+        &mut self,
+        patterns: &[Pattern],
+    ) -> Vec<Result<Option<Vec<Vertex>>, QueryError>> {
+        self.flush();
+        let this = &*self;
+        patterns
+            .par_iter()
+            .map(|p| this.find_one_flushed(p))
+            .collect()
+    }
+
+    /// Capped pairwise s–t vertex connectivity against the live target, in input
+    /// order (the planar cap of [`CONNECTIVITY_CAP`] applies).
+    pub fn connectivity_batch(&self, pairs: &[(Vertex, Vertex)]) -> Vec<Result<usize, QueryError>> {
+        let target = self.target_csr();
+        let n = target.num_vertices();
+        pairs
+            .par_iter()
+            .map(|&(s, t)| {
+                for x in [s, t] {
+                    if x as usize >= n {
+                        return Err(QueryError::VertexOutOfRange { vertex: x, n });
+                    }
+                }
+                if s == t {
+                    return Err(QueryError::IdenticalEndpoints { vertex: s });
+                }
+                Ok(st_connectivity_capped(target, s, t, CONNECTIVITY_CAP))
+            })
+            .collect()
+    }
+
+    /// Global vertex connectivity from the maintained embedding's face–vertex
+    /// graph (Lemma 5.1); the graph is re-derived lazily after a mutation and
+    /// cached until the next one. The connectivity *value* is embedding-
+    /// independent, so it matches the frozen engine's answer.
+    pub fn vertex_connectivity(&self, mode: ConnectivityMode, seed: u64) -> ConnectivityResult {
+        let target = self.target_csr();
+        let fv = self.fv.get_or_init(|| {
+            face_vertex_graph(&Embedding::new(target.clone(), self.faces.compact()))
+        });
+        vertex_connectivity_with_fv(target, fv, mode, seed)
+    }
+}
+
+/// Inserts `c` into the sorted, deduplicated centre list.
+fn merge_center(affected: &mut Vec<Vertex>, c: Vertex) {
+    if let Err(at) = affected.binary_search(&c) {
+        affected.insert(at, c);
+    }
+}
+
+/// Planarity of the target plus the freshly inserted edge `{u, v}`, decided by
+/// re-running the LR test **only on the biconnected block containing the edge**:
+/// every other block of the new graph is a block of the (planar) old graph, so
+/// the merged block alone decides. A rejection certificate is remapped to
+/// target vertex ids and verified against `csr` in debug builds.
+fn scoped_planarity_check(csr: &CsrGraph, u: Vertex, v: Vertex) -> Result<(), MutationError> {
+    let bc = biconnected_components(csr);
+    let key = (u.min(v), u.max(v));
+    let mut component = u32::MAX;
+    for (i, e) in csr.edges().enumerate() {
+        if e == key {
+            component = bc.edge_component[i];
+            break;
+        }
+    }
+    debug_assert_ne!(component, u32::MAX, "inserted edge must be present");
+    let mut block: Vec<Vertex> = Vec::new();
+    for (i, (a, b)) in csr.edges().enumerate() {
+        if bc.edge_component[i] == component {
+            block.push(a);
+            block.push(b);
+        }
+    }
+    block.sort_unstable();
+    block.dedup();
+    // Two distinct vertices share at most one block, so the induced subgraph of
+    // the block's vertex set is exactly the block.
+    let sub = induced_subgraph(csr, &block);
+    match check_planarity(&sub.graph) {
+        Ok(()) => Ok(()),
+        Err(w) => {
+            let mut edges: Vec<(Vertex, Vertex)> = w
+                .edges
+                .iter()
+                .map(|&(a, b)| {
+                    let (ga, gb) = (sub.to_global(a), sub.to_global(b));
+                    (ga.min(gb), ga.max(gb))
+                })
+                .collect();
+            edges.sort_unstable();
+            let witness = NonPlanarWitness {
+                edges,
+                kind: w.kind,
+                branch_vertices: w
+                    .branch_vertices
+                    .iter()
+                    .map(|&x| sub.to_global(x))
+                    .collect(),
+            };
+            debug_assert!(witness.verify(csr), "remapped witness must verify");
+            Err(MutationError::NonPlanar(Box::new(witness)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_planar::generators as pg;
+
+    fn params() -> IndexParams {
+        IndexParams::default()
+    }
+
+    /// The invariant everything rests on: after any accepted mutation, freezing
+    /// equals a from-scratch build of the current graph, bytes and all.
+    fn assert_matches_scratch(dynamic: &mut DynamicPsiIndex) {
+        let frozen = dynamic.freeze();
+        let embedding = planar_embedding(dynamic.target_csr()).unwrap();
+        let scratch = PsiIndex::build(&embedding, dynamic.params());
+        assert_eq!(frozen, scratch, "frozen struct diverged from scratch build");
+        assert_eq!(
+            frozen.to_bytes(),
+            scratch.to_bytes(),
+            "serialised artifact diverged from scratch build"
+        );
+    }
+
+    fn assert_valid_embedding(dynamic: &DynamicPsiIndex) {
+        let e = dynamic.embedding();
+        e.validate().expect("maintained embedding must stay valid");
+        assert!(e.is_planar(), "maintained embedding must stay planar");
+    }
+
+    #[test]
+    fn chord_insert_splits_a_face_and_matches_scratch() {
+        let e = pg::grid_embedded(6, 6);
+        let mut dynamic = DynamicPsiIndex::build(&e, params());
+        // A diagonal inside the top-left grid cell (vertices 0, 1, 6, 7).
+        let stats = dynamic.insert_edge(0, 7).unwrap();
+        assert!(!stats.reembedded);
+        assert!(stats.affected_clusters >= 1);
+        assert_valid_embedding(&dynamic);
+        assert_matches_scratch(&mut dynamic);
+        assert!(dynamic.has_edge(0, 7));
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips() {
+        let e = pg::grid_embedded(5, 5);
+        let mut dynamic = DynamicPsiIndex::build(&e, params());
+        let before = dynamic.freeze().to_bytes();
+        dynamic.delete_edge(0, 1).unwrap();
+        assert_valid_embedding(&dynamic);
+        assert_matches_scratch(&mut dynamic);
+        dynamic.insert_edge(0, 1).unwrap();
+        assert_valid_embedding(&dynamic);
+        assert_matches_scratch(&mut dynamic);
+        assert_eq!(dynamic.freeze().to_bytes(), before);
+    }
+
+    #[test]
+    fn bridge_delete_splits_components_and_faces() {
+        // A path is all bridges; deleting the middle edge must split the face
+        // and leave two components with valid embeddings.
+        let g = psi_graph::generators::path(6);
+        let embedding = planar_embedding(&g).unwrap();
+        let mut dynamic = DynamicPsiIndex::build(&embedding, params());
+        dynamic.delete_edge(2, 3).unwrap();
+        assert_valid_embedding(&dynamic);
+        assert_matches_scratch(&mut dynamic);
+        // Re-join the components (cross-component merge path).
+        dynamic.insert_edge(2, 3).unwrap();
+        assert_valid_embedding(&dynamic);
+        assert_matches_scratch(&mut dynamic);
+    }
+
+    #[test]
+    fn nonplanar_insert_is_rejected_with_a_verified_witness() {
+        // K5 minus one edge is planar; inserting the missing edge must be
+        // rejected, leave the index untouched, and certify the rejection.
+        let g = {
+            let mut b = psi_graph::GraphBuilder::new(5);
+            for a in 0..5u32 {
+                for c in (a + 1)..5u32 {
+                    if (a, c) != (3, 4) {
+                        b.add_edge(a, c);
+                    }
+                }
+            }
+            b.build()
+        };
+        let embedding = planar_embedding(&g).unwrap();
+        let mut dynamic = DynamicPsiIndex::build(&embedding, params());
+        let before = dynamic.freeze().to_bytes();
+        match dynamic.insert_edge(3, 4) {
+            Err(MutationError::NonPlanar(w)) => {
+                assert!(w.verify(&{
+                    let mut adj = AdjacencyList::from_csr(&g);
+                    adj.insert_edge(3, 4);
+                    adj.to_csr()
+                }));
+            }
+            other => panic!("expected NonPlanar, got {other:?}"),
+        }
+        assert!(!dynamic.has_edge(3, 4));
+        assert_eq!(
+            dynamic.freeze().to_bytes(),
+            before,
+            "rejection must not mutate"
+        );
+        assert_matches_scratch(&mut dynamic);
+    }
+
+    #[test]
+    fn malformed_mutations_error_cleanly() {
+        let e = pg::grid_embedded(3, 3);
+        let mut dynamic = DynamicPsiIndex::build(&e, params());
+        assert!(matches!(
+            dynamic.insert_edge(0, 99),
+            Err(MutationError::VertexOutOfRange { vertex: 99, .. })
+        ));
+        assert!(matches!(
+            dynamic.insert_edge(4, 4),
+            Err(MutationError::SelfLoop { vertex: 4 })
+        ));
+        assert!(matches!(
+            dynamic.insert_edge(0, 1),
+            Err(MutationError::DuplicateEdge { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            dynamic.delete_edge(0, 4),
+            Err(MutationError::MissingEdge { u: 0, v: 4 })
+        ));
+        // Errors chain: the non-planar rejection exposes the witness as source.
+        let err = dynamic.insert_edge(0, 99).unwrap_err();
+        assert!(std::error::Error::source(&err).is_none());
+        assert_matches_scratch(&mut dynamic);
+    }
+
+    #[test]
+    fn queries_match_the_frozen_engine_after_churn() {
+        let e = pg::grid_embedded(6, 6);
+        let mut dynamic = DynamicPsiIndex::build(&e, params());
+        dynamic.insert_edge(0, 7).unwrap();
+        dynamic.insert_edge(14, 21).unwrap();
+        dynamic.delete_edge(0, 1).unwrap();
+        let frozen = dynamic.freeze();
+        let engine = crate::IndexedEngine::new(&frozen);
+        for pattern in [
+            Pattern::triangle(),
+            Pattern::cycle(4),
+            Pattern::path(3),
+            Pattern::star(3),
+            Pattern::clique(4),
+        ] {
+            assert_eq!(dynamic.decide(&pattern), engine.decide(&pattern));
+            assert_eq!(dynamic.find_one(&pattern), engine.find_one(&pattern));
+        }
+        let pairs = [(0u32, 35u32), (7, 14), (3, 30)];
+        assert_eq!(
+            dynamic.connectivity_batch(&pairs),
+            engine.connectivity_batch(&pairs)
+        );
+    }
+
+    #[test]
+    fn block_merge_insert_falls_back_to_reembed() {
+        // A square with chord 0-2 and a pendant 4 on vertex 1, with the pendant
+        // embedded *inside* triangle [0,1,2]. Vertex 4 then shares no face with
+        // vertex 3, yet G + {3,4} is planar (flip the pendant into the outer
+        // face). The insert must fail both fast paths, pass the scoped
+        // planarity re-test, fully re-embed, and still match scratch.
+        let graph = psi_graph::GraphBuilder::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 4)],
+        );
+        let faces = vec![
+            vec![0, 1, 4, 1, 2], // triangle 0-1-2 with the pendant tucked inside
+            vec![0, 2, 3],
+            vec![0, 3, 2, 1], // outer face
+        ];
+        let e = Embedding::new(graph, faces);
+        e.validate().expect("hand-built embedding is valid");
+        let mut dynamic = DynamicPsiIndex::build(&e, params());
+        assert!(dynamic
+            .embedding()
+            .faces
+            .iter()
+            .all(|f| { !(f.contains(&3) && f.contains(&4)) }));
+        let stats = dynamic.insert_edge(3, 4).unwrap();
+        assert!(stats.reembedded, "no-common-face insert must re-embed");
+        assert_valid_embedding(&dynamic);
+        assert_matches_scratch(&mut dynamic);
+    }
+}

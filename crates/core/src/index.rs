@@ -71,7 +71,14 @@ use std::path::Path;
 
 /// Schema version of the serialised index artifact. Bumped on any layout change;
 /// readers reject other versions with [`SectionReadError::UnsupportedVersion`].
-pub const INDEX_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — initial sectioned layout; window stamps were dense cluster ids and
+///   batches could span clusters (so byte layout depended on shard packing).
+/// * **2** — window stamps are cluster *centre vertices* and batches are
+///   cluster-pure, making every round's byte stream a pure function of the cluster
+///   set — the invariant the incremental [`crate::dynamic`] updates splice against.
+pub const INDEX_SCHEMA_VERSION: u32 = 2;
 
 /// Planar vertex connectivity is at most 5 (Euler), so s–t queries cap there.
 pub const CONNECTIVITY_CAP: usize = 5;
@@ -106,10 +113,15 @@ impl Default for IndexParams {
 }
 
 impl IndexParams {
-    fn round_seed(&self, round: u32) -> u64 {
+    pub(crate) fn round_seed(&self, round: u32) -> u64 {
         self.seed
             .wrapping_add(u64::from(round))
             .wrapping_mul(0x9E3779B97F4A7C15)
+    }
+
+    /// The clustering parameter of every stored round (`β = 2k`, Observation 1).
+    pub(crate) fn beta(&self) -> f64 {
+        2.0 * (self.k.max(1)) as f64
     }
 }
 
@@ -280,6 +292,55 @@ impl PsiIndex {
             fv_graph,
             rounds,
         }
+    }
+
+    /// Assembles an index from already-built parts — the freeze path of the dynamic
+    /// index, which maintains the rounds incrementally and must produce the exact
+    /// struct (and therefore the exact bytes) a from-scratch [`PsiIndex::build`]
+    /// would. `faces` are the embedding's facial walks in canonical order; `rounds`
+    /// must be the canonical batch streams (cluster-pure, ascending centre order).
+    pub(crate) fn from_parts(
+        params: IndexParams,
+        embedding: &Embedding,
+        rounds: Vec<Vec<IndexedBatch>>,
+    ) -> PsiIndex {
+        let mut face_offsets = Vec::with_capacity(embedding.faces.len() + 1);
+        face_offsets.push(0u64);
+        let total: usize = embedding.faces.iter().map(|f| f.len()).sum();
+        let mut face_data = Vec::with_capacity(total);
+        for face in &embedding.faces {
+            face_data.extend_from_slice(face);
+            face_offsets.push(face_data.len() as u64);
+        }
+        let fv_graph = psi_planar::face_vertex_graph(embedding).graph;
+        PsiIndex {
+            params,
+            target: embedding.graph.clone(),
+            face_offsets,
+            face_data,
+            fv_graph,
+            rounds,
+        }
+    }
+
+    /// Dismantles the index into the parts the dynamic index thaws from (the stored
+    /// face–vertex graph is dropped; it is re-derived lazily on demand).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        IndexParams,
+        CsrGraph,
+        Vec<u64>,
+        Vec<Vertex>,
+        Vec<Vec<IndexedBatch>>,
+    ) {
+        (
+            self.params,
+            self.target,
+            self.face_offsets,
+            self.face_data,
+            self.rounds,
+        )
     }
 
     /// The build parameters frozen into this index.
@@ -806,7 +867,7 @@ pub const FAST_PATH_NODE_BUDGET: usize = 1 << 16;
 /// A connected visit order over a pattern, computed once per query and replayed by
 /// the backtracking fast path on every scanned batch: BFS order from pattern
 /// vertex 0 plus, per position, the earlier positions it must be adjacent to.
-struct MatchPlan {
+pub(crate) struct MatchPlan {
     /// Pattern vertex at each visit position.
     order: Vec<u32>,
     /// For position `i`: positions `j < i` with a pattern edge `{order[j], order[i]}`.
@@ -816,7 +877,7 @@ struct MatchPlan {
 impl MatchPlan {
     /// Plans `pattern`, which must be connected and non-empty (the engine's
     /// admission check guarantees both).
-    fn new(pattern: &Pattern) -> Self {
+    pub(crate) fn new(pattern: &Pattern) -> Self {
         let k = pattern.k();
         let mut order = Vec::with_capacity(k);
         let mut pos = vec![u32::MAX; k];
@@ -853,7 +914,7 @@ impl MatchPlan {
 
     /// Converts a by-position assignment into the by-pattern-vertex occurrence
     /// layout (`occ[i]` hosts pattern vertex `i`) the rest of the crate uses.
-    fn to_occurrence(&self, assigned: &[Vertex]) -> Vec<Vertex> {
+    pub(crate) fn to_occurrence(&self, assigned: &[Vertex]) -> Vec<Vertex> {
         let mut occ = vec![0; assigned.len()];
         for (i, &u) in self.order.iter().enumerate() {
             occ[u as usize] = assigned[i];
@@ -866,7 +927,7 @@ impl MatchPlan {
 /// `Ok(true)` leaves the full assignment in `assigned` (by plan position);
 /// `Ok(false)` means the pattern is exhaustively absent from this batch;
 /// `Err(())` means the node budget ran out and the verdict is unknown.
-fn backtrack_step(
+pub(crate) fn backtrack_step(
     plan: &MatchPlan,
     graph: &CsrGraph,
     depth: usize,
@@ -916,6 +977,131 @@ fn backtrack_step(
     Ok(false)
 }
 
+/// Checks that an index built with `params` over an `n`-vertex target can serve
+/// `pattern`; `Ok(Some(answer))` short-circuits trivial cases (empty pattern,
+/// pattern larger than the target). Shared between [`IndexedEngine`] and the
+/// dynamic index in [`crate::dynamic`].
+pub(crate) fn admit_pattern(
+    params: &IndexParams,
+    target_n: usize,
+    pattern: &Pattern,
+) -> Result<Option<Option<Vec<Vertex>>>, QueryError> {
+    let k = pattern.k();
+    if k == 0 {
+        return Ok(Some(Some(Vec::new())));
+    }
+    if k > target_n {
+        return Ok(Some(None));
+    }
+    if !pattern.is_connected() {
+        return Err(QueryError::DisconnectedPattern);
+    }
+    if k > params.k as usize {
+        return Err(QueryError::PatternTooLarge {
+            k,
+            max_k: params.k as usize,
+        });
+    }
+    let diameter = pattern.diameter();
+    if diameter > params.d as usize {
+        return Err(QueryError::DiameterTooLarge {
+            diameter,
+            max_d: params.d as usize,
+        });
+    }
+    Ok(None)
+}
+
+/// Whether any stored window of `ib` is large enough to host `k` vertices.
+pub(crate) fn batch_can_host(ib: &IndexedBatch, k: usize) -> bool {
+    let n = ib.batch.local_to_global.len();
+    if n < k {
+        return false;
+    }
+    let ws = &ib.batch.windows;
+    (0..ws.len()).any(|w| {
+        let start = ws[w].2 as usize;
+        let end = ws.get(w + 1).map(|&(_, _, o)| o as usize).unwrap_or(n);
+        end - start >= k
+    })
+}
+
+/// The per-batch decision scan shared by every engine front end: the exhaustive
+/// backtracking fast path first, the decomposition DP as the polynomial fallback.
+/// Scans `batches` in iteration order; short-circuits on the first hit.
+pub(crate) fn decide_in_batches<'b>(
+    strategy: DpStrategy,
+    pattern: &Pattern,
+    batches: impl Iterator<Item = &'b IndexedBatch>,
+) -> bool {
+    let k = pattern.k();
+    let plan = MatchPlan::new(pattern);
+    let mut assigned = Vec::with_capacity(k);
+    for ib in batches {
+        if !batch_can_host(ib, k) {
+            continue;
+        }
+        assigned.clear();
+        let mut budget = FAST_PATH_NODE_BUDGET;
+        match backtrack_step(&plan, &ib.batch.graph, 0, &mut assigned, &mut budget) {
+            Ok(true) => return true,
+            Ok(false) => continue,
+            Err(()) => {}
+        }
+        let btd = ib.decomp.to_binary(ib.batch.graph.num_vertices());
+        if decide_decomposed(strategy, pattern, &ib.batch.graph, &btd) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The per-batch search scan shared by every engine front end. The witness is the
+/// first occurrence in `batches` iteration order, so callers that iterate stored
+/// order get thread-count-independent witnesses. `target` is only used to
+/// cross-check the remapped occurrence in debug builds.
+pub(crate) fn find_in_batches<'b>(
+    strategy: DpStrategy,
+    pattern: &Pattern,
+    target: &CsrGraph,
+    batches: impl Iterator<Item = &'b IndexedBatch>,
+) -> Option<Vec<Vertex>> {
+    let k = pattern.k();
+    let plan = MatchPlan::new(pattern);
+    let mut assigned = Vec::with_capacity(k);
+    for ib in batches {
+        if !batch_can_host(ib, k) {
+            continue;
+        }
+        assigned.clear();
+        let mut budget = FAST_PATH_NODE_BUDGET;
+        match backtrack_step(&plan, &ib.batch.graph, 0, &mut assigned, &mut budget) {
+            Ok(true) => {
+                let mut occ = plan.to_occurrence(&assigned);
+                for v in &mut occ {
+                    *v = ib.batch.local_to_global[*v as usize];
+                }
+                debug_assert!(verify_occurrence(pattern, target, &occ));
+                return Some(occ);
+            }
+            Ok(false) => continue,
+            Err(()) => {}
+        }
+        let btd = ib.decomp.to_binary(ib.batch.graph.num_vertices());
+        if let Some(occ) = search_decomposed_with(
+            strategy,
+            pattern,
+            &ib.batch.graph,
+            &btd,
+            Some(&ib.batch.local_to_global),
+        ) {
+            debug_assert!(verify_occurrence(pattern, target, &occ));
+            return Some(occ);
+        }
+    }
+    None
+}
+
 /// The serve-many query front end over a shared [`PsiIndex`].
 ///
 /// Every method takes `&self` and allocates per-query scratch only, so one engine
@@ -953,124 +1139,35 @@ impl<'a> IndexedEngine<'a> {
         self.index
     }
 
-    /// Checks that the index can serve `pattern`; `Ok(Some(answer))` short-circuits
-    /// trivial cases (empty pattern, pattern larger than the target).
-    fn admit(&self, pattern: &Pattern) -> Result<Option<Option<Vec<Vertex>>>, QueryError> {
-        let k = pattern.k();
-        if k == 0 {
-            return Ok(Some(Some(Vec::new())));
-        }
-        if k > self.index.target.num_vertices() {
-            return Ok(Some(None));
-        }
-        if !pattern.is_connected() {
-            return Err(QueryError::DisconnectedPattern);
-        }
-        let params = self.index.params;
-        if k > params.k as usize {
-            return Err(QueryError::PatternTooLarge {
-                k,
-                max_k: params.k as usize,
-            });
-        }
-        let diameter = pattern.diameter();
-        if diameter > params.d as usize {
-            return Err(QueryError::DiameterTooLarge {
-                diameter,
-                max_d: params.d as usize,
-            });
-        }
-        Ok(None)
-    }
-
-    /// Whether any stored window of `ib` is large enough to host `k` vertices.
-    fn batch_can_host(ib: &IndexedBatch, k: usize) -> bool {
-        let n = ib.batch.local_to_global.len();
-        if n < k {
-            return false;
-        }
-        let ws = &ib.batch.windows;
-        (0..ws.len()).any(|w| {
-            let start = ws[w].2 as usize;
-            let end = ws.get(w + 1).map(|&(_, _, o)| o as usize).unwrap_or(n);
-            end - start >= k
-        })
-    }
-
     /// Decides whether `pattern` occurs in the indexed target. "Yes" answers are
     /// certain; a "no" is wrong with probability at most `2^−rounds` per fixed
     /// occurrence (see the module docs on frozen randomness).
     pub fn decide(&self, pattern: &Pattern) -> Result<bool, QueryError> {
-        if let Some(short) = self.admit(pattern)? {
+        let params = self.index.params;
+        if let Some(short) = admit_pattern(&params, self.index.target.num_vertices(), pattern)? {
             return Ok(short.is_some());
         }
-        let k = pattern.k();
-        let plan = MatchPlan::new(pattern);
-        let mut assigned = Vec::with_capacity(k);
-        for round in &self.index.rounds {
-            for ib in round {
-                if !Self::batch_can_host(ib, k) {
-                    continue;
-                }
-                assigned.clear();
-                let mut budget = FAST_PATH_NODE_BUDGET;
-                match backtrack_step(&plan, &ib.batch.graph, 0, &mut assigned, &mut budget) {
-                    Ok(true) => return Ok(true),
-                    Ok(false) => continue,
-                    Err(()) => {}
-                }
-                let btd = ib.decomp.to_binary(ib.batch.graph.num_vertices());
-                if decide_decomposed(self.strategy, pattern, &ib.batch.graph, &btd) {
-                    return Ok(true);
-                }
-            }
-        }
-        Ok(false)
+        Ok(decide_in_batches(
+            self.strategy,
+            pattern,
+            self.index.rounds.iter().flatten(),
+        ))
     }
 
     /// Finds one occurrence (pattern vertex `i` ↦ `mapping[i]`), scanning stored
     /// rounds and batches in order — the witness is the first hit in that order,
     /// independent of thread count.
     pub fn find_one(&self, pattern: &Pattern) -> Result<Option<Vec<Vertex>>, QueryError> {
-        if let Some(short) = self.admit(pattern)? {
+        let params = self.index.params;
+        if let Some(short) = admit_pattern(&params, self.index.target.num_vertices(), pattern)? {
             return Ok(short);
         }
-        let k = pattern.k();
-        let plan = MatchPlan::new(pattern);
-        let mut assigned = Vec::with_capacity(k);
-        for round in &self.index.rounds {
-            for ib in round {
-                if !Self::batch_can_host(ib, k) {
-                    continue;
-                }
-                assigned.clear();
-                let mut budget = FAST_PATH_NODE_BUDGET;
-                match backtrack_step(&plan, &ib.batch.graph, 0, &mut assigned, &mut budget) {
-                    Ok(true) => {
-                        let mut occ = plan.to_occurrence(&assigned);
-                        for v in &mut occ {
-                            *v = ib.batch.local_to_global[*v as usize];
-                        }
-                        debug_assert!(verify_occurrence(pattern, &self.index.target, &occ));
-                        return Ok(Some(occ));
-                    }
-                    Ok(false) => continue,
-                    Err(()) => {}
-                }
-                let btd = ib.decomp.to_binary(ib.batch.graph.num_vertices());
-                if let Some(occ) = search_decomposed_with(
-                    self.strategy,
-                    pattern,
-                    &ib.batch.graph,
-                    &btd,
-                    Some(&ib.batch.local_to_global),
-                ) {
-                    debug_assert!(verify_occurrence(pattern, &self.index.target, &occ));
-                    return Ok(Some(occ));
-                }
-            }
-        }
-        Ok(None)
+        Ok(find_in_batches(
+            self.strategy,
+            pattern,
+            &self.index.target,
+            self.index.rounds.iter().flatten(),
+        ))
     }
 
     /// [`IndexedEngine::decide`] over many patterns: queries fan out on the

@@ -8,9 +8,10 @@
 //!
 //! ## Pipeline
 //!
-//! 0. [`auto`] — the arbitrary-graph front door: the LR planarity engine
-//!    ([`psi_planar::planarity`]) verifies planarity and constructs the embedding as
-//!    step zero, rejecting non-planar inputs with a checkable Kuratowski certificate.
+//! 0. [`auto`] — the historical arbitrary-graph entry points (now deprecated shims
+//!    over [`psi`]): the LR planarity engine ([`psi_planar::planarity`]) verifies
+//!    planarity and constructs the embedding as step zero, rejecting non-planar
+//!    inputs with a checkable Kuratowski certificate.
 //! 1. [`cover`] — the Parallel Treewidth k-d Cover (Section 2.1): an exponential start
 //!    time clustering followed by per-cluster BFS level windows turns the target into
 //!    `O(n d)` total size worth of bounded-treewidth pieces such that each fixed
@@ -28,17 +29,26 @@
 //!    embedding, face–vertex graph, and per-batch decompositions frozen into one
 //!    immutable [`index::PsiIndex`] (optionally serialised via [`psi_graph::io`]),
 //!    served concurrently by [`index::IndexedEngine`] batch queries.
+//! 8. [`dynamic`] — incremental index mutation: [`dynamic::DynamicPsiIndex`]
+//!    maintains the embedding, the per-round clusterings, and the affected
+//!    clusters' batches under edge insertion/deletion, freezing back to an
+//!    artifact bit-identical to a from-scratch rebuild.
+//! 9. [`psi`] — the unified facade: [`psi::Psi`] wraps planarity gating, index
+//!    construction, queries, mutation, and (de)serialisation behind one builder
+//!    and one [`psi::PsiError`] type.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use planar_subiso::{Pattern, SubgraphIsomorphism};
+//! use planar_subiso::{Pattern, Psi};
 //!
-//! // Search for a 4-cycle in a triangulated grid.
+//! // Open a live engine over a triangulated grid, query it, mutate it.
 //! let target = psi_graph::generators::triangulated_grid(16, 16);
-//! let query = SubgraphIsomorphism::new(Pattern::cycle(4));
-//! let occurrence = query.find_one(&target).expect("grids are full of 4-cycles");
+//! let mut psi = Psi::builder().k(4).open(&target)?;
+//! let occurrence = psi.find_one(&Pattern::cycle(4))?.expect("grids are full of 4-cycles");
 //! assert!(planar_subiso::verify_occurrence(&Pattern::cycle(4), &target, &occurrence));
+//! psi.delete_edge(occurrence[0], occurrence[1])?; // incremental, no rebuild
+//! # Ok::<(), planar_subiso::PsiError>(())
 //! ```
 
 pub mod arena;
@@ -48,14 +58,17 @@ pub mod cover;
 pub mod disconnected;
 pub mod dp;
 pub mod dp_parallel;
+pub mod dynamic;
 pub mod index;
 pub mod isomorphism;
 pub mod listing;
 pub mod pattern;
+pub mod psi;
 pub mod separating;
 pub mod state;
 
 pub use arena::{ArenaStats, StateArena, StateId};
+#[allow(deprecated)]
 pub use auto::{
     build_index_auto, decide_auto, embed_checked, find_one_auto, list_all_auto, planarity_gate,
     vertex_connectivity_auto,
@@ -72,6 +85,7 @@ pub use cover::{
 };
 pub use dp::{run_sequential, run_sequential_subtree, DpResult, NodeTable};
 pub use dp_parallel::{run_parallel, ParallelDpConfig, ParallelDpStats};
+pub use dynamic::{DynamicPsiIndex, MutationError, UpdateStats};
 pub use index::{
     FlatDecomposition, IndexLoadError, IndexParams, IndexedBatch, IndexedEngine, PsiIndex,
     QueryError, CONNECTIVITY_CAP, FAST_PATH_NODE_BUDGET, INDEX_SCHEMA_VERSION,
@@ -79,6 +93,7 @@ pub use index::{
 pub use isomorphism::{decide, find_one, DpStrategy, QueryConfig, SubgraphIsomorphism};
 pub use listing::{count_distinct_images, list_all, list_all_outcome, ListingOutcome};
 pub use pattern::{verify_occurrence, Pattern};
+pub use psi::{Psi, PsiBuilder, PsiError};
 pub use separating::{
     find_separating_occurrence, find_separating_occurrence_with_stats, is_separating, SepStats,
     SeparatingInstance,

@@ -1,0 +1,203 @@
+//! A mutable sorted-adjacency graph and the neighbour-source abstraction that lets
+//! the cover pipeline run over either representation.
+//!
+//! [`CsrGraph`] is immutable by design — every query-side consumer wants the flat,
+//! cache-friendly layout. The dynamic index ([PR 7's] incremental cover maintenance)
+//! needs the opposite: an `O(log deg)` edge flip that does not rewrite `O(n + m)`
+//! bytes per update. [`AdjacencyList`] is that representation: one sorted row per
+//! vertex, binary-searched flips, loss-free conversion to and from CSR. The
+//! [`NeighborSource`] trait abstracts the one operation the streaming cover pipeline
+//! actually performs on a graph — reading a neighbour row — so the per-cluster batch
+//! builder is generic over both and the incremental rebuild reuses the exact code
+//! path of the full build (bit-identity by construction, not by parallel
+//! re-implementation).
+
+use crate::csr::{CsrGraph, Vertex};
+
+/// Read access to sorted neighbour rows — the common surface of [`CsrGraph`] and
+/// [`AdjacencyList`].
+pub trait NeighborSource {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+    /// The sorted neighbour row of `v`.
+    fn neighbors_of(&self, v: Vertex) -> &[Vertex];
+}
+
+impl NeighborSource for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn neighbors_of(&self, v: Vertex) -> &[Vertex] {
+        self.neighbors(v)
+    }
+}
+
+/// A simple undirected graph as one sorted neighbour row per vertex.
+///
+/// Rows are kept sorted, so `has_edge` and the edge flips are `O(log deg)` searches
+/// plus an `O(deg)` row splice — independent of `n` and `m`, which is what makes a
+/// single-edge index update at a million vertices affordable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjacencyList {
+    rows: Vec<Vec<Vertex>>,
+    num_edges: usize,
+}
+
+impl AdjacencyList {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        AdjacencyList {
+            rows: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Converts from CSR (row order is preserved — CSR rows are already sorted).
+    pub fn from_csr(graph: &CsrGraph) -> Self {
+        AdjacencyList {
+            rows: graph.to_adjacency(),
+            num_edges: graph.num_edges(),
+        }
+    }
+
+    /// Converts to CSR. `O(n + m)` — intended for freeze points and lazily cached
+    /// query-side snapshots, not for per-update work.
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_sorted_adjacency(self.rows.clone())
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.rows[v as usize].len()
+    }
+
+    /// The sorted neighbour row of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.rows[v as usize]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.rows[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Inserts the undirected edge `{u, v}`. Returns `false` (and changes nothing)
+    /// if the edge is already present. Self loops and out-of-range endpoints are
+    /// caller errors (`debug_assert`ed); public entry points validate before calling.
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        debug_assert!(u != v, "self loop");
+        debug_assert!((u as usize) < self.rows.len() && (v as usize) < self.rows.len());
+        let pos_v = match self.rows[u as usize].binary_search(&v) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        let pos_u = self.rows[v as usize]
+            .binary_search(&u)
+            .expect_err("rows out of sync");
+        self.rows[u as usize].insert(pos_v, v);
+        self.rows[v as usize].insert(pos_u, u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the undirected edge `{u, v}`. Returns `false` (and changes nothing)
+    /// if the edge is absent.
+    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        debug_assert!((u as usize) < self.rows.len() && (v as usize) < self.rows.len());
+        let pos_v = match self.rows[u as usize].binary_search(&v) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        let pos_u = self.rows[v as usize]
+            .binary_search(&u)
+            .expect("rows out of sync");
+        self.rows[u as usize].remove(pos_v);
+        self.rows[v as usize].remove(pos_u);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// All undirected edges `(u, v)` with `u < v`, in row order.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.rows.iter().enumerate().flat_map(|(u, row)| {
+            let u = u as Vertex;
+            row.iter()
+                .copied()
+                .filter_map(move |v| (u < v).then_some((u, v)))
+        })
+    }
+}
+
+impl NeighborSource for AdjacencyList {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        AdjacencyList::num_vertices(self)
+    }
+
+    #[inline]
+    fn neighbors_of(&self, v: Vertex) -> &[Vertex] {
+        self.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn csr_round_trip_is_lossless() {
+        let g = generators::triangulated_grid(7, 9);
+        let adj = AdjacencyList::from_csr(&g);
+        assert_eq!(adj.num_vertices(), g.num_vertices());
+        assert_eq!(adj.num_edges(), g.num_edges());
+        assert_eq!(adj.to_csr(), g);
+        for v in g.vertices() {
+            assert_eq!(adj.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn edge_flips_round_trip() {
+        let g = generators::grid(5, 5);
+        let mut adj = AdjacencyList::from_csr(&g);
+        assert!(adj.insert_edge(0, 6));
+        assert!(!adj.insert_edge(0, 6), "duplicate insert must be a no-op");
+        assert!(!adj.insert_edge(6, 0), "duplicate insert is direction-free");
+        assert!(adj.has_edge(0, 6) && adj.has_edge(6, 0));
+        assert_eq!(adj.num_edges(), g.num_edges() + 1);
+        assert!(adj.delete_edge(6, 0));
+        assert!(!adj.delete_edge(0, 6), "absent delete must be a no-op");
+        assert_eq!(
+            adj.to_csr(),
+            g,
+            "insert + delete restores the graph exactly"
+        );
+    }
+
+    #[test]
+    fn rows_stay_sorted_under_churn() {
+        let mut adj = AdjacencyList::new(8);
+        for (u, v) in [(3, 1), (3, 7), (3, 0), (3, 5), (2, 3)] {
+            assert!(adj.insert_edge(u, v));
+        }
+        assert_eq!(adj.neighbors(3), &[0, 1, 2, 5, 7]);
+        assert!(adj.delete_edge(3, 2));
+        assert_eq!(adj.neighbors(3), &[0, 1, 5, 7]);
+        assert_eq!(adj.edges().count(), adj.num_edges());
+    }
+}

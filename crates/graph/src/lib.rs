@@ -6,6 +6,9 @@
 //!
 //! * [`CsrGraph`] — an immutable compressed-sparse-row undirected graph,
 //! * [`GraphBuilder`] — a mutable edge-list builder that deduplicates and sorts,
+//! * [`AdjacencyList`] — a mutable sorted-adjacency graph with `O(log deg)` edge
+//!   flips, plus the [`NeighborSource`] trait shared with [`CsrGraph`], in
+//!   [`adjacency`],
 //! * breadth-first search (sequential and level-synchronous parallel) in [`mod@bfs`],
 //! * connected components and a union–find in [`connectivity`] and [`union_find`],
 //! * articulation points / biconnectivity in [`biconnectivity`],
@@ -18,6 +21,7 @@
 //! Vertices are dense `u32` indices (`Vertex`). All graphs are simple and undirected;
 //! builders reject self loops and deduplicate parallel edges.
 
+pub mod adjacency;
 pub mod bfs;
 pub mod biconnectivity;
 pub mod builder;
@@ -31,6 +35,7 @@ pub mod spanning;
 pub mod union_find;
 pub mod view;
 
+pub use adjacency::{AdjacencyList, NeighborSource};
 pub use bfs::{bfs, bfs_restricted, parallel_bfs, BfsTree};
 pub use biconnectivity::{
     articulation_points, biconnected_components, is_biconnected, Biconnectivity,

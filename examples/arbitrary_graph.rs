@@ -1,13 +1,14 @@
-//! Arbitrary-input front door: load a graph from a file, run the planarity engine,
-//! then query the pipeline — no generator-native embedding anywhere.
+//! Arbitrary-input front door: load a graph from a file, open the unified [`Psi`]
+//! facade over it, then query — no generator-native embedding anywhere.
 //!
 //! Run with: `cargo run --release --example arbitrary_graph [path]`
 //!
 //! Without an argument the example writes a small sample edge list to a temp file
-//! first, so it is self-contained end to end: file → [`psi_graph::io`] →
-//! [`planar_subiso::embed_checked`] → decide / find / vertex connectivity.
+//! first, so it is self-contained end to end: file → [`Psi::builder`] →
+//! decide / find / vertex connectivity, every failure surfacing as one
+//! [`PsiError`].
 
-use planar_subiso::{ConnectivityMode, Pattern};
+use planar_subiso::{ConnectivityMode, Pattern, Psi, PsiError};
 use psi_graph::{io, CsrGraph};
 
 fn sample_file() -> std::path::PathBuf {
@@ -25,41 +26,35 @@ fn main() {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(sample_file);
     println!("loading {}", path.display());
-    let graph = match io::read_graph_file(&path) {
-        Ok(g) => g,
+
+    // One call: read the file, run the LR planarity gate, build the index, open
+    // the live engine. Parse errors, I/O errors, and non-planar inputs all come
+    // back through the same PsiError.
+    let mut psi = match Psi::builder().k(4).open_path(&path) {
+        Ok(psi) => psi,
+        Err(PsiError::NonPlanar(witness)) => {
+            println!("not planar: {witness}");
+            std::process::exit(0);
+        }
         Err(e) => {
-            eprintln!("cannot load graph: {e}");
+            eprintln!("cannot open graph: {e}");
             std::process::exit(1);
         }
     };
     println!(
-        "loaded: n = {}, m = {}",
-        graph.num_vertices(),
-        graph.num_edges()
+        "opened: n = {}, m = {}, {} faces, genus {}",
+        psi.num_vertices(),
+        psi.num_edges(),
+        psi.dynamic().embedding().num_faces(),
+        psi.dynamic().embedding().genus()
     );
-
-    // Step zero: the LR planarity engine.
-    match planar_subiso::embed_checked(&graph) {
-        Ok(embedding) => {
-            embedding.validate().expect("engine embedding validates");
-            println!(
-                "planar: {} faces, genus {}",
-                embedding.num_faces(),
-                embedding.genus()
-            );
-        }
-        Err(witness) => {
-            println!("not planar: {witness}");
-            println!("certificate verifies: {}", witness.verify(&graph));
-            std::process::exit(0);
-        }
-    }
 
     // The pipeline on the bare graph, now with its guarantees intact.
     let c4 = Pattern::cycle(4);
-    match planar_subiso::find_one_auto(&c4, &graph).expect("planarity already checked") {
+    let target = psi.dynamic().target_csr().clone();
+    match psi.find_one(&c4).expect("C4 fits the default k, d") {
         Some(occ) => {
-            assert!(planar_subiso::verify_occurrence(&c4, &graph, &occ));
+            assert!(planar_subiso::verify_occurrence(&c4, &target, &occ));
             println!("C4 found: {occ:?}");
         }
         None => println!("no C4 occurrence"),
@@ -68,13 +63,12 @@ fn main() {
     // WholeGraph mode is exact but exponential in the face–vertex graph's treewidth —
     // fine for small inputs, hopeless for big grids. For arbitrary user files, switch
     // to the paper's near-linear randomised cover pipeline past a size threshold.
-    let mode = if graph.num_vertices() <= 50 {
+    let mode = if psi.num_vertices() <= 50 {
         ConnectivityMode::WholeGraph
     } else {
         ConnectivityMode::Cover { repetitions: 24 }
     };
-    let conn = planar_subiso::vertex_connectivity_auto(&graph, mode, 1)
-        .expect("planarity already checked");
+    let conn = psi.vertex_connectivity(mode, 1);
     println!(
         "vertex connectivity ({}): {} (cut witness: {:?})",
         match mode {
@@ -85,9 +79,13 @@ fn main() {
         conn.cut
     );
 
-    // The same front door rejects a non-planar file with a checkable certificate.
+    // The same front door rejects a non-planar input with a checkable certificate.
     let k5: CsrGraph = psi_graph::generators::complete(5);
-    let witness = planar_subiso::decide_auto(&c4, &k5).expect_err("K5 must be rejected");
-    println!("K5 front-door rejection: {witness}");
-    assert!(witness.verify(&k5));
+    match Psi::open(&k5) {
+        Err(PsiError::NonPlanar(witness)) => {
+            println!("K5 front-door rejection: {witness}");
+            assert!(witness.verify(&k5));
+        }
+        other => panic!("K5 must be rejected as non-planar, got {other:?}"),
+    }
 }

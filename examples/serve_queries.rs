@@ -1,15 +1,15 @@
-//! Build-once / serve-many: construct (or load) a [`planar_subiso::PsiIndex`]
-//! artifact file, then answer a mixed batch of pattern and s–t connectivity queries
-//! against it, printing per-query latency percentiles.
+//! Build-once / serve-many through the [`Psi`] facade: construct (or load) an
+//! index artifact file, then answer a mixed batch of pattern and s–t connectivity
+//! queries against it, printing per-query latency percentiles.
 //!
 //! Run with: `cargo run --release --example serve_queries [index-file]`
 //!
-//! Without an argument the example builds an index over a 200×200 triangulated grid,
+//! Without an argument the example builds an index over a 100×100 triangulated grid,
 //! saves it to a temp file, loads it back (exercising the full artifact round trip),
 //! and serves from the loaded copy — the same lifecycle a long-running service uses:
-//! an offline build job writes the artifact once, query servers `load` and serve.
+//! an offline build job writes the artifact once, query servers `Psi::load` and serve.
 
-use planar_subiso::{IndexParams, IndexedEngine, Pattern, PsiIndex, QueryError};
+use planar_subiso::{IndexParams, Pattern, Psi, PsiError, QueryError};
 use std::time::Instant;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -29,10 +29,12 @@ fn build_default_artifact(path: &std::path::Path) {
         IndexParams::default()
     );
     let t = Instant::now();
-    let index = PsiIndex::build(&embedding, IndexParams::default());
+    let mut psi = Psi::builder()
+        .open_embedded(&embedding)
+        .expect("generator embedding rejected");
     println!("  built in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
     let t = Instant::now();
-    index.save(path).expect("write index artifact");
+    psi.save(path).expect("write index artifact");
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!(
         "  saved {:.1} MiB in {:.1} ms -> {}",
@@ -53,25 +55,23 @@ fn main() {
         }
     };
 
-    // Serve phase: load is validation + wrapping, not re-derivation.
+    // Serve phase: load is validation + thawing, not re-derivation.
     let t = Instant::now();
-    let index = match PsiIndex::load(&path) {
-        Ok(index) => index,
+    let mut psi = match Psi::load(&path) {
+        Ok(psi) => psi,
         Err(e) => {
             eprintln!("cannot load index artifact: {e}");
             std::process::exit(1);
         }
     };
     println!(
-        "loaded index over n = {} in {:.1} ms ({} batches across {} rounds)",
-        index.target().num_vertices(),
+        "loaded index over n = {} in {:.1} ms ({} rounds)",
+        psi.num_vertices(),
         t.elapsed().as_secs_f64() * 1e3,
-        index.stats().batches,
-        index.params().rounds,
+        psi.params().rounds,
     );
 
-    let engine = IndexedEngine::new(&index);
-    let n = index.target().num_vertices() as u32;
+    let n = psi.num_vertices() as u32;
 
     // A mixed workload: pattern queries (positive, negative, and unservable) plus
     // s–t connectivity pairs spread across the target. Negative queries scan every
@@ -96,7 +96,7 @@ fn main() {
 
     // Batch front end: one call, answers in input order, parallel underneath.
     let t = Instant::now();
-    let verdicts = engine.decide_batch(&patterns);
+    let verdicts = psi.decide_batch(&patterns);
     let batch_ms = t.elapsed().as_secs_f64() * 1e3;
     let yes = verdicts.iter().filter(|v| matches!(v, Ok(true))).count();
     let no = verdicts.iter().filter(|v| matches!(v, Ok(false))).count();
@@ -109,7 +109,7 @@ fn main() {
     );
 
     let t = Instant::now();
-    let conns = engine.connectivity_batch(&pairs);
+    let conns = psi.connectivity_batch(&pairs);
     let conn_ms = t.elapsed().as_secs_f64() * 1e3;
     assert!(conns.iter().all(|c| c.is_ok()));
     println!(
@@ -124,17 +124,16 @@ fn main() {
     let mut errors = 0usize;
     for p in &patterns {
         let t = Instant::now();
-        let r = engine.find_one(p);
+        let r = psi.find_one(p);
         latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
-        if let Err(e @ QueryError::PatternTooLarge { .. }) = r {
+        if let Err(PsiError::Query(QueryError::PatternTooLarge { .. })) = r {
             // Unservable patterns fail fast with a structured error.
             errors += 1;
-            let _ = e;
         }
     }
     for &(s, t_v) in &pairs {
         let t = Instant::now();
-        let _ = engine.connectivity_batch(&[(s, t_v)]);
+        let _ = psi.connectivity_batch(&[(s, t_v)]);
         latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -151,11 +150,11 @@ fn main() {
         latencies_ms.last().copied().unwrap_or(0.0)
     );
 
-    // One witness, verified against the indexed target.
-    if let Ok(Some(occ)) = engine.find_one(&Pattern::cycle(4)) {
+    // One witness, verified against the served target.
+    if let Ok(Some(occ)) = psi.find_one(&Pattern::cycle(4)) {
         assert!(planar_subiso::verify_occurrence(
             &Pattern::cycle(4),
-            index.target(),
+            psi.dynamic().target_csr(),
             &occ
         ));
         println!("C4 witness verified: {occ:?}");

@@ -8,7 +8,7 @@
 //! never panics and never silently-wrong indices.
 
 use planar_subiso::{
-    build_index_auto, IndexLoadError, IndexParams, IndexedEngine, Pattern, PsiIndex, QueryError,
+    IndexLoadError, IndexParams, IndexedEngine, Pattern, Psi, PsiIndex, QueryError,
 };
 use proptest::prelude::*;
 use psi_graph::generators as gg;
@@ -93,7 +93,7 @@ fn loaded_index_is_bit_identical_to_fresh_build() {
 #[test]
 fn index_witnesses_verify_against_the_target() {
     let g = gg::random_stacked_triangulation(400, 42);
-    let index = build_index_auto(&g, IndexParams::default()).unwrap();
+    let index = Psi::builder().open(&g).unwrap().freeze();
     let engine = IndexedEngine::new(&index);
     for p in [Pattern::triangle(), Pattern::cycle(4), Pattern::star(3)] {
         let occ = engine
@@ -104,7 +104,7 @@ fn index_witnesses_verify_against_the_target() {
     }
     // K4 verdict matches brute force on a small instance.
     let small = gg::random_stacked_triangulation(40, 3);
-    let small_index = build_index_auto(&small, IndexParams::default()).unwrap();
+    let small_index = Psi::builder().open(&small).unwrap().freeze();
     let se = IndexedEngine::new(&small_index);
     let brute = psi_baselines::ullmann_decide(&Pattern::clique(4), &small);
     if brute {
@@ -167,7 +167,8 @@ fn malformed_artifacts_are_rejected_with_structured_errors() {
 fn semantically_inconsistent_sections_are_rejected() {
     let e = pg::triangulated_grid_embedded(6, 6);
     let index = build(&e, IndexParams::default());
-    let good = SectionedFile::from_bytes(&index.to_bytes(), 1).unwrap();
+    let good =
+        SectionedFile::from_bytes(&index.to_bytes(), planar_subiso::INDEX_SCHEMA_VERSION).unwrap();
 
     // Rebuild the file with one section replaced by garbage (valid checksum!).
     let rebuild_with = |victim: &str, payload: Vec<u8>| -> Vec<u8> {
@@ -244,7 +245,7 @@ fn unservable_queries_fail_identically_across_the_boundary() {
 #[test]
 fn connectivity_batch_matches_flow_baseline_after_round_trip() {
     let g = gg::random_stacked_triangulation(120, 9);
-    let index = build_index_auto(&g, IndexParams::default()).unwrap();
+    let index = Psi::builder().open(&g).unwrap().freeze();
     let loaded = PsiIndex::from_bytes(&index.to_bytes()).unwrap();
     let engine = IndexedEngine::new(&loaded);
     let n = g.num_vertices() as u32;

@@ -3,10 +3,7 @@
 //! acceptance case — an embedding-stripped n ≈ 262k triangulated grid
 //! planarity-tested, embedded, and run through `decide(C4)` end to end.
 
-use planar_subiso::{
-    decide_auto, embed_checked, find_one_auto, vertex_connectivity, vertex_connectivity_auto,
-    ConnectivityMode, Pattern,
-};
+use planar_subiso::{embed_checked, vertex_connectivity, ConnectivityMode, Pattern, Psi, PsiError};
 use psi_graph::{generators as gg, io};
 use psi_planar::{generators as pg, rotation_system};
 use std::time::Instant;
@@ -35,9 +32,9 @@ fn acceptance_262k_grid_embeds_and_decides() {
     assert_eq!(embedding.num_faces(), 2 * 511 * 511 + 1);
 
     let start = Instant::now();
-    assert!(decide_auto(&Pattern::cycle(4), &g).expect("planarity re-check failed"));
+    assert!(Psi::decide_in(&Pattern::cycle(4), &g).expect("planarity re-check failed"));
     println!(
-        "262k decide_auto(C4): {:.2} s",
+        "262k Psi::decide_in(C4): {:.2} s",
         start.elapsed().as_secs_f64()
     );
 }
@@ -76,7 +73,7 @@ fn io_file_to_pipeline_round_trip() {
     let _ = std::fs::remove_file(&path);
     assert_eq!(loaded, g);
 
-    let occ = find_one_auto(&Pattern::cycle(4), &loaded)
+    let occ = Psi::find_one_in(&Pattern::cycle(4), &loaded)
         .expect("planar file rejected")
         .expect("grid has C4s");
     assert!(planar_subiso::verify_occurrence(
@@ -92,7 +89,7 @@ fn io_file_to_pipeline_round_trip() {
     std::fs::write(&wheel_path, io::write_edge_list(&gg::wheel(12))).unwrap();
     let wheel = io::read_graph_file(&wheel_path).unwrap();
     let _ = std::fs::remove_file(&wheel_path);
-    let conn = vertex_connectivity_auto(&wheel, ConnectivityMode::WholeGraph, 1)
+    let conn = Psi::vertex_connectivity_of(&wheel, ConnectivityMode::WholeGraph, 1)
         .expect("planar file rejected");
     assert_eq!(conn.connectivity, 3);
 }
@@ -111,7 +108,7 @@ fn engine_embedding_matches_native_connectivity_verdicts() {
     ];
     for native in cases {
         let expected = vertex_connectivity(&native, ConnectivityMode::WholeGraph, 1).connectivity;
-        let auto = vertex_connectivity_auto(&native.graph, ConnectivityMode::WholeGraph, 1)
+        let auto = Psi::vertex_connectivity_of(&native.graph, ConnectivityMode::WholeGraph, 1)
             .expect("planar control rejected")
             .connectivity;
         assert_eq!(auto, expected, "n = {}", native.graph.num_vertices());
@@ -125,10 +122,16 @@ fn front_door_rejects_with_verified_certificates() {
         gg::complete_bipartite(3, 3),
         gg::torus_grid(5, 5),
     ] {
-        let w = decide_auto(&Pattern::triangle(), &g).expect_err("non-planar target accepted");
+        let e = Psi::decide_in(&Pattern::triangle(), &g).expect_err("non-planar target accepted");
+        let PsiError::NonPlanar(w) = e else {
+            panic!("expected a NonPlanar rejection, got {e:?}");
+        };
         assert!(w.verify(&g));
-        let w = vertex_connectivity_auto(&g, ConnectivityMode::WholeGraph, 1)
+        let e = Psi::vertex_connectivity_of(&g, ConnectivityMode::WholeGraph, 1)
             .expect_err("non-planar target accepted");
+        let PsiError::NonPlanar(w) = e else {
+            panic!("expected a NonPlanar rejection, got {e:?}");
+        };
         assert!(w.verify(&g));
     }
 }
