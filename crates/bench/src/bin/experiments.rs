@@ -65,7 +65,8 @@ fn main() {
         f10_path_layers();
     }
     if want("bench_dp") {
-        bench_dp();
+        let check = args.iter().any(|a| a == "--check");
+        bench_dp(check);
     }
     if want("bench_cover") {
         let check = args.iter().any(|a| a == "--check");
@@ -956,6 +957,18 @@ fn extract_case_median(json: &str, name: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Extracts an integer-valued field of a named case row from a committed
+/// baseline JSON (same line-oriented format the bench writers emit).
+fn extract_case_field(json: &str, name: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let key = format!("\"{field}\": ");
+    let idx = line.find(&key)?;
+    let rest = &line[idx + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 /// One machine-readable measurement of the DP state engine.
 struct DpBenchCase {
     name: &'static str,
@@ -965,6 +978,12 @@ struct DpBenchCase {
     interned_bytes: usize,
     hits: u64,
     misses: u64,
+    /// Rows rewritten to their Inside/Outside mirror (flip canonicalisation).
+    flips: usize,
+    /// Insertions dropped by flag-dominance pruning.
+    dominated: usize,
+    /// Match-state interns redirected to another automorphism-orbit representative.
+    orbit_merges: usize,
 }
 
 impl DpBenchCase {
@@ -977,10 +996,15 @@ impl DpBenchCase {
 ///
 /// Each case reports the median wall-clock of several runs plus the interned-state
 /// accounting of the last run (states and bytes are deterministic per case, so one
-/// sample suffices for them). The JSON is the perf trajectory future PRs diff against;
-/// CI's nightly job uploads it as an artifact.
-fn bench_dp() {
+/// sample suffices for them), including the separating-DP pruning counters (flips
+/// canonicalised, rows dominated, orbit merges). The JSON is the perf trajectory
+/// future PRs diff against; CI's nightly job uploads it as an artifact. With
+/// `--check`, fresh results are gated against the committed baseline: a >2x
+/// wall-time regression, a >1.5x interned-state regression, or pruning counters
+/// collapsing to zero on a case where the baseline had them all exit non-zero.
+fn bench_dp(check: bool) {
     println!("\n== bench_dp: DP state-engine baselines -> BENCH_dp.json ==");
+    let baseline = std::fs::read_to_string("BENCH_dp.json").ok();
     let mut cases: Vec<DpBenchCase> = Vec::new();
 
     // Plain + parallel DP: decision tables on a mid-size triangulated grid.
@@ -1011,6 +1035,9 @@ fn bench_dp() {
             interned_bytes: stats.arena.bytes,
             hits: stats.arena.hits,
             misses: stats.arena.misses,
+            flips: 0,
+            dominated: 0,
+            orbit_merges: 0,
         });
     }
 
@@ -1044,33 +1071,45 @@ fn bench_dp() {
     }
 
     // Connectivity: the full pipeline on the 4-connected octahedron (two exhaustive
-    // no-instance searches before the separating C8 is found) and the 5-connected
-    // icosahedron (three exhaustive searches — the worst case of Section 5.2).
+    // no-instance searches before the separating C8 is found), the 5-connected
+    // icosahedron (three exhaustive searches — the worst case of Section 5.2), and a
+    // 3-connected stacked triangulation whose verdict comes from the C6 search (one
+    // exhaustive C4 pass, then a C6 witness — the `k = 6` family of the ROADMAP).
     for (name, e, runs) in [
         ("conn_octahedron", pg::octahedron(), 3usize),
-        ("conn_icosahedron", pg::icosahedron(), 1usize),
+        ("conn_icosahedron", pg::icosahedron(), 3),
+        (
+            "conn_stacked64_c6",
+            pg::stacked_triangulation_embedded(64, 3),
+            3,
+        ),
     ] {
         let mut all_ms = Vec::new();
-        let mut last_states = 0usize;
+        let mut last = None;
         for _ in 0..runs {
             let start = Instant::now();
             let result = vertex_connectivity(&e, ConnectivityMode::WholeGraph, 1);
             all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
-            last_states = result.states_explored;
+            last = Some(result);
         }
+        let result = last.unwrap();
+        let stats = result.stats;
         cases.push(DpBenchCase {
             name,
             all_ms,
-            states: last_states,
-            peak_states: 0,
-            interned_bytes: 0,
-            hits: 0,
-            misses: 0,
+            states: result.states_explored,
+            peak_states: stats.peak_node_states,
+            interned_bytes: stats.arena.bytes,
+            hits: stats.arena.hits,
+            misses: stats.arena.misses,
+            flips: stats.flips_canonicalised,
+            dominated: stats.dominated_dropped,
+            orbit_merges: stats.orbit_merges,
         });
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_dp/v1\",\n");
+    json.push_str("{\n  \"schema\": \"bench_dp/v2\",\n");
     json.push_str(&format!(
         "  \"host_threads\": {},\n  \"cases\": [\n",
         std::thread::available_parallelism()
@@ -1082,7 +1121,8 @@ fn bench_dp() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"median_ms\": {:.2}, \"all_ms\": [{}], \
              \"states\": {}, \"peak_states\": {}, \"interned_bytes\": {}, \
-             \"hits\": {}, \"misses\": {}}}{}\n",
+             \"hits\": {}, \"misses\": {}, \"flips\": {}, \"dominated\": {}, \
+             \"orbit_merges\": {}}}{}\n",
             c.name,
             c.median_ms(),
             all.join(", "),
@@ -1091,19 +1131,81 @@ fn bench_dp() {
             c.interned_bytes,
             c.hits,
             c.misses,
+            c.flips,
+            c.dominated,
+            c.orbit_merges,
             if i + 1 == cases.len() { "" } else { "," }
         ));
         println!(
-            "{:<26} median {:>10.2} ms   states {:>9}   peak {:>8}",
+            "{:<26} median {:>10.2} ms   states {:>9}   peak {:>8}   pruned {:>9}",
             c.name,
             c.median_ms(),
             c.states,
-            c.peak_states
+            c.peak_states,
+            c.flips + c.dominated + c.orbit_merges
         );
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_dp.json", json).expect("write BENCH_dp.json");
     println!("wrote BENCH_dp.json");
+
+    if check {
+        let Some(baseline) = baseline else {
+            println!("--check: no committed BENCH_dp.json baseline; skipping gate");
+            return;
+        };
+        let mut regressed = false;
+        for c in &cases {
+            let Some(old_ms) = extract_case_median(&baseline, c.name) else {
+                println!("--check: case {} absent from baseline; skipping", c.name);
+                continue;
+            };
+            let fresh_ms = c.median_ms();
+            let ratio = fresh_ms / old_ms;
+            let mut verdicts: Vec<&str> = Vec::new();
+            if ratio > 2.0 {
+                verdicts.push("TIME REGRESSED");
+            }
+            // State-space gate: the interned-state count is deterministic per case,
+            // so any real growth is a pruning regression, not noise. 1.5x of slack
+            // tolerates intentional case re-shaping without masking a lost lever.
+            if let Some(old_states) = extract_case_field(&baseline, c.name, "states") {
+                if old_states > 0.0 && c.states as f64 > old_states * 1.5 {
+                    verdicts.push("STATES REGRESSED");
+                }
+            }
+            // Counter gate: a case whose baseline shows the pruning levers firing
+            // must keep firing them — all three collapsing to zero means a lever
+            // got disconnected even if wall time happens to stay flat.
+            let old_pruned: f64 = ["flips", "dominated", "orbit_merges"]
+                .iter()
+                .filter_map(|f| extract_case_field(&baseline, c.name, f))
+                .sum();
+            if old_pruned > 0.0 && c.flips + c.dominated + c.orbit_merges == 0 {
+                verdicts.push("PRUNING COUNTERS COLLAPSED");
+            }
+            let verdict = if verdicts.is_empty() {
+                "ok".to_string()
+            } else {
+                verdicts.join(" + ")
+            };
+            println!(
+                "--check: {:<26} baseline {:>9.2} ms, fresh {:>9.2} ms, ratio {:>5.2}x, \
+                 states {:>9}  {}",
+                c.name, old_ms, fresh_ms, ratio, c.states, verdict
+            );
+            if !verdicts.is_empty() {
+                regressed = true;
+            }
+        }
+        if regressed {
+            eprintln!(
+                "bench_dp regression gate failed (wall time >2x, states >1.5x, or \
+                 pruning counters collapsed against committed baseline)"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn bench_sep_case(
@@ -1130,6 +1232,9 @@ fn bench_sep_case(
         interned_bytes: stats.arena.bytes,
         hits: stats.arena.hits,
         misses: stats.arena.misses,
+        flips: stats.flips_canonicalised,
+        dominated: stats.dominated_dropped,
+        orbit_merges: stats.orbit_merges,
     }
 }
 

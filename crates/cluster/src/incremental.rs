@@ -18,7 +18,7 @@
 //!   candidates of its non-suspect neighbours (whose values are provably unchanged).
 //!
 //! Both repairs reproduce the from-scratch [`cluster`](crate::cluster) /
-//! [`cluster_parallel`](crate::cluster_parallel) fixpoint *bit for bit*: arrivals
+//! [`cluster_parallel`] fixpoint *bit for bit*: arrivals
 //! accumulate by repeated `+ 1.0` from the same start value along the same chains, so
 //! the floating-point results are identical, not merely close. (The one theoretical
 //! exception is a rounding collapse where a strictly smaller arrival becomes equal

@@ -16,11 +16,15 @@
 //! through the randomised separating k-d cover (near-linear work, correct with high
 //! probability after `O(log n)` repetitions).
 
-use crate::cover::search_separating_cover;
+use crate::cover::{search_separating_cover, LAYERED_ATTEMPT_WIDTH};
 use crate::pattern::Pattern;
-use crate::separating::{find_separating_occurrence_with_stats, SeparatingInstance};
+use crate::separating::{
+    find_separating_occurrence_in, find_separating_occurrence_with_stats, SepConfig, SepStats,
+    SeparatingInstance,
+};
 use psi_graph::{CsrGraph, Vertex, INVALID_VERTEX};
 use psi_planar::{face_vertex_graph, Embedding, FaceVertexGraph};
+use psi_treedecomp::BinaryTreeDecomposition;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How the separating-cycle searches are executed.
@@ -46,6 +50,11 @@ pub struct ConnectivityResult {
     /// dominant cost of the pipeline; a regression canary for the state engine). In
     /// `Cover` mode the count covers the pieces searched before the first hit.
     pub states_explored: usize,
+    /// Full state-engine accounting aggregated over the cycle searches: interning
+    /// (arena hits/misses/bytes, peak table) and the state-space reduction counters
+    /// (flips, dominated rows, orbit merges). In `Cover` mode only `sep_states` is
+    /// populated (the per-piece searches report a bare state count).
+    pub stats: SepStats,
 }
 
 /// Computes the vertex connectivity of an embedded planar graph.
@@ -96,6 +105,7 @@ fn degenerate_connectivity(g: &CsrGraph) -> Option<ConnectivityResult> {
             connectivity: 0,
             cut: Vec::new(),
             states_explored: 0,
+            stats: SepStats::default(),
         });
     }
     if n == 2 {
@@ -103,6 +113,7 @@ fn degenerate_connectivity(g: &CsrGraph) -> Option<ConnectivityResult> {
             connectivity: 1,
             cut: Vec::new(),
             states_explored: 0,
+            stats: SepStats::default(),
         });
     }
     let aps = psi_graph::articulation_points(g);
@@ -111,9 +122,28 @@ fn degenerate_connectivity(g: &CsrGraph) -> Option<ConnectivityResult> {
             connectivity: 1,
             cut: vec![a],
             states_explored: 0,
+            stats: SepStats::default(),
         });
     }
     None
+}
+
+/// The decomposition the whole-graph cycle searches share: min-degree, upgraded to
+/// the guaranteed-width layered construction when the heuristic comes out wide and
+/// the Baker/Eppstein bound beats it (the face–vertex graph is planar, so the
+/// embedding step only fails on inputs the heuristic must serve anyway).
+fn best_whole_graph_decomposition(g: &CsrGraph) -> BinaryTreeDecomposition {
+    let mut td = psi_treedecomp::min_degree_decomposition(g);
+    if td.width() > LAYERED_ATTEMPT_WIDTH {
+        if let Ok(embedding) = psi_planar::planar_embedding(g) {
+            if let Some(layered) = psi_treedecomp::layered_decomposition_auto(g, &embedding.faces) {
+                if layered.width() < td.width() {
+                    td = layered;
+                }
+            }
+        }
+    }
+    BinaryTreeDecomposition::from_decomposition(&td)
 }
 
 /// The separating-cycle loop of Lemma 5.1 on a 2-connected `g` with its face–vertex
@@ -131,6 +161,10 @@ fn separating_cycle_connectivity(
 
     // Complete graphs (K3, K4) have no separating cycle at all but connectivity n − 1.
     let mut states_explored = 0usize;
+    let mut agg = SepStats::default();
+    // The whole-graph searches all run on one decomposition of G' (the instance graph
+    // is the same for every cycle length), computed lazily on first use.
+    let mut shared_btd: Option<BinaryTreeDecomposition> = None;
     for c in 2..=4usize {
         if c >= n {
             break;
@@ -143,15 +177,21 @@ fn separating_cycle_connectivity(
                     in_s: &in_s,
                     allowed: &allowed,
                 };
-                let (occ, stats) = find_separating_occurrence_with_stats(&inst, &cycle);
+                let btd =
+                    shared_btd.get_or_insert_with(|| best_whole_graph_decomposition(&fv.graph));
+                let (occ, stats) =
+                    find_separating_occurrence_in(&inst, &cycle, SepConfig::default(), btd);
                 states_explored += stats.sep_states;
+                agg.absorb(&stats);
                 occ.map(|occ| fv.original_vertices_of(&occ))
             }
             ConnectivityMode::Cover { repetitions } => {
                 let counter = AtomicUsize::new(0);
                 let hit = search_with_cover(&fv.graph, &in_s, &cycle, repetitions, seed, &counter)
                     .map(|occ| fv.original_vertices_of(&occ));
-                states_explored += counter.into_inner();
+                let piece_states = counter.into_inner();
+                states_explored += piece_states;
+                agg.sep_states += piece_states;
                 hit
             }
         };
@@ -171,6 +211,7 @@ fn separating_cycle_connectivity(
                 connectivity: c,
                 cut,
                 states_explored,
+                stats: agg,
             };
         }
     }
@@ -179,6 +220,7 @@ fn separating_cycle_connectivity(
         connectivity: 5.min(n - 1),
         cut: Vec::new(),
         states_explored,
+        stats: agg,
     }
 }
 

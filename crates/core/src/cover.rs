@@ -58,6 +58,12 @@ pub const SHARD_VERTEX_TARGET: usize = 4096;
 /// over dozens of small windows.
 pub const DEFAULT_BATCH_BUDGET: usize = 256;
 
+/// Min-degree width above which the guaranteed-width layered construction is also
+/// tried (and adopted when narrower). The DP cost is exponential in the width, so
+/// below this threshold the heuristic is already fine and the embedding work would be
+/// pure overhead; above it, a missed `3d + 2` guarantee would dominate the run time.
+pub const LAYERED_ATTEMPT_WIDTH: usize = 6;
+
 /// The batch budget appropriate for a `k`-vertex pattern.
 ///
 /// Packing pays off when the per-window DP is near-linear (small patterns: bounded
@@ -168,7 +174,7 @@ pub struct CoverBatch {
     pub local_to_global: Vec<Vertex>,
     /// `(cluster centre vertex, level_start, vertex offset into the union)` per
     /// packed window, in emission order. All windows of a batch come from the same
-    /// cluster (batches are cluster-pure, see [`emit_cluster_batches`]).
+    /// cluster (batches are cluster-pure, see `emit_cluster_batches`).
     pub windows: Vec<(u32, u32, u32)>,
 }
 
@@ -205,8 +211,23 @@ impl CoverBatch {
     /// empty) matches across, so the batched DP costs the sum of the per-window DPs
     /// plus `O(1)` chain overhead.
     pub fn decomposition(&self) -> psi_treedecomp::BinaryTreeDecomposition {
+        self.decomposition_described().0
+    }
+
+    /// As [`CoverBatch::decomposition`], additionally reporting how many segments
+    /// adopted the guaranteed-width layered construction (recorded in the frozen
+    /// index's metadata).
+    ///
+    /// Per segment the min-degree heuristic runs first; only when its width exceeds
+    /// [`LAYERED_ATTEMPT_WIDTH`] is the segment embedded and the Baker/Eppstein
+    /// decomposition tried, keeping the common case (thousands of tiny windows, all of
+    /// width ≤ `3(d+1)` already) free of embedding work. The narrower decomposition
+    /// wins; ties keep min-degree. Both candidates — and therefore the choice — are
+    /// pure functions of the batch content, so freeze determinism is unaffected.
+    pub fn decomposition_described(&self) -> (psi_treedecomp::BinaryTreeDecomposition, usize) {
         let mut bags: Vec<Vec<Vertex>> = Vec::new();
         let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut layered_segments = 0usize;
         for (start, end) in self.segment_ranges() {
             let adjacency: Vec<Vec<Vertex>> = (start..end)
                 .map(|v| {
@@ -218,7 +239,19 @@ impl CoverBatch {
                 })
                 .collect();
             let seg = CsrGraph::from_sorted_adjacency(adjacency);
-            let td = psi_treedecomp::min_degree_decomposition(&seg);
+            let mut td = psi_treedecomp::min_degree_decomposition(&seg);
+            if td.width() > LAYERED_ATTEMPT_WIDTH {
+                if let Ok(embedding) = psi_planar::planar_embedding(&seg) {
+                    if let Some(layered) =
+                        psi_treedecomp::layered_decomposition_auto(&seg, &embedding.faces)
+                    {
+                        if layered.width() < td.width() {
+                            td = layered;
+                            layered_segments += 1;
+                        }
+                    }
+                }
+            }
             let base = bags.len();
             if base > 0 {
                 // attach this segment's first bag to the previous segment's last bag;
@@ -233,7 +266,10 @@ impl CoverBatch {
             edges.extend(td.tree_edges.iter().map(|&(a, b)| (base + a, base + b)));
         }
         let td = psi_treedecomp::TreeDecomposition::new(bags, edges, self.graph.num_vertices());
-        psi_treedecomp::BinaryTreeDecomposition::from_decomposition(&td)
+        (
+            psi_treedecomp::BinaryTreeDecomposition::from_decomposition(&td),
+            layered_segments,
+        )
     }
 }
 
@@ -291,7 +327,7 @@ fn shard_ranges(clustering: &Clustering) -> Vec<(u32, u32)> {
 /// The full build implements this over a [`Clustering`]'s flat member layout
 /// ([`StaticClusterView`]); the dynamic index implements it over the
 /// [`psi_cluster::DynamicClustering`] centre oracle with vertex ids as slots. Both
-/// feed the same [`emit_cluster_batches`] — the single code path that guarantees an
+/// feed the same `emit_cluster_batches` — the single code path that guarantees an
 /// incremental per-cluster rebuild is bit-identical to the from-scratch build.
 pub(crate) trait ClusterView {
     /// The cluster's centre vertex (BFS root and canonical window stamp).

@@ -341,13 +341,17 @@ pub(crate) struct LiftedSide {
 }
 
 impl LiftedSide {
-    /// Lifts every state of `side` to `bag`, deduplicating unless `keep_all`.
+    /// Lifts every state of `side` to `bag`, deduplicating unless `keep_all`. With
+    /// `quotient` set, lifted states are first rewritten to their orbit representative
+    /// under `Aut(H)` (sound because untracked joins probe the index under every group
+    /// translation, so any orbit member stands in for the whole orbit).
     pub(crate) fn build(
         side: &NodeTable,
         bag: &[Vertex],
         pattern: &Pattern,
         k: usize,
         keep_all: bool,
+        quotient: bool,
     ) -> LiftedSide {
         let mut out = LiftedSide {
             words: Vec::new(),
@@ -363,6 +367,9 @@ impl LiftedSide {
         for (i, state) in side.iter().enumerate() {
             if !lift_words(state, bag, pattern, &mut buf) {
                 continue;
+            }
+            if quotient {
+                pattern.canonicalize_words(&mut buf);
             }
             if let Some(seen) = &mut seen {
                 if !seen.intern(&buf).1 {
@@ -486,6 +493,15 @@ pub(crate) fn for_each_candidate<F: FnMut(usize)>(bits: &[u64], mut f: F) {
 /// Computes the table of one decomposition-tree node from its children's tables.
 ///
 /// `left`/`right` are `None` for leaves. Derivations are tracked iff `track` is set.
+///
+/// When derivations are untracked and the pattern has a (fully enumerated) non-trivial
+/// automorphism group, states are interned modulo `Aut(H)`: every insertion is rewritten
+/// to its orbit representative, and joins probe the right side under every group
+/// translation of the left row (`join(a∘τ, b)` ranges over exactly the orbits of
+/// `join(a', b')` for all orbit members `a'`, `b'`, since
+/// `join(a∘ρ, b∘σ) = join(a∘ρσ⁻¹, b)∘σ` and the result is canonicalised anyway). The
+/// quotient divides table sizes by up to `|Aut(H)|` and the quadratic join work by the
+/// same factor; tracked runs skip it so occurrence recovery stays positional.
 pub fn compute_node(
     bag: &[Vertex],
     graph: &CsrGraph,
@@ -495,35 +511,68 @@ pub fn compute_node(
     track: bool,
 ) -> NodeTable {
     let k = pattern.k();
+    let quotient = !track && pattern.quotient_decision_tables();
     let mut table = NodeTable::new(k, track);
+    let mut canon: Vec<u32> = Vec::with_capacity(k);
     match (left, right) {
         (None, None) => {
             let base = vec![ST_UNMATCHED; k];
             extend_all_words(&base, bag, pattern, graph, &mut |s| {
-                table.insert_words(s, Derivation::Leaf);
+                if quotient {
+                    canon.clear();
+                    canon.extend_from_slice(s);
+                    pattern.canonicalize_words(&mut canon);
+                    table.insert_words(&canon, Derivation::Leaf);
+                } else {
+                    table.insert_words(s, Derivation::Leaf);
+                }
             });
         }
         (Some(l), Some(r)) => {
-            let lifted_left = LiftedSide::build(l, bag, pattern, k, track);
-            let lifted_right = LiftedSide::build(r, bag, pattern, k, track);
+            let lifted_left = LiftedSide::build(l, bag, pattern, k, track, quotient);
+            let lifted_right = LiftedSide::build(r, bag, pattern, k, track, quotient);
             let index = MatchIndex::build(&lifted_right.words, lifted_right.len(), k, k);
+            let num_translations = if quotient {
+                pattern.automorphisms().len()
+            } else {
+                1
+            };
             let mut cand = Vec::new();
             let mut joined = Vec::with_capacity(k);
+            let mut translated = vec![0u32; k];
             for li in 0..lifted_left.len() {
-                let ls = lifted_left.state(li, k);
-                index.candidates(ls, &mut cand);
-                for_each_candidate(&cand, |ri| {
-                    let rs = lifted_right.state(ri, k);
-                    if join_words(ls, rs, pattern, graph, &mut joined) {
-                        let derivation = Derivation::Join {
-                            left: lifted_left.child[li],
-                            right: lifted_right.child[ri],
-                        };
-                        extend_all_words(&joined, bag, pattern, graph, &mut |s| {
-                            table.insert_words(s, derivation);
-                        });
-                    }
-                });
+                for t in 0..num_translations {
+                    let ls: &[u32] = if t == 0 {
+                        lifted_left.state(li, k)
+                    } else {
+                        crate::state::words_apply_perm(
+                            lifted_left.state(li, k),
+                            &pattern.automorphisms()[t],
+                            &mut translated,
+                        );
+                        &translated
+                    };
+                    index.candidates(ls, &mut cand);
+                    for_each_candidate(&cand, |ri| {
+                        let rs = lifted_right.state(ri, k);
+                        if join_words(ls, rs, pattern, graph, &mut joined) {
+                            let derivation = Derivation::Join {
+                                left: lifted_left.child[li],
+                                right: lifted_right.child[ri],
+                            };
+                            extend_all_words(&joined, bag, pattern, graph, &mut |s| {
+                                if quotient {
+                                    canon.clear();
+                                    canon.extend_from_slice(s);
+                                    pattern.canonicalize_words(&mut canon);
+                                    table.insert_words(&canon, derivation);
+                                } else {
+                                    table.insert_words(s, derivation);
+                                }
+                            });
+                        }
+                    });
+                }
             }
         }
         _ => unreachable!("binary decomposition nodes have zero or two children"),

@@ -183,7 +183,15 @@ fn process_path(
             let on_path_child = path[m - 1];
             let off = if l == on_path_child { r } else { l };
             let off_table = done[off].as_ref().expect("off-path child computed");
-            let side = crate::dp::LiftedSide::build(off_table, &btd.bags[node], pattern, k, false);
+            let quotient = pattern.quotient_decision_tables();
+            let side = crate::dp::LiftedSide::build(
+                off_table,
+                &btd.bags[node],
+                pattern,
+                k,
+                false,
+                quotient,
+            );
             let index = crate::dp::MatchIndex::build(&side.words, side.len(), k, k);
             (side.words, index)
         })
@@ -216,25 +224,56 @@ fn process_path(
                     let node = path[m];
                     let bag = &btd.bags[node];
                     let (off, index) = &off_lifted[m - 1];
+                    // The same Aut(H) quotient as the sequential `compute_node`: probe
+                    // the off-path index under every group translation of the lifted
+                    // on-path state and canonicalise every emission, so the resulting
+                    // state *sets* stay identical to the sequential tables.
+                    let quotient = pattern.quotient_decision_tables();
+                    let num_translations = if quotient {
+                        pattern.automorphisms().len()
+                    } else {
+                        1
+                    };
                     // Candidate states, stride k, in deterministic emission order.
                     let mut out: Vec<u32> = Vec::new();
                     let mut lifted_child = Vec::with_capacity(k);
+                    let mut translated = vec![0u32; k];
                     let mut joined = Vec::with_capacity(k);
+                    let mut canon = Vec::with_capacity(k);
                     let mut cand = Vec::new();
                     for &child_id in &consumed[m - 1] {
                         let child_words = tables_ref[m - 1].state_words(child_id);
                         if !lift_words(child_words, bag, pattern, &mut lifted_child) {
                             continue;
                         }
-                        index.candidates(&lifted_child, &mut cand);
-                        crate::dp::for_each_candidate(&cand, |oi| {
-                            let off_words = &off[oi * k..(oi + 1) * k];
-                            if join_words(&lifted_child, off_words, pattern, graph, &mut joined) {
-                                extend_all_words(&joined, bag, pattern, graph, &mut |s| {
-                                    out.extend_from_slice(s)
-                                });
-                            }
-                        });
+                        for t in 0..num_translations {
+                            let probe: &[u32] = if t == 0 {
+                                &lifted_child
+                            } else {
+                                crate::state::words_apply_perm(
+                                    &lifted_child,
+                                    &pattern.automorphisms()[t],
+                                    &mut translated,
+                                );
+                                &translated
+                            };
+                            index.candidates(probe, &mut cand);
+                            crate::dp::for_each_candidate(&cand, |oi| {
+                                let off_words = &off[oi * k..(oi + 1) * k];
+                                if join_words(probe, off_words, pattern, graph, &mut joined) {
+                                    extend_all_words(&joined, bag, pattern, graph, &mut |s| {
+                                        if quotient {
+                                            canon.clear();
+                                            canon.extend_from_slice(s);
+                                            pattern.canonicalize_words(&mut canon);
+                                            out.extend_from_slice(&canon);
+                                        } else {
+                                            out.extend_from_slice(s);
+                                        }
+                                    });
+                                }
+                            });
+                        }
                     }
                     (m, out)
                 })
@@ -286,6 +325,7 @@ fn closure(
     from: usize,
 ) {
     let k = pattern.k();
+    let quotient = pattern.quotient_decision_tables();
     // Copy the source rows out of the arena once (the subsequent merge mutates the
     // ancestors' tables, so the source table cannot stay borrowed), then compute the
     // lift chains in parallel and merge sequentially.
@@ -303,6 +343,11 @@ fn closure(
             for (j, &path_node) in path.iter().enumerate().skip(from + 1) {
                 if !lift_words(&current, &btd.bags[path_node], pattern, &mut next) {
                     break;
+                }
+                // Keep the chain on orbit representatives (lift commutes with the
+                // group action, so canonicalising between hops is sound).
+                if quotient {
+                    pattern.canonicalize_words(&mut next);
                 }
                 out.push((j, next.clone()));
                 std::mem::swap(&mut current, &mut next);

@@ -13,7 +13,7 @@
 //!    vertices only — see [`psi_cluster::incremental`]),
 //! 3. *marking dirty* exactly the clusters whose membership or induced subgraph
 //!    changed. Their batches are rebuilt lazily — by the next query, freeze, or
-//!    explicit [`DynamicPsiIndex::flush`] — through [`emit_cluster_batches`],
+//!    explicit [`DynamicPsiIndex::flush`] — through `emit_cluster_batches`,
 //!    the same single code path the from-scratch build uses. Deferral is what
 //!    makes mutations cheap at scale: the flip itself is a local repair, and a
 //!    cluster hit by many flips between two queries is rebuilt once, not once
@@ -658,7 +658,7 @@ impl DynamicPsiIndex {
     }
 
     /// Re-emits the batches of every centre in `affected` (sorted, deduplicated)
-    /// for round `r`, through the same [`emit_cluster_batches`] path as the
+    /// for round `r`, through the same `emit_cluster_batches` path as the
     /// from-scratch build. Centres that are no longer centres are just removed.
     fn rebuild_clusters(&mut self, r: usize, affected: &[Vertex]) -> usize {
         let d = self.params.d as usize;
@@ -682,7 +682,11 @@ impl DynamicPsiIndex {
                 &mut self.batch,
                 &self.counters,
                 &mut |b| {
-                    let decomp = FlatDecomposition::from_binary(&b.decomposition());
+                    // Mirror the build exactly (including the layered-segment
+                    // count) so freeze() stays bit-identical to a fresh build.
+                    let (btd, layered) = b.decomposition_described();
+                    let mut decomp = FlatDecomposition::from_binary(&btd);
+                    decomp.layered_segments = layered as u32;
                     batches.push(IndexedBatch { batch: b, decomp });
                     None
                 },

@@ -70,7 +70,8 @@ use std::fmt;
 use std::path::Path;
 
 /// Schema version of the serialised index artifact. Bumped on any layout change;
-/// readers reject other versions with [`SectionReadError::UnsupportedVersion`].
+/// readers reject versions outside `[MIN_INDEX_SCHEMA_VERSION, INDEX_SCHEMA_VERSION]`
+/// with [`SectionReadError::UnsupportedVersion`].
 ///
 /// Version history:
 /// * **1** — initial sectioned layout; window stamps were dense cluster ids and
@@ -78,7 +79,14 @@ use std::path::Path;
 /// * **2** — window stamps are cluster *centre vertices* and batches are
 ///   cluster-pure, making every round's byte stream a pure function of the cluster
 ///   set — the invariant the incremental [`crate::dynamic`] updates splice against.
-pub const INDEX_SCHEMA_VERSION: u32 = 2;
+/// * **3** — each stored decomposition records `layered_segments`, the number of
+///   cover segments whose bags came from the guaranteed-width layered construction
+///   ([`psi_treedecomp::layered_decomposition_auto`]) instead of the min-degree
+///   heuristic. v2 artifacts still load (the count defaults to 0).
+pub const INDEX_SCHEMA_VERSION: u32 = 3;
+
+/// Oldest artifact version [`PsiIndex::from_bytes`] still accepts.
+pub const MIN_INDEX_SCHEMA_VERSION: u32 = 2;
 
 /// Planar vertex connectivity is at most 5 (Euler), so s–t queries cap there.
 pub const CONNECTIVITY_CAP: usize = 5;
@@ -138,6 +146,10 @@ pub struct FlatDecomposition {
     pub children: Vec<u32>,
     /// Root node id.
     pub root: u32,
+    /// How many of the batch's cover segments got their bags from the
+    /// guaranteed-width layered construction rather than the min-degree heuristic
+    /// (provenance only — the DP never reads it). 0 in artifacts older than v3.
+    pub layered_segments: u32,
 }
 
 impl FlatDecomposition {
@@ -171,6 +183,7 @@ impl FlatDecomposition {
             bag_data,
             children,
             root: btd.root as u32,
+            layered_segments: 0,
         }
     }
 
@@ -268,7 +281,9 @@ impl PsiIndex {
                     1, // min_vertices: store every window so k' < k patterns are served
                     params.batch_budget as usize,
                     |batch| {
-                        let decomp = FlatDecomposition::from_binary(&batch.decomposition());
+                        let (btd, layered) = batch.decomposition_described();
+                        let mut decomp = FlatDecomposition::from_binary(&btd);
+                        decomp.layered_segments = layered as u32;
                         IndexedBatch { batch, decomp }
                     },
                 );
@@ -446,6 +461,7 @@ impl PsiIndex {
                 }
                 push_u64(&mut payload, ib.decomp.num_nodes() as u64);
                 push_u32(&mut payload, ib.decomp.root);
+                push_u32(&mut payload, ib.decomp.layered_segments);
                 push_u32_slice(&mut payload, &ib.decomp.bag_offsets);
                 push_u32_slice(&mut payload, &ib.decomp.bag_data);
                 push_u32_slice(&mut payload, &ib.decomp.children);
@@ -471,7 +487,19 @@ impl PsiIndex {
     /// query engines rely on — CSR well-formedness, id ranges, window offsets,
     /// decomposition tree shape. Load never re-derives covers or decompositions.
     pub fn from_bytes(data: &[u8]) -> Result<PsiIndex, IndexLoadError> {
-        let file = SectionedFile::from_bytes(data, INDEX_SCHEMA_VERSION)?;
+        // Current version first; on a version mismatch retry with any older
+        // still-supported schema (the only layout difference v2 → v3 is the
+        // per-batch `layered_segments` count, absent in v2).
+        let file = match SectionedFile::from_bytes(data, INDEX_SCHEMA_VERSION) {
+            Ok(file) => file,
+            Err(SectionReadError::UnsupportedVersion { found, .. })
+                if (MIN_INDEX_SCHEMA_VERSION..INDEX_SCHEMA_VERSION).contains(&found) =>
+            {
+                SectionedFile::from_bytes(data, found)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let schema_version = file.version;
         let section = |name: &str| -> Result<&[u8], IndexLoadError> {
             file.section(name).ok_or_else(|| IndexLoadError::Section {
                 section: name.to_string(),
@@ -581,7 +609,7 @@ impl PsiIndex {
         for round in 0..rounds_declared {
             let name = format!("round{round}");
             let payload = section(&name)?;
-            rounds.push(decode_round(&name, payload, n)?);
+            rounds.push(decode_round(&name, payload, n, schema_version)?);
         }
 
         Ok(PsiIndex {
@@ -600,6 +628,7 @@ fn decode_round(
     name: &str,
     payload: &[u8],
     target_n: usize,
+    schema_version: u32,
 ) -> Result<Vec<IndexedBatch>, IndexLoadError> {
     let fail = |detail: String| IndexLoadError::Section {
         section: name.to_string(),
@@ -655,7 +684,7 @@ fn decode_round(
             }
             windows.push((cluster, level_start, offset));
         }
-        let decomp = decode_decomposition(&mut r, name, b, bn)?;
+        let decomp = decode_decomposition(&mut r, name, b, bn, schema_version)?;
         batches.push(IndexedBatch {
             batch: CoverBatch {
                 graph,
@@ -679,6 +708,7 @@ fn decode_decomposition(
     name: &str,
     batch: usize,
     batch_n: usize,
+    schema_version: u32,
 ) -> Result<FlatDecomposition, IndexLoadError> {
     let fail = |detail: String| IndexLoadError::Section {
         section: name.to_string(),
@@ -698,6 +728,13 @@ fn decode_decomposition(
     if root as usize >= nodes {
         return Err(fail(format!("batch {batch}: root out of range")));
     }
+    // v3 records which construction produced the segments' bags; v2 predates it.
+    let layered_segments = if schema_version >= 3 {
+        r.take_u32()
+            .ok_or_else(|| fail(format!("batch {batch}: missing layered count")))?
+    } else {
+        0
+    };
     let bag_offsets = r
         .take_u32_vec(nodes + 1)
         .ok_or_else(|| fail(format!("batch {batch}: truncated bag offsets")))?;
@@ -752,6 +789,7 @@ fn decode_decomposition(
         bag_data,
         children,
         root,
+        layered_segments,
     })
 }
 
@@ -1368,8 +1406,9 @@ mod tests {
         let e = pg::triangulated_grid_embedded(9, 7);
         let index = PsiIndex::build(&e, IndexParams::default());
         for ib in index.rounds().iter().flatten().take(10) {
-            let btd = ib.batch.decomposition();
-            let flat = FlatDecomposition::from_binary(&btd);
+            let (btd, layered) = ib.batch.decomposition_described();
+            let mut flat = FlatDecomposition::from_binary(&btd);
+            flat.layered_segments = layered as u32;
             assert_eq!(flat, ib.decomp);
             let back = flat.to_binary(ib.batch.graph.num_vertices());
             assert_eq!(back.bags, btd.bags);
@@ -1388,6 +1427,58 @@ mod tests {
         assert_eq!(back, index);
         // byte-idempotent
         assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn v2_artifacts_still_load() {
+        let index = small_index();
+        // Re-encode by hand in the v2 layout: identical except the per-batch
+        // layered-segment count (and the container version stamp).
+        let v3 = SectionedFile::from_bytes(&index.to_bytes(), INDEX_SCHEMA_VERSION).unwrap();
+        let mut v2 = SectionedFile::new(2);
+        for name in ["meta", "target", "faces", "fvgraph"] {
+            v2.push_section(name, v3.section(name).unwrap().to_vec());
+        }
+        for (r, batches) in index.rounds.iter().enumerate() {
+            let mut payload = Vec::new();
+            push_u64(&mut payload, batches.len() as u64);
+            for ib in batches {
+                encode_csr(&ib.batch.graph, &mut payload);
+                push_u64(&mut payload, ib.batch.local_to_global.len() as u64);
+                push_u32_slice(&mut payload, &ib.batch.local_to_global);
+                push_u64(&mut payload, ib.batch.windows.len() as u64);
+                for &(cluster, level_start, offset) in &ib.batch.windows {
+                    push_u32(&mut payload, cluster);
+                    push_u32(&mut payload, level_start);
+                    push_u32(&mut payload, offset);
+                }
+                push_u64(&mut payload, ib.decomp.num_nodes() as u64);
+                push_u32(&mut payload, ib.decomp.root);
+                push_u32_slice(&mut payload, &ib.decomp.bag_offsets);
+                push_u32_slice(&mut payload, &ib.decomp.bag_data);
+                push_u32_slice(&mut payload, &ib.decomp.children);
+            }
+            v2.push_section(&format!("round{r}"), payload);
+        }
+        let back = PsiIndex::from_bytes(&v2.to_bytes()).unwrap();
+        assert_eq!(back.target, index.target);
+        for (a, b) in back
+            .rounds
+            .iter()
+            .flatten()
+            .zip(index.rounds.iter().flatten())
+        {
+            assert_eq!(a.batch, b.batch);
+            // v2 cannot carry provenance; everything else survives untouched.
+            assert_eq!(a.decomp.layered_segments, 0);
+            assert_eq!(a.decomp.bag_offsets, b.decomp.bag_offsets);
+            assert_eq!(a.decomp.bag_data, b.decomp.bag_data);
+            assert_eq!(a.decomp.children, b.decomp.children);
+            assert_eq!(a.decomp.root, b.decomp.root);
+        }
+        // Re-saving a v2-loaded index writes the current schema.
+        let resaved = SectionedFile::from_bytes(&back.to_bytes(), INDEX_SCHEMA_VERSION).unwrap();
+        assert_eq!(resaved.version, INDEX_SCHEMA_VERSION);
     }
 
     #[test]

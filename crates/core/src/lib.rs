@@ -89,13 +89,15 @@ pub use dynamic::{DynamicPsiIndex, MutationError, UpdateStats};
 pub use index::{
     FlatDecomposition, IndexLoadError, IndexParams, IndexedBatch, IndexedEngine, PsiIndex,
     QueryError, CONNECTIVITY_CAP, FAST_PATH_NODE_BUDGET, INDEX_SCHEMA_VERSION,
+    MIN_INDEX_SCHEMA_VERSION,
 };
 pub use isomorphism::{decide, find_one, DpStrategy, QueryConfig, SubgraphIsomorphism};
 pub use listing::{count_distinct_images, list_all, list_all_outcome, ListingOutcome};
 pub use pattern::{verify_occurrence, Pattern};
 pub use psi::{Psi, PsiBuilder, PsiError};
 pub use separating::{
-    find_separating_occurrence, find_separating_occurrence_with_stats, is_separating, SepStats,
-    SeparatingInstance,
+    find_separating_occurrence, find_separating_occurrence_in,
+    find_separating_occurrence_with_config, find_separating_occurrence_with_stats, is_separating,
+    SepConfig, SepStats, SeparatingInstance,
 };
 pub use state::MatchState;

@@ -31,10 +31,13 @@
 
 use crate::arena::{ArenaStats, StateArena, StateId};
 use crate::pattern::Pattern;
-use crate::state::{words_mapped_pairs, words_num_unmatched, ST_IN_CHILD, ST_UNMATCHED};
+use crate::state::{
+    words_apply_perm, words_mapped_pairs, words_num_unmatched, ST_IN_CHILD, ST_UNMATCHED,
+};
 use psi_graph::{CsrGraph, Vertex};
 use psi_treedecomp::{min_degree_decomposition, BinaryTreeDecomposition};
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
 /// Side label of a bag vertex.
 pub const LABEL_IMAGE: u32 = 0;
@@ -77,8 +80,61 @@ pub struct SepStats {
     pub base_states: usize,
     /// Largest single node table.
     pub peak_node_states: usize,
+    /// Rows rewritten to their Inside/Outside mirror at insertion (flip symmetry).
+    pub flips_canonicalised: usize,
+    /// Insertions dropped because an existing row at equal (match-state, labels)
+    /// strictly dominated their ix/ox flags.
+    pub dominated_dropped: usize,
+    /// Match-state interns rewritten to a different `Aut(H)`-orbit representative.
+    pub orbit_merges: usize,
     /// Aggregated arena statistics (base arena + every node table).
     pub arena: ArenaStats,
+}
+
+impl SepStats {
+    /// Accumulates another run's accounting (counters add, peaks max, arenas absorb) —
+    /// used by the connectivity pipeline to aggregate its per-cycle-length searches.
+    pub fn absorb(&mut self, other: &SepStats) {
+        self.sep_states += other.sep_states;
+        self.base_states += other.base_states;
+        self.peak_node_states = self.peak_node_states.max(other.peak_node_states);
+        self.flips_canonicalised += other.flips_canonicalised;
+        self.dominated_dropped += other.dominated_dropped;
+        self.orbit_merges += other.orbit_merges;
+        self.arena.absorb(&other.arena);
+    }
+}
+
+/// Per-lever toggles of the separating-state space reduction. All levers are on by
+/// default; disabling them individually exists for A/B testing and the
+/// pruned-vs-unpruned agreement suite.
+#[derive(Clone, Copy, Debug)]
+pub struct SepConfig {
+    /// Canonicalise every interned row to the lexicographically smaller of itself and
+    /// its Inside/Outside mirror (separating states come in side-swapped pairs; one
+    /// representative per pair suffices for the verdict and the witness).
+    pub flip: bool,
+    /// Drop insertions whose ix/ox flags are strictly dominated by an already-interned
+    /// row at equal (match-state, labels): flags only ever accumulate and acceptance is
+    /// monotone in them, so the dominated row cannot reach any verdict the dominating
+    /// one misses.
+    pub dominance: bool,
+    /// Intern match-states modulo the pattern's automorphism group (joins probe the
+    /// partner side under every group translation, so one orbit representative stands
+    /// in for all `|Aut(H)|` equivalent match-states). Witnesses are recovered by an
+    /// automorphism-free rerun of the accepting search, as positional reconstruction
+    /// does not survive the quotient.
+    pub automorphism: bool,
+}
+
+impl Default for SepConfig {
+    fn default() -> Self {
+        SepConfig {
+            flip: true,
+            dominance: true,
+            automorphism: true,
+        }
+    }
 }
 
 /// Decides whether an S-separating occurrence of `pattern` exists in the instance, and
@@ -108,6 +164,16 @@ pub fn find_separating_occurrence_with_stats(
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
 ) -> (Option<Vec<Vertex>>, SepStats) {
+    find_separating_occurrence_with_config(instance, pattern, SepConfig::default())
+}
+
+/// As [`find_separating_occurrence_with_stats`], with explicit control over the
+/// state-space reduction levers of [`SepConfig`].
+pub fn find_separating_occurrence_with_config(
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+    cfg: SepConfig,
+) -> (Option<Vec<Vertex>>, SepStats) {
     let graph = instance.graph;
     let k = pattern.k();
     if k == 0 || k > graph.num_vertices() {
@@ -115,6 +181,76 @@ pub fn find_separating_occurrence_with_stats(
     }
     let td = min_degree_decomposition(graph);
     let btd = BinaryTreeDecomposition::from_decomposition(&td);
+    find_separating_occurrence_in(instance, pattern, cfg, &btd)
+}
+
+/// Runs the separating search on a caller-supplied binary tree decomposition of the
+/// instance graph. The connectivity pipeline uses this to compute one (possibly
+/// guaranteed-width) decomposition and share it across its per-cycle-length searches.
+/// The decomposition's bags must be sorted and at most 64 vertices wide.
+pub fn find_separating_occurrence_in(
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+    cfg: SepConfig,
+    btd: &BinaryTreeDecomposition,
+) -> (Option<Vec<Vertex>>, SepStats) {
+    let k = pattern.k();
+    if k == 0 || k > instance.graph.num_vertices() {
+        return (None, SepStats::default());
+    }
+    let run = run_separating(instance, pattern, btd, cfg);
+    let Some(accept) = run.accept else {
+        return (None, run.stats);
+    };
+    if cfg.automorphism && pattern.has_nontrivial_automorphisms() {
+        // The accepting run interned match-states modulo `Aut(H)`, so the positional
+        // derivation walk would splice together incompatibly-translated fragments.
+        // Rerun the (known-accepting) search without the quotient purely for
+        // reconstruction — flip and dominance are reconstruction-safe and stay on —
+        // and report the reduced run's statistics. Only yes-instances pay for this;
+        // the no-instance searches that dominate the connectivity pipeline never do.
+        let rerun = run_separating(
+            instance,
+            pattern,
+            btd,
+            SepConfig {
+                automorphism: false,
+                ..cfg
+            },
+        );
+        let occ = rerun
+            .accept
+            .and_then(|a| reconstruct_witness(&rerun, btd, k, a));
+        return (occ, run.stats);
+    }
+    (reconstruct_witness(&run, btd, k, accept), run.stats)
+}
+
+/// The complete result of one separating-DP run over a fixed decomposition: the
+/// per-node tables, the derivation map, the shared base arena, the first accepting
+/// root row (if any), and the state accounting.
+struct SepRun {
+    tables: Vec<StateArena>,
+    parents: Vec<Vec<[u32; 2]>>,
+    base_arena: StateArena,
+    accept: Option<u32>,
+    stats: SepStats,
+}
+
+fn run_separating(
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+    btd: &BinaryTreeDecomposition,
+    cfg: SepConfig,
+) -> SepRun {
+    let graph = instance.graph;
+    let k = pattern.k();
+    let use_aut = cfg.automorphism && pattern.has_nontrivial_automorphisms();
+    let num_aut = if use_aut {
+        pattern.automorphisms().len()
+    } else {
+        1
+    };
     let num_nodes = btd.num_nodes();
 
     // The shared per-run arena of match-state words: every separating state points into
@@ -126,12 +262,17 @@ pub fn find_separating_occurrence_with_stats(
     let mut parents: Vec<Vec<[u32; 2]>> = vec![Vec::new(); num_nodes];
 
     let mut scratch = Scratch::default();
+    let (mut flips, mut dominated, mut orbit_merges) = (0usize, 0usize, 0usize);
+    let mut sink_buf: Vec<u32> = Vec::new();
     for node in btd.postorder() {
         let bag = &btd.bags[node];
         let width = ROW_LABELS + bag.len();
         let bag_adj = bag_adjacency(bag, graph);
         let mut table = StateArena::new(width);
         let mut derivation: Vec<[u32; 2]> = Vec::new();
+        // Per-node Pareto fronts of the dominance lever: for every (match-state,
+        // labels) pair, the bit mask of ix/ox flag values already interned there.
+        let mut fronts: HashMap<(u32, u128), u8> = HashMap::new();
         match btd.children[node] {
             None => {
                 // Leaf: extend the all-unmatched base with every label completion.
@@ -145,12 +286,22 @@ pub fn find_separating_occurrence_with_stats(
                     &bag_adj,
                     instance,
                     pattern,
+                    use_aut,
                     &mut base_arena,
                     &mut scratch,
+                    &mut orbit_merges,
                     &mut |row| {
-                        if table.intern(row).1 {
-                            derivation.push([u32::MAX, u32::MAX]);
-                        }
+                        sink_row(
+                            row,
+                            [u32::MAX, u32::MAX],
+                            cfg,
+                            &mut table,
+                            &mut derivation,
+                            &mut fronts,
+                            &mut flips,
+                            &mut dominated,
+                            &mut sink_buf,
+                        );
                     },
                 );
             }
@@ -167,8 +318,11 @@ pub fn find_separating_occurrence_with_stats(
                     bag,
                     instance,
                     pattern,
+                    use_aut,
+                    cfg.flip,
                     &mut base_arena,
                     &mut scratch,
+                    &mut orbit_merges,
                 );
                 let lifted_right = lift_side(
                     &tables[r],
@@ -176,57 +330,131 @@ pub fn find_separating_occurrence_with_stats(
                     bag,
                     instance,
                     pattern,
+                    use_aut,
+                    cfg.flip,
                     &mut base_arena,
                     &mut scratch,
+                    &mut orbit_merges,
                 );
                 let index = SepJoinIndex::build(&lifted_right, width, bag.len(), &base_arena, k);
                 let mut joined_seen = StateArena::new(width);
                 let mut joined_base = Vec::with_capacity(k);
                 let mut joined_row = vec![0u32; width];
                 let mut left_base = Vec::with_capacity(k);
+                // Flat buffer of the distinct `Aut(H)` translations of the current
+                // left base (stride `k`).
+                let mut translations: Vec<u32> = Vec::new();
+                let mut probe_row = vec![0u32; width];
                 let mut cand: Vec<u64> = Vec::new();
                 for li in 0..lifted_left.child.len() {
                     let ls = &lifted_left.rows[li * width..(li + 1) * width];
                     let lorig = lifted_left.child[li];
                     left_base.clear();
                     left_base.extend_from_slice(base_arena.get(StateId(ls[ROW_BASE])));
-                    index.candidates(ls, &left_base, &mut cand);
-                    crate::dp::for_each_candidate(&cand, |ri| {
-                        let rs = &lifted_right.rows[ri * width..(ri + 1) * width];
-                        let rorig = lifted_right.child[ri];
-                        if !join_rows(
-                            ls,
-                            rs,
-                            instance,
-                            pattern,
-                            &base_arena,
-                            &mut joined_base,
-                            &mut joined_row,
-                        ) {
-                            return;
+                    // Both sides store one representative per Aut(H) orbit, so join
+                    // completeness needs every translated probe of the left base: for
+                    // any pair of true states (a∘ρ, b∘σ), join(a∘ρ, b∘σ) equals
+                    // join(a∘ρσ⁻¹, b)∘σ, and the trailing σ is erased when the joined
+                    // base is canonicalised below. States with large stabilisers
+                    // collapse to few distinct translations.
+                    translations.clear();
+                    for ai in 0..num_aut {
+                        let start = translations.len();
+                        translations.resize(start + k, 0);
+                        if ai == 0 {
+                            translations[start..].copy_from_slice(&left_base);
+                        } else {
+                            let (_, dst) = translations.split_at_mut(start);
+                            words_apply_perm(&left_base, &pattern.automorphisms()[ai], dst);
                         }
-                        let (bid, _) = base_arena.intern(&joined_base);
-                        joined_row[ROW_BASE] = bid.0;
-                        if !joined_seen.intern(&joined_row).1 {
-                            return;
+                        let dup = {
+                            let (prev, cur) = translations.split_at(start);
+                            prev.chunks_exact(k).any(|p| p == cur)
+                        };
+                        if dup {
+                            translations.truncate(start);
                         }
-                        extend(
-                            &joined_base,
-                            &joined_row[ROW_LABELS..],
-                            joined_row[ROW_FLAGS],
-                            bag,
-                            &bag_adj,
-                            instance,
-                            pattern,
-                            &mut base_arena,
-                            &mut scratch,
-                            &mut |row| {
-                                if table.intern(row).1 {
-                                    derivation.push([lorig, rorig]);
+                    }
+                    for probe_base in translations.chunks_exact(k) {
+                        // Probe with the row and (flip lever on) its Inside/Outside
+                        // mirror: tables keep one representative per flip pair, and
+                        // join(F(a), b) is flip-equivalent to join(a, F(b)), so the two
+                        // probes together cover all four side combinations.
+                        for fi in 0..if cfg.flip { 2 } else { 1 } {
+                            let probe: &[u32] = if fi == 0 {
+                                ls
+                            } else {
+                                probe_row[ROW_BASE] = ls[ROW_BASE];
+                                probe_row[ROW_FLAGS] = flip_flags(ls[ROW_FLAGS]);
+                                for (dst, &src) in
+                                    probe_row[ROW_LABELS..].iter_mut().zip(&ls[ROW_LABELS..])
+                                {
+                                    *dst = flip_label(src);
                                 }
-                            },
-                        );
-                    });
+                                if probe_row[..] == *ls {
+                                    continue; // the row is its own mirror
+                                }
+                                &probe_row
+                            };
+                            index.candidates(probe, probe_base, &mut cand);
+                            crate::dp::for_each_candidate(&cand, |ri| {
+                                let rs = &lifted_right.rows[ri * width..(ri + 1) * width];
+                                let rorig = lifted_right.child[ri];
+                                if !join_rows(
+                                    probe_base,
+                                    probe,
+                                    rs,
+                                    instance,
+                                    pattern,
+                                    &base_arena,
+                                    &mut joined_base,
+                                    &mut joined_row,
+                                ) {
+                                    return;
+                                }
+                                if use_aut && pattern.canonicalize_words(&mut joined_base) {
+                                    orbit_merges += 1;
+                                }
+                                let (bid, _) = base_arena.intern(&joined_base);
+                                joined_row[ROW_BASE] = bid.0;
+                                if cfg.flip {
+                                    // Extending only the canonical side of the joined
+                                    // row is complete: extension commutes with the
+                                    // flip, and the sink canonicalises anyway.
+                                    flip_canonicalize_row(&mut joined_row);
+                                }
+                                if !joined_seen.intern(&joined_row).1 {
+                                    return;
+                                }
+                                extend(
+                                    &joined_base,
+                                    &joined_row[ROW_LABELS..],
+                                    joined_row[ROW_FLAGS],
+                                    bag,
+                                    &bag_adj,
+                                    instance,
+                                    pattern,
+                                    use_aut,
+                                    &mut base_arena,
+                                    &mut scratch,
+                                    &mut orbit_merges,
+                                    &mut |row| {
+                                        sink_row(
+                                            row,
+                                            [lorig, rorig],
+                                            cfg,
+                                            &mut table,
+                                            &mut derivation,
+                                            &mut fronts,
+                                            &mut flips,
+                                            &mut dominated,
+                                            &mut sink_buf,
+                                        );
+                                    },
+                                );
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -238,6 +466,9 @@ pub fn find_separating_occurrence_with_stats(
         sep_states: tables.iter().map(StateArena::len).sum(),
         base_states: base_arena.len(),
         peak_node_states: tables.iter().map(StateArena::len).max().unwrap_or(0),
+        flips_canonicalised: flips,
+        dominated_dropped: dominated,
+        orbit_merges,
         arena: base_arena.stats(),
     };
     for t in &tables {
@@ -246,6 +477,8 @@ pub fn find_separating_occurrence_with_stats(
 
     // Root acceptance: complete base, and both sides hold an S vertex (counting the
     // root-bag vertices that were never forgotten). Rows are read off the arena slab.
+    // Acceptance is flip-symmetric (both flags must be set) and monotone in the flags,
+    // so testing only the canonical, undominated representatives is exact.
     let root = btd.root;
     let root_bag = &btd.bags[root];
     let accept = (0..tables[root].len() as u32).find(|&idx| {
@@ -275,25 +508,38 @@ pub fn find_separating_occurrence_with_stats(
         }
         ix && ox
     });
-    let Some(accept) = accept else {
-        return (None, stats);
-    };
 
-    // Witness reconstruction: walk the derivation chain collecting mapped targets,
-    // reading every state as a borrowed arena row (no clones along the chain).
+    SepRun {
+        tables,
+        parents,
+        base_arena,
+        accept,
+        stats,
+    }
+}
+
+/// Walks the derivation chain of an accepting root row, merging the mapped targets of
+/// every contributing match-state (all states read as borrowed arena rows). Only valid
+/// for runs whose match-states were interned positionally (no automorphism quotient).
+fn reconstruct_witness(
+    run: &SepRun,
+    btd: &BinaryTreeDecomposition,
+    k: usize,
+    accept: u32,
+) -> Option<Vec<Vertex>> {
     let mut mapping = vec![u32::MAX; k];
-    let mut stack: Vec<(usize, u32)> = vec![(root, accept)];
+    let mut stack: Vec<(usize, u32)> = vec![(btd.root, accept)];
     let mut guard = 0usize;
     while let Some((node, idx)) = stack.pop() {
         guard += 1;
         if guard > 4 * btd.num_nodes() * (k + 2) {
             break;
         }
-        let row = tables[node].get(StateId(idx));
-        for (pv, t) in words_mapped_pairs(base_arena.get(StateId(row[ROW_BASE]))) {
+        let row = run.tables[node].get(StateId(idx));
+        for (pv, t) in words_mapped_pairs(run.base_arena.get(StateId(row[ROW_BASE]))) {
             mapping[pv] = t;
         }
-        let [l, r] = parents[node][idx as usize];
+        let [l, r] = run.parents[node][idx as usize];
         if let Some([lc, rc]) = btd.children[node] {
             if l != u32::MAX {
                 stack.push((lc, l));
@@ -306,9 +552,104 @@ pub fn find_separating_occurrence_with_stats(
     if mapping.contains(&u32::MAX) {
         // The derivation chain lost a mapping (should not happen); report no witness
         // rather than a bogus one.
-        return (None, stats);
+        return None;
     }
-    (Some(mapping), stats)
+    Some(mapping)
+}
+
+/// `ix`/`ox` under the Inside/Outside mirror: the two flag bits swap.
+#[inline]
+fn flip_flags(f: u32) -> u32 {
+    ((f & FLAG_IX) << 1) | ((f & FLAG_OX) >> 1)
+}
+
+/// A side label under the Inside/Outside mirror (`Image` and `Undecided` are fixed).
+#[inline]
+fn flip_label(l: u32) -> u32 {
+    match l {
+        LABEL_INSIDE => LABEL_OUTSIDE,
+        LABEL_OUTSIDE => LABEL_INSIDE,
+        other => other,
+    }
+}
+
+/// Rewrites `row` in place to the lexicographically smaller of itself and its
+/// Inside/Outside mirror over the `[flags, labels…]` plane (the match-state component
+/// is flip-invariant). Returns whether the row changed.
+fn flip_canonicalize_row(row: &mut [u32]) -> bool {
+    use std::cmp::Ordering;
+    let mut ord = flip_flags(row[ROW_FLAGS]).cmp(&row[ROW_FLAGS]);
+    for &l in &row[ROW_LABELS..] {
+        if ord != Ordering::Equal {
+            break;
+        }
+        ord = flip_label(l).cmp(&l);
+    }
+    if ord != Ordering::Less {
+        return false;
+    }
+    row[ROW_FLAGS] = flip_flags(row[ROW_FLAGS]);
+    for l in &mut row[ROW_LABELS..] {
+        *l = flip_label(*l);
+    }
+    true
+}
+
+/// Per flag value `f`, the mask of flag values that are **strict** supersets of `f`
+/// (bit `v` set iff `v ⊋ f`): a row is dominated only by a row whose flags carry
+/// strictly more information at the same match-state and labels.
+const STRICT_SUPERSETS: [u8; 4] = [0b1110, 0b1000, 0b1000, 0b0000];
+
+/// Packs a fully-decided label vector into two bits per position (labels are 0/1/2 and
+/// bags hold at most 64 vertices, so the digest is exact, not a hash).
+fn labels_digest(labels: &[u32]) -> u128 {
+    let mut d = 0u128;
+    for &l in labels {
+        d = (d << 2) | l as u128;
+    }
+    d
+}
+
+/// Insertion funnel of a node table: flip-canonicalises the emitted row, drops it if
+/// an already-interned row at the same (match-state, labels) strictly dominates its
+/// flags, and interns survivors, recording their derivation. Equal flags fall through
+/// to the arena (whose hit accounting the stats tests rely on).
+#[allow(clippy::too_many_arguments)]
+fn sink_row(
+    row: &[u32],
+    derived_from: [u32; 2],
+    cfg: SepConfig,
+    table: &mut StateArena,
+    derivation: &mut Vec<[u32; 2]>,
+    fronts: &mut HashMap<(u32, u128), u8>,
+    flips: &mut usize,
+    dominated: &mut usize,
+    buf: &mut Vec<u32>,
+) {
+    buf.clear();
+    buf.extend_from_slice(row);
+    if cfg.flip && flip_canonicalize_row(buf) {
+        *flips += 1;
+    }
+    if cfg.dominance {
+        let key = (buf[ROW_BASE], labels_digest(&buf[ROW_LABELS..]));
+        let f = buf[ROW_FLAGS] as usize;
+        match fronts.entry(key) {
+            Entry::Occupied(mut e) => {
+                if *e.get() & STRICT_SUPERSETS[f] != 0 {
+                    *dominated += 1;
+                    return;
+                }
+                *e.get_mut() |= 1 << f;
+            }
+            Entry::Vacant(e) => {
+                e.insert(1 << f);
+            }
+        }
+    }
+    if table.intern(buf).1 {
+        derivation.push(derived_from);
+    }
 }
 
 /// Reusable scratch buffers of one separating-DP run.
@@ -320,6 +661,7 @@ struct Scratch {
     allowed_targets: Vec<Vertex>,
     undecided: Vec<usize>,
     ext_ids: Vec<u32>,
+    canon: Vec<u32>,
 }
 
 /// The lifted rows of one child (stride = parent row width) plus the child row id each
@@ -407,8 +749,11 @@ fn lift_side(
     parent_bag: &[Vertex],
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
+    use_aut: bool,
+    flip: bool,
     base_arena: &mut StateArena,
     scratch: &mut Scratch,
+    orbit_merges: &mut usize,
 ) -> LiftedRows {
     let width = ROW_LABELS + parent_bag.len();
     let mut out = LiftedRows {
@@ -423,10 +768,17 @@ fn lift_side(
             parent_bag,
             instance,
             pattern,
+            use_aut,
             base_arena,
             scratch,
+            orbit_merges,
         ) {
             continue;
+        }
+        if flip {
+            // Lifting can flip-decanonicalise a row (forgotten S vertices move flag
+            // bits); re-canonicalise so flip-equivalent lifts collapse in the dedup.
+            flip_canonicalize_row(&mut scratch.row);
         }
         if !seen.intern(&scratch.row).1 {
             continue;
@@ -442,14 +794,17 @@ fn lift_side(
 /// actually be mapped (their pattern vertex becomes `C`, with the same forget-safety
 /// rule as the plain DP), and `Inside`/`Outside` vertices in `S` set the corresponding
 /// flag. Returns `false` if the lift is illegal.
+#[allow(clippy::too_many_arguments)]
 fn lift_row(
     row: &[u32],
     child_bag: &[Vertex],
     parent_bag: &[Vertex],
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
+    use_aut: bool,
     base_arena: &mut StateArena,
     scratch: &mut Scratch,
+    orbit_merges: &mut usize,
 ) -> bool {
     let mut flags = row[ROW_FLAGS];
     {
@@ -500,6 +855,12 @@ fn lift_row(
             }
         }
     }
+    if use_aut && pattern.canonicalize_words(&mut scratch.base) {
+        // Forgetting can move a match-state off its orbit representative (the
+        // automorphism action permutes pattern positions, and forget-safety is
+        // equivariant under it); re-canonicalise before interning.
+        *orbit_merges += 1;
+    }
     let (bid, _) = base_arena.intern(&scratch.base);
     // Labels of the parent bag: keep labels of shared vertices, leave new vertices
     // undecided for the parent's extension step to fill in.
@@ -516,8 +877,12 @@ fn lift_row(
 }
 
 /// Joins two lifted rows at a common bag, writing the joined base words into
-/// `joined_base` and the joined row (base id left unset) into `joined_row`.
+/// `joined_base` and the joined row (base id left unset) into `joined_row`. The left
+/// base is passed explicitly because the join loop probes with translated/mirrored
+/// variants of the stored row; the right base is read off the arena.
+#[allow(clippy::too_many_arguments)]
 fn join_rows(
+    a_base: &[u32],
     a: &[u32],
     b: &[u32],
     instance: &SeparatingInstance<'_>,
@@ -527,7 +892,7 @@ fn join_rows(
     joined_row: &mut [u32],
 ) -> bool {
     if !crate::dp::join_words(
-        base_arena.get(StateId(a[ROW_BASE])),
+        a_base,
         base_arena.get(StateId(b[ROW_BASE])),
         pattern,
         instance.graph,
@@ -588,8 +953,10 @@ fn extend<F: FnMut(&[u32])>(
     bag_adj: &[u64],
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
+    use_aut: bool,
     base_arena: &mut StateArena,
     scratch: &mut Scratch,
+    orbit_merges: &mut usize,
     out: &mut F,
 ) {
     // Mapped targets force LABEL_IMAGE (every mapped target of a state is in the bag).
@@ -640,6 +1007,7 @@ fn extend<F: FnMut(&[u32])>(
     let mut row_buf = std::mem::take(&mut scratch.row);
     let mut allowed_targets = std::mem::take(&mut scratch.allowed_targets);
     let mut ext_ids = std::mem::take(&mut scratch.ext_ids);
+    let mut canon = std::mem::take(&mut scratch.canon);
     let undecided = std::mem::take(&mut scratch.undecided);
     let mut cx = ExtendCx {
         joined_base,
@@ -648,10 +1016,13 @@ fn extend<F: FnMut(&[u32])>(
         bag_adj,
         instance,
         pattern,
+        use_aut,
         undecided: &undecided,
         labels: &mut labels,
         allowed_targets: &mut allowed_targets,
         ext_ids: &mut ext_ids,
+        canon: &mut canon,
+        orbit_merges,
         row_buf: &mut row_buf,
     };
     enum_image_subsets(
@@ -667,6 +1038,7 @@ fn extend<F: FnMut(&[u32])>(
     scratch.row = row_buf;
     scratch.allowed_targets = allowed_targets;
     scratch.ext_ids = ext_ids;
+    scratch.canon = canon;
     scratch.undecided = undecided;
 }
 
@@ -678,11 +1050,14 @@ struct ExtendCx<'a> {
     bag_adj: &'a [u64],
     instance: &'a SeparatingInstance<'a>,
     pattern: &'a Pattern,
+    use_aut: bool,
     /// Bag positions whose labels are still undecided (fixed for the whole call).
     undecided: &'a [usize],
     labels: &'a mut Vec<u32>,
     allowed_targets: &'a mut Vec<Vertex>,
     ext_ids: &'a mut Vec<u32>,
+    canon: &'a mut Vec<u32>,
+    orbit_merges: &'a mut usize,
     row_buf: &'a mut Vec<u32>,
 }
 
@@ -708,15 +1083,32 @@ fn enum_image_subsets<F: FnMut(&[u32])>(
         }
         cx.ext_ids.clear();
         {
-            let (ext_ids, joined_base, allowed_targets, pattern, graph) = (
+            let (ext_ids, joined_base, allowed_targets, pattern, graph, use_aut, canon) = (
                 &mut *cx.ext_ids,
                 cx.joined_base,
                 &*cx.allowed_targets,
                 cx.pattern,
                 cx.instance.graph,
+                cx.use_aut,
+                &mut *cx.canon,
             );
+            let orbit_merges = &mut *cx.orbit_merges;
             crate::dp::extend_all_words(joined_base, allowed_targets, pattern, graph, &mut |w| {
-                ext_ids.push(base_arena.intern(w).0 .0);
+                if use_aut {
+                    canon.clear();
+                    canon.extend_from_slice(w);
+                    if pattern.canonicalize_words(canon) {
+                        *orbit_merges += 1;
+                    }
+                    let id = base_arena.intern(canon).0 .0;
+                    // Distinct extensions can share an orbit; dedup the representative
+                    // ids so each emits one row per label completion.
+                    if !ext_ids.contains(&id) {
+                        ext_ids.push(id);
+                    }
+                } else {
+                    ext_ids.push(base_arena.intern(w).0 .0);
+                }
             });
         }
         enum_sides(cx, 0, inside_mask, outside_mask, out);

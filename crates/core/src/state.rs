@@ -48,6 +48,20 @@ pub fn words_mapped_pairs(words: &[u32]) -> impl Iterator<Item = (usize, Vertex)
         .filter_map(|(i, &w)| (w < ST_IN_CHILD).then_some((i, w)))
 }
 
+/// Applies a pattern automorphism to a raw-word state: `dst[i] = src[perm[i]]`.
+///
+/// If `src` realises the partial map `φ` then `dst` realises `φ ∘ perm`, which is a
+/// partial match of the same bag whenever `perm` preserves pattern adjacency; `U`/`C`
+/// statuses travel with their pattern vertex.
+#[inline]
+pub fn words_apply_perm(src: &[u32], perm: &[u8], dst: &mut [u32]) {
+    debug_assert_eq!(src.len(), perm.len());
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, &p) in dst.iter_mut().zip(perm.iter()) {
+        *d = src[p as usize];
+    }
+}
+
 /// A partial match `(φ, C, U)`, one status word per pattern vertex.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MatchState(Box<[u32]>);
