@@ -114,6 +114,12 @@ impl DynamicClustering {
         self.center[v as usize]
     }
 
+    /// Whether `v` currently heads its own cluster (i.e. is a live centre).
+    #[inline]
+    pub fn is_center(&self, v: Vertex) -> bool {
+        self.center[v as usize] == v
+    }
+
     /// The shifted arrival time of `v`.
     #[inline]
     pub fn arrival_of(&self, v: Vertex) -> f64 {

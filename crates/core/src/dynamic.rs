@@ -36,13 +36,16 @@
 use crate::connectivity::{
     st_connectivity_capped, vertex_connectivity_with_fv, ConnectivityMode, ConnectivityResult,
 };
-use crate::cover::{emit_cluster_batches, BatchBuilder, ClusterScratch, ClusterView, PassCounters};
+use crate::cover::{
+    emit_cluster_batches, BatchBuilder, ClusterScratch, ClusterView, CoverBatch, PassCounters,
+};
 use crate::index::{
     admit_pattern, decide_in_batches, find_in_batches, FlatDecomposition, IndexParams,
     IndexedBatch, PsiIndex, QueryError, CONNECTIVITY_CAP,
 };
 use crate::isomorphism::DpStrategy;
 use crate::pattern::Pattern;
+use crate::snapshot::{EpochManager, EpochState, PsiSnapshot, RoundMap};
 use psi_cluster::DynamicClustering;
 use psi_graph::{
     biconnected_components, induced_subgraph, AdjacencyList, CsrGraph, NeighborSource, Vertex,
@@ -52,9 +55,9 @@ use psi_planar::{
     NonPlanarWitness,
 };
 use rayon::prelude::*;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 // ---------------------------------------------------------------------------
 // Errors and stats
@@ -394,18 +397,104 @@ pub struct DynamicPsiIndex {
     faces: FaceStore,
     /// One live clustering per stored round, same `(β, seed)` as at build time.
     clusterings: Vec<DynamicClustering>,
-    /// Per round: the round's batches keyed by cluster centre. Iterating values
-    /// in key order reproduces the frozen round's flat batch stream.
-    rounds: Vec<BTreeMap<Vertex, Vec<IndexedBatch>>>,
+    /// Per round: the round's batches keyed by cluster centre, `Arc`-shared with
+    /// any outstanding [`PsiSnapshot`]s. Iterating values in key order
+    /// reproduces the frozen round's flat batch stream. A flush never mutates a
+    /// published map: it clones the map (cheap — values are `Arc`s), splices the
+    /// rebuilt clusters into the copy, and publishes with one `Arc` swap.
+    rounds: Vec<Arc<RoundMap>>,
     /// Per round: centres whose batches are stale and must be re-emitted before
     /// the next batch scan (ordered so the flush is deterministic).
     dirty: Vec<BTreeSet<Vertex>>,
     scratch: ClusterScratch,
     batch: BatchBuilder,
     counters: PassCounters,
-    /// Lazily re-derived caches, reset by every mutation.
-    csr: OnceLock<CsrGraph>,
-    fv: OnceLock<FaceVertexGraph>,
+    /// Lazily re-derived caches, reset by every mutation. `Arc`-held so
+    /// snapshots share them instead of re-deriving.
+    csr: OnceLock<Arc<CsrGraph>>,
+    fv: OnceLock<Arc<FaceVertexGraph>>,
+    faces_cache: OnceLock<Arc<Vec<Vec<Vertex>>>>,
+    /// Epoch bookkeeping for [`DynamicPsiIndex::snapshot`].
+    epochs: EpochManager,
+    /// Content-addressed decomposition reuse across flushes (see [`DecompCache`]).
+    decomp_cache: DecompCache,
+}
+
+/// A bounded, content-addressed cache of per-batch tree decompositions.
+///
+/// `decomposition_described()` dominates flush cost, yet churn workloads keep
+/// re-creating batches the engine has already decomposed (an insert followed by
+/// the matching delete restores a cluster's exact batch content). When a flush
+/// replaces a cluster's batches, the old `Arc`'d vector is *harvested* into the
+/// cache keyed by [`CoverBatch::content_hash`]; a freshly emitted batch first
+/// looks itself up and, on a full-equality match (hash collisions can never
+/// corrupt answers), clones the stored [`FlatDecomposition`] instead of
+/// recomputing it. The decomposition is a pure function of batch content, so a
+/// hit is bit-identical to recomputation and `freeze()` determinism is
+/// untouched. Entries hold `Arc` references into retired round storage — no
+/// deep copies — and are evicted FIFO past [`DECOMP_CACHE_CAP`] entries.
+struct DecompCache {
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A retired cluster batch vector plus the index of the cached batch within it.
+type CacheEntry = (Arc<Vec<IndexedBatch>>, u32);
+
+/// Roughly one flush's worth of retired cluster batches at the 1M-vertex,
+/// 256-mutation benchmark scale (a few tens of MB of pinned retired rounds).
+const DECOMP_CACHE_CAP: usize = 4096;
+
+impl DecompCache {
+    fn new() -> DecompCache {
+        DecompCache {
+            buckets: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Admits every batch of a retired cluster vector (`Arc` bumps only).
+    fn admit(&mut self, batches: &Arc<Vec<IndexedBatch>>) {
+        for (i, _) in batches.iter().enumerate() {
+            let h = batches[i].batch.content_hash();
+            self.buckets
+                .entry(h)
+                .or_default()
+                .push((batches.clone(), i as u32));
+            self.order.push_back(h);
+            while self.order.len() > DECOMP_CACHE_CAP {
+                let old = self.order.pop_front().expect("order non-empty");
+                if let Some(bucket) = self.buckets.get_mut(&old) {
+                    if !bucket.is_empty() {
+                        bucket.remove(0);
+                    }
+                    if bucket.is_empty() {
+                        self.buckets.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The stored decomposition of a batch with content equal to `b`, if any.
+    fn lookup(&mut self, b: &CoverBatch) -> Option<FlatDecomposition> {
+        let h = b.content_hash();
+        if let Some(bucket) = self.buckets.get(&h) {
+            for (arc, i) in bucket {
+                let ib = &arc[*i as usize];
+                if ib.batch == *b {
+                    self.hits += 1;
+                    return Some(ib.decomp.clone());
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
 }
 
 impl fmt::Debug for DynamicPsiIndex {
@@ -435,14 +524,22 @@ impl DynamicPsiIndex {
         let clusterings: Vec<DynamicClustering> = (0..params.rounds)
             .map(|r| DynamicClustering::from_graph(&target, params.beta(), params.round_seed(r)))
             .collect();
-        let grouped: Vec<BTreeMap<Vertex, Vec<IndexedBatch>>> = rounds
+        let grouped: Vec<Arc<RoundMap>> = rounds
             .into_iter()
             .map(|round| {
+                // The artifact's round vectors are freshly decoded (refcount 1),
+                // so unwrapping moves the batches without copying.
+                let round = Arc::try_unwrap(round).unwrap_or_else(|arc| (*arc).clone());
                 let mut by_center: BTreeMap<Vertex, Vec<IndexedBatch>> = BTreeMap::new();
                 for ib in round {
                     by_center.entry(ib.batch.windows[0].0).or_default().push(ib);
                 }
-                by_center
+                Arc::new(
+                    by_center
+                        .into_iter()
+                        .map(|(c, batches)| (c, Arc::new(batches)))
+                        .collect::<RoundMap>(),
+                )
             })
             .collect();
         let csr = OnceLock::new();
@@ -461,6 +558,9 @@ impl DynamicPsiIndex {
             counters: PassCounters::default(),
             csr,
             fv: OnceLock::new(),
+            faces_cache: OnceLock::new(),
+            epochs: EpochManager::new(),
+            decomp_cache: DecompCache::new(),
         }
     }
 
@@ -470,8 +570,11 @@ impl DynamicPsiIndex {
     }
 
     /// Selects the DP engine run inside each scanned batch at query time.
+    /// Drops the current epoch's publication (the strategy is baked into a
+    /// snapshot) without consuming an epoch number — the graph did not move.
     pub fn set_strategy(&mut self, strategy: DpStrategy) {
         self.strategy = strategy;
+        self.epochs.invalidate();
     }
 
     /// The build parameters shared with the frozen artifact.
@@ -496,7 +599,19 @@ impl DynamicPsiIndex {
 
     /// The target as CSR (rebuilt lazily after a mutation, then cached).
     pub fn target_csr(&self) -> &CsrGraph {
-        self.csr.get_or_init(|| self.graph.to_csr())
+        self.target_arc()
+    }
+
+    /// The shared handle behind [`DynamicPsiIndex::target_csr`] (what snapshots
+    /// capture without copying).
+    fn target_arc(&self) -> &Arc<CsrGraph> {
+        self.csr.get_or_init(|| Arc::new(self.graph.to_csr()))
+    }
+
+    /// The live facial walks, `Arc`-cached until the next mutation.
+    fn faces_arc(&self) -> &Arc<Vec<Vec<Vertex>>> {
+        self.faces_cache
+            .get_or_init(|| Arc::new(self.faces.compact()))
     }
 
     /// The maintained embedding (target plus live facial walks). `O(n + m)`.
@@ -660,12 +775,22 @@ impl DynamicPsiIndex {
     /// Re-emits the batches of every centre in `affected` (sorted, deduplicated)
     /// for round `r`, through the same `emit_cluster_batches` path as the
     /// from-scratch build. Centres that are no longer centres are just removed.
+    ///
+    /// The rebuild is copy-on-write: the published round map is never touched.
+    /// A clone of the map (`O(clusters)` `Arc` bumps) takes the splices, and
+    /// one `Arc` swap at the end publishes it — snapshots pinning the old epoch
+    /// keep scanning the retired map, which is freed when the last one drops.
+    /// Replaced cluster vectors are harvested into the decomposition cache
+    /// before the swap so re-created batch content skips `decomposition_described`.
     fn rebuild_clusters(&mut self, r: usize, affected: &[Vertex]) -> usize {
         let d = self.params.d as usize;
         let mut rebuilt = 0usize;
+        let mut map: RoundMap = (*self.rounds[r]).clone();
         for &c in affected {
-            self.rounds[r].remove(&c);
-            if self.clusterings[r].center_of(c) != c {
+            if let Some(old) = map.remove(&c) {
+                self.decomp_cache.admit(&old);
+            }
+            if !self.clusterings[r].is_center(c) {
                 continue; // the cluster dissolved; nothing to re-emit
             }
             let view = DynClusterView {
@@ -673,6 +798,7 @@ impl DynamicPsiIndex {
                 center: c,
             };
             let mut batches: Vec<IndexedBatch> = Vec::new();
+            let decomp_cache = &mut self.decomp_cache;
             let _: Option<()> = emit_cluster_batches(
                 &self.graph,
                 &view,
@@ -684,22 +810,31 @@ impl DynamicPsiIndex {
                 &mut |b| {
                     // Mirror the build exactly (including the layered-segment
                     // count) so freeze() stays bit-identical to a fresh build.
-                    let (btd, layered) = b.decomposition_described();
-                    let mut decomp = FlatDecomposition::from_binary(&btd);
-                    decomp.layered_segments = layered as u32;
+                    // A cache hit is equality-verified against the emitted
+                    // batch, and the decomposition is a pure function of batch
+                    // content, so reuse preserves bit-identity.
+                    let decomp = decomp_cache.lookup(&b).unwrap_or_else(|| {
+                        let (btd, layered) = b.decomposition_described();
+                        let mut decomp = FlatDecomposition::from_binary(&btd);
+                        decomp.layered_segments = layered as u32;
+                        decomp
+                    });
                     batches.push(IndexedBatch { batch: b, decomp });
                     None
                 },
             );
             rebuilt += batches.len();
-            self.rounds[r].insert(c, batches);
+            map.insert(c, Arc::new(batches));
         }
+        self.rounds[r] = Arc::new(map); // publish: the single epoch swap
         rebuilt
     }
 
     fn invalidate_caches(&mut self) {
         self.csr = OnceLock::new();
         self.fv = OnceLock::new();
+        self.faces_cache = OnceLock::new();
+        self.epochs.advance();
     }
 
     // --- freezing ---------------------------------------------------------
@@ -718,9 +853,56 @@ impl DynamicPsiIndex {
         let rounds: Vec<Vec<IndexedBatch>> = self
             .rounds
             .iter()
-            .map(|round| round.values().flatten().cloned().collect())
+            .map(|round| {
+                round
+                    .values()
+                    .flat_map(|batches| batches.iter())
+                    .cloned()
+                    .collect()
+            })
             .collect();
         PsiIndex::from_parts(self.params, &embedding, rounds)
+    }
+
+    // --- snapshots ---------------------------------------------------------
+
+    /// The current epoch. Strictly increases across accepted mutations;
+    /// rejected mutations and queries leave it unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epochs.epoch()
+    }
+
+    /// Pins the current state as an immutable, `Send + Sync` [`PsiSnapshot`]
+    /// that concurrent readers can query while this engine keeps mutating and
+    /// flushing.
+    ///
+    /// Cost: one implicit [`DynamicPsiIndex::flush`] of the dirty backlog, then
+    /// `O(rounds)` `Arc` bumps — no graph or batch copies. Snapshots of an
+    /// unchanged engine share one cached publication (and one epoch number).
+    pub fn snapshot(&mut self) -> PsiSnapshot {
+        self.flush();
+        if let Some(state) = self.epochs.published() {
+            return PsiSnapshot::new(state);
+        }
+        let fv = OnceLock::new();
+        if let Some(warm) = self.fv.get() {
+            let _ = fv.set(warm.clone()); // share the engine's cache when warm
+        }
+        let state = EpochState {
+            epoch: self.epochs.epoch(),
+            params: self.params,
+            strategy: self.strategy,
+            target: self.target_arc().clone(),
+            faces: self.faces_arc().clone(),
+            fv,
+            rounds: self.rounds.clone(),
+        };
+        PsiSnapshot::new(self.epochs.store(state))
+    }
+
+    /// `(hits, misses)` of the flush-side decomposition cache since thaw.
+    pub fn decomp_cache_stats(&self) -> (u64, u64) {
+        (self.decomp_cache.hits, self.decomp_cache.misses)
     }
 
     // --- queries ----------------------------------------------------------
@@ -737,10 +919,13 @@ impl DynamicPsiIndex {
         if let Some(short) = admit_pattern(&self.params, self.graph.num_vertices(), pattern)? {
             return Ok(short.is_some());
         }
-        Ok(self
-            .rounds
-            .iter()
-            .any(|round| decide_in_batches(self.strategy, pattern, round.values().flatten())))
+        Ok(self.rounds.iter().any(|round| {
+            decide_in_batches(
+                self.strategy,
+                pattern,
+                round.values().flat_map(|batches| batches.iter()),
+            )
+        }))
     }
 
     /// Finds one occurrence (flushing dirty clusters first); the witness is the
@@ -757,9 +942,12 @@ impl DynamicPsiIndex {
         }
         let target = self.target_csr();
         for round in &self.rounds {
-            if let Some(occ) =
-                find_in_batches(self.strategy, pattern, target, round.values().flatten())
-            {
+            if let Some(occ) = find_in_batches(
+                self.strategy,
+                pattern,
+                target,
+                round.values().flat_map(|batches| batches.iter()),
+            ) {
                 return Ok(Some(occ));
             }
         }
@@ -819,7 +1007,10 @@ impl DynamicPsiIndex {
     pub fn vertex_connectivity(&self, mode: ConnectivityMode, seed: u64) -> ConnectivityResult {
         let target = self.target_csr();
         let fv = self.fv.get_or_init(|| {
-            face_vertex_graph(&Embedding::new(target.clone(), self.faces.compact()))
+            Arc::new(face_vertex_graph(&Embedding::new(
+                target.clone(),
+                self.faces.compact(),
+            )))
         });
         vertex_connectivity_with_fv(target, fv, mode, seed)
     }

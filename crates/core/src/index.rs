@@ -68,6 +68,7 @@ use psi_treedecomp::BinaryTreeDecomposition;
 use rayon::prelude::*;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Schema version of the serialised index artifact. Bumped on any layout change;
 /// readers reject versions outside `[MIN_INDEX_SCHEMA_VERSION, INDEX_SCHEMA_VERSION]`
@@ -249,18 +250,35 @@ pub struct IndexBuildStats {
 }
 
 /// The immutable build-once / serve-many index artifact. See the module docs.
+///
+/// Every section is `Arc`-shared: cloning the index — or handing individual
+/// sections to an epoch snapshot ([`crate::snapshot::PsiSnapshot`]) — bumps
+/// reference counts instead of copying graphs or batches. `Arc<T>` compares by
+/// contents, so the derived `PartialEq` (and with it the freeze bit-identity
+/// suite) is unaffected by the sectioning.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PsiIndex {
     params: IndexParams,
-    target: CsrGraph,
+    target: Arc<CsrGraph>,
     /// Facial walks of the embedding, flattened (`face_offsets.len() == faces + 1`).
-    face_offsets: Vec<u64>,
-    face_data: Vec<Vertex>,
+    face_offsets: Arc<Vec<u64>>,
+    face_data: Arc<Vec<Vertex>>,
     /// The face–vertex graph of the embedding (Section 5.1).
-    fv_graph: CsrGraph,
+    fv_graph: Arc<CsrGraph>,
     /// Stored cover rounds, each a deterministic batch sequence.
-    rounds: Vec<Vec<IndexedBatch>>,
+    rounds: Vec<Arc<Vec<IndexedBatch>>>,
 }
+
+/// The `Arc`-sectioned pieces [`PsiIndex::into_parts`] dismantles into (params,
+/// target CSR, face offsets, face data, rounds) — exactly what the dynamic
+/// index thaws from.
+pub(crate) type IndexParts = (
+    IndexParams,
+    Arc<CsrGraph>,
+    Arc<Vec<u64>>,
+    Arc<Vec<Vertex>>,
+    Vec<Arc<Vec<IndexedBatch>>>,
+);
 
 impl PsiIndex {
     /// Builds the index from a validated planar embedding. Cost is `rounds` cover
@@ -271,7 +289,7 @@ impl PsiIndex {
         assert!(params.rounds >= 1, "index needs at least one stored round");
         debug_assert!(embedding.validate().is_ok(), "embedding must be valid");
         let target = embedding.graph.clone();
-        let rounds: Vec<Vec<IndexedBatch>> = (0..params.rounds)
+        let rounds: Vec<Arc<Vec<IndexedBatch>>> = (0..params.rounds)
             .map(|r| {
                 let (batches, _stats) = map_cover_batches(
                     &target,
@@ -287,7 +305,7 @@ impl PsiIndex {
                         IndexedBatch { batch, decomp }
                     },
                 );
-                batches
+                Arc::new(batches)
             })
             .collect();
         let mut face_offsets = Vec::with_capacity(embedding.faces.len() + 1);
@@ -301,10 +319,10 @@ impl PsiIndex {
         let fv_graph = psi_planar::face_vertex_graph(embedding).graph;
         PsiIndex {
             params,
-            target,
-            face_offsets,
-            face_data,
-            fv_graph,
+            target: Arc::new(target),
+            face_offsets: Arc::new(face_offsets),
+            face_data: Arc::new(face_data),
+            fv_graph: Arc::new(fv_graph),
             rounds,
         }
     }
@@ -330,25 +348,18 @@ impl PsiIndex {
         let fv_graph = psi_planar::face_vertex_graph(embedding).graph;
         PsiIndex {
             params,
-            target: embedding.graph.clone(),
-            face_offsets,
-            face_data,
-            fv_graph,
-            rounds,
+            target: Arc::new(embedding.graph.clone()),
+            face_offsets: Arc::new(face_offsets),
+            face_data: Arc::new(face_data),
+            fv_graph: Arc::new(fv_graph),
+            rounds: rounds.into_iter().map(Arc::new).collect(),
         }
     }
 
     /// Dismantles the index into the parts the dynamic index thaws from (the stored
-    /// face–vertex graph is dropped; it is re-derived lazily on demand).
-    pub(crate) fn into_parts(
-        self,
-    ) -> (
-        IndexParams,
-        CsrGraph,
-        Vec<u64>,
-        Vec<Vertex>,
-        Vec<Vec<IndexedBatch>>,
-    ) {
+    /// face–vertex graph is dropped; it is re-derived lazily on demand). Sections
+    /// stay `Arc`-wrapped — a freshly loaded index thaws without copying them.
+    pub(crate) fn into_parts(self) -> IndexParts {
         (
             self.params,
             self.target,
@@ -368,8 +379,8 @@ impl PsiIndex {
         &self.target
     }
 
-    /// Stored cover rounds (each a deterministic batch sequence).
-    pub fn rounds(&self) -> &[Vec<IndexedBatch>] {
+    /// Stored cover rounds (each a deterministic, `Arc`-shared batch sequence).
+    pub fn rounds(&self) -> &[Arc<Vec<IndexedBatch>>] {
         &self.rounds
     }
 
@@ -380,7 +391,7 @@ impl PsiIndex {
             decomposition_nodes: self
                 .rounds
                 .iter()
-                .flatten()
+                .flat_map(|r| r.iter())
                 .map(|b| b.decomp.num_nodes())
                 .sum(),
             last_round: CoverStats::default(),
@@ -397,7 +408,7 @@ impl PsiIndex {
                     .to_vec()
             })
             .collect();
-        Embedding::new(self.target.clone(), faces)
+        Embedding::new((*self.target).clone(), faces)
     }
 
     /// The stored face–vertex graph, re-wrapped (face ids are dense, so `face_of`
@@ -406,7 +417,7 @@ impl PsiIndex {
         let num_original = self.target.num_vertices();
         let f = self.fv_graph.num_vertices() - num_original;
         FaceVertexGraph {
-            graph: self.fv_graph.clone(),
+            graph: (*self.fv_graph).clone(),
             num_original,
             face_of: (0..f).collect(),
         }
@@ -435,7 +446,7 @@ impl PsiIndex {
         let mut faces = Vec::new();
         push_u64(&mut faces, (self.face_offsets.len() - 1) as u64);
         push_u64(&mut faces, self.face_data.len() as u64);
-        for &o in &self.face_offsets {
+        for &o in self.face_offsets.iter() {
             push_u64(&mut faces, o);
         }
         push_u32_slice(&mut faces, &self.face_data);
@@ -449,7 +460,7 @@ impl PsiIndex {
         for (r, batches) in self.rounds.iter().enumerate() {
             let mut payload = Vec::new();
             push_u64(&mut payload, batches.len() as u64);
-            for ib in batches {
+            for ib in batches.iter() {
                 encode_csr(&ib.batch.graph, &mut payload);
                 push_u64(&mut payload, ib.batch.local_to_global.len() as u64);
                 push_u32_slice(&mut payload, &ib.batch.local_to_global);
@@ -609,15 +620,15 @@ impl PsiIndex {
         for round in 0..rounds_declared {
             let name = format!("round{round}");
             let payload = section(&name)?;
-            rounds.push(decode_round(&name, payload, n, schema_version)?);
+            rounds.push(Arc::new(decode_round(&name, payload, n, schema_version)?));
         }
 
         Ok(PsiIndex {
             params,
-            target,
-            face_offsets,
-            face_data,
-            fv_graph,
+            target: Arc::new(target),
+            face_offsets: Arc::new(face_offsets),
+            face_data: Arc::new(face_data),
+            fv_graph: Arc::new(fv_graph),
             rounds,
         })
     }
@@ -1188,7 +1199,7 @@ impl<'a> IndexedEngine<'a> {
         Ok(decide_in_batches(
             self.strategy,
             pattern,
-            self.index.rounds.iter().flatten(),
+            self.index.rounds.iter().flat_map(|r| r.iter()),
         ))
     }
 
@@ -1204,7 +1215,7 @@ impl<'a> IndexedEngine<'a> {
             self.strategy,
             pattern,
             &self.index.target,
-            self.index.rounds.iter().flatten(),
+            self.index.rounds.iter().flat_map(|r| r.iter()),
         ))
     }
 
@@ -1293,7 +1304,7 @@ mod tests {
         ] {
             let plan = MatchPlan::new(&pattern);
             for round in index.rounds() {
-                for ib in round {
+                for ib in round.iter() {
                     let mut assigned = Vec::new();
                     let mut budget = FAST_PATH_NODE_BUDGET;
                     let fast =
@@ -1405,7 +1416,7 @@ mod tests {
     fn flat_decomposition_round_trips() {
         let e = pg::triangulated_grid_embedded(9, 7);
         let index = PsiIndex::build(&e, IndexParams::default());
-        for ib in index.rounds().iter().flatten().take(10) {
+        for ib in index.rounds().iter().flat_map(|r| r.iter()).take(10) {
             let (btd, layered) = ib.batch.decomposition_described();
             let mut flat = FlatDecomposition::from_binary(&btd);
             flat.layered_segments = layered as u32;
@@ -1442,7 +1453,7 @@ mod tests {
         for (r, batches) in index.rounds.iter().enumerate() {
             let mut payload = Vec::new();
             push_u64(&mut payload, batches.len() as u64);
-            for ib in batches {
+            for ib in batches.iter() {
                 encode_csr(&ib.batch.graph, &mut payload);
                 push_u64(&mut payload, ib.batch.local_to_global.len() as u64);
                 push_u32_slice(&mut payload, &ib.batch.local_to_global);
@@ -1465,8 +1476,8 @@ mod tests {
         for (a, b) in back
             .rounds
             .iter()
-            .flatten()
-            .zip(index.rounds.iter().flatten())
+            .flat_map(|r| r.iter())
+            .zip(index.rounds.iter().flat_map(|r| r.iter()))
         {
             assert_eq!(a.batch, b.batch);
             // v2 cannot carry provenance; everything else survives untouched.

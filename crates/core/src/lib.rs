@@ -36,6 +36,10 @@
 //! 9. [`psi`] — the unified facade: [`psi::Psi`] wraps planarity gating, index
 //!    construction, queries, mutation, and (de)serialisation behind one builder
 //!    and one [`psi::PsiError`] type.
+//! 10. [`snapshot`] — epoch-snapshot concurrent serving: [`snapshot::PsiSnapshot`]
+//!     pins an immutable, `Send + Sync` view of the engine (O(rounds) `Arc`
+//!     bumps) that reader threads query while the writer keeps mutating —
+//!     answers bit-identical to a frozen build of the graph at that epoch.
 //!
 //! ## Quick start
 //!
@@ -65,6 +69,7 @@ pub mod listing;
 pub mod pattern;
 pub mod psi;
 pub mod separating;
+pub mod snapshot;
 pub mod state;
 
 pub use arena::{ArenaStats, StateArena, StateId};
@@ -100,4 +105,5 @@ pub use separating::{
     find_separating_occurrence_with_config, find_separating_occurrence_with_stats, is_separating,
     SepConfig, SepStats, SeparatingInstance,
 };
+pub use snapshot::PsiSnapshot;
 pub use state::MatchState;

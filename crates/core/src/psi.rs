@@ -300,6 +300,14 @@ pub struct Psi {
     pool: Option<rayon::ThreadPool>,
 }
 
+// The epoch-snapshot serving story rests on moving the writer onto its own
+// thread while readers query snapshots: keep `Psi` `Send` by construction.
+#[allow(dead_code)]
+fn assert_psi_is_send() {
+    fn is_send<T: Send>() {}
+    is_send::<Psi>();
+}
+
 impl fmt::Debug for Psi {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Psi")
@@ -461,6 +469,27 @@ impl Psi {
             None => dynamic.delete_edge(u, v),
         }
         .map_err(PsiError::from)
+    }
+
+    // --- snapshots --------------------------------------------------------
+
+    /// Pins the current state as an immutable, `Send + Sync`
+    /// [`crate::PsiSnapshot`]: `O(rounds)` `Arc` bumps after an implicit flush,
+    /// no graph or batch copies. Reader threads query the snapshot (same
+    /// surface, same answers as a frozen engine of this epoch) while this
+    /// engine keeps mutating and flushing; see [`DynamicPsiIndex::snapshot`].
+    pub fn snapshot(&mut self) -> crate::PsiSnapshot {
+        let dynamic = &mut self.dynamic;
+        match &self.pool {
+            Some(p) => p.install(|| dynamic.snapshot()),
+            None => dynamic.snapshot(),
+        }
+    }
+
+    /// The engine's current epoch (strictly increases across accepted
+    /// mutations; see [`DynamicPsiIndex::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.dynamic.epoch()
     }
 
     // --- artifact ---------------------------------------------------------
