@@ -15,6 +15,7 @@ use psi_baselines::{eppstein_sequential_decide, flow_vertex_connectivity, ullman
 use psi_bench::{size_sweep, table1_patterns, target_with_n};
 use psi_cluster::cluster;
 use psi_graph::generators;
+use psi_obs::BenchReport;
 use psi_planar::generators as pg;
 use psi_treedecomp::{
     min_degree_decomposition, path_layers::RootedTree, tree_into_paths, BinaryTreeDecomposition,
@@ -25,6 +26,36 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Writes a rendered [`BenchReport`] and validates it parses as JSON before it
+/// can become the committed baseline.
+fn write_report(path: &str, report: &BenchReport) {
+    let text = report.render();
+    psi_obs::json::parse(&text).expect("bench report must be valid JSON");
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// The in-run tracing-overhead gate: `traced` must stay within 10% of its
+/// untraced twin (plus 10 ms of absolute slack for timer noise on fast cases).
+/// Returns `true` when the gate fails.
+fn traced_overhead_gate(name: &str, untraced_ms: f64, traced_ms: f64) -> bool {
+    let ratio = traced_ms / untraced_ms;
+    let bad = ratio > 1.10 && traced_ms > untraced_ms + 10.0;
+    let verdict = if bad { "OVERHEAD REGRESSED" } else { "ok" };
+    println!(
+        "--check: {name:<26} untraced {untraced_ms:>9.2} ms, traced {traced_ms:>9.2} ms, \
+         overhead {:>5.1}%  {verdict}",
+        (ratio - 1.0) * 100.0
+    );
+    bad
 }
 
 fn main() {
@@ -241,29 +272,19 @@ fn bench_planarity(check: bool) {
         });
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_planarity/v1\",\n");
-    json.push_str(&format!(
-        "  \"host_threads\": {},\n  \"cases\": [\n",
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    ));
-    for (i, c) in cases.iter().enumerate() {
-        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"median_ms\": {:.2}, \"stddev_ms\": {:.2}, \
-             \"all_ms\": [{}], \"faces\": {}, \"blocks\": {}, \"witness_edges\": {}}}{}\n",
-            c.name,
-            c.n,
-            median_of(&c.all_ms),
-            stddev_of(&c.all_ms),
-            all.join(", "),
-            c.faces,
-            c.blocks,
-            c.witness_edges,
-            if i + 1 == cases.len() { "" } else { "," }
-        ));
+    let mut report = BenchReport::new("bench_planarity/v1", host_threads());
+    for c in &cases {
+        report.push(
+            report
+                .case(c.name)
+                .u64("n", c.n as u64)
+                .f64("median_ms", median_of(&c.all_ms), 2)
+                .f64("stddev_ms", stddev_of(&c.all_ms), 2)
+                .f64_list("all_ms", &c.all_ms, 2)
+                .u64("faces", c.faces as u64)
+                .u64("blocks", c.blocks as u64)
+                .u64("witness_edges", c.witness_edges as u64),
+        );
         println!(
             "{:<22} n {:>8}   median {:>9.2} ms  σ {:>7.2} ms   faces {:>8}   blocks {:>3}   witness {:>3}",
             c.name,
@@ -275,9 +296,7 @@ fn bench_planarity(check: bool) {
             c.witness_edges
         );
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_planarity.json", json).expect("write BENCH_planarity.json");
-    println!("wrote BENCH_planarity.json");
+    write_report("BENCH_planarity.json", &report);
 
     if check {
         let Some(baseline) = baseline else {
@@ -416,46 +435,68 @@ fn bench_cover(check: bool) {
         });
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_cover/v1\",\n");
+    // Tracing-overhead twin of cover_build_1m: the identical build with the
+    // span gate open and every cover.build / cover.shard span recorded. The
+    // --check gate holds the traced median within 10% of the untraced one; the
+    // untraced median itself (the disabled path: one relaxed load per span
+    // site) is bounded by the standing 2x baseline gate above.
+    {
+        let g = target_with_n(1_000_000);
+        psi_obs::set_tracing(true);
+        let mut all_ms = Vec::new();
+        let mut last = None;
+        for _ in 0..3 {
+            psi_obs::trace::clear();
+            let start = Instant::now();
+            let (cover, stats) = build_cover_with_stats(&g, 4, 1, 7);
+            all_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+            last = Some(stats);
+            drop(cover);
+        }
+        psi_obs::set_tracing(false);
+        psi_obs::trace::clear();
+        let stats = last.unwrap();
+        cases.push(CoverBenchCase {
+            name: "cover_build_1m_traced",
+            n: g.num_vertices(),
+            all_ms,
+            pieces: stats.pieces,
+            skipped_small: stats.skipped_small,
+            batches: stats.batches,
+            scratch_bytes: stats.scratch_bytes,
+        });
+    }
+
+    let mut report = BenchReport::new("bench_cover/v2", host_threads());
     // Measured impact of replacing the BTreeMap round merge in `cluster_parallel`
     // with the sort-based merge (identical clusterings, same container, 1 core):
     // cover_build_262k 130.1 -> 89.5 ms, cover_build_1m 507.6 -> 338.8 ms,
     // cover_scan_262k 101.7 -> 68.5 ms, decide_c4_1m 390.1 -> 200.8 ms.
-    json.push_str(
-        "  \"notes\": \"sort-based clustering round merge (PR 5): cover_build_262k \
+    report.notes(
+        "sort-based clustering round merge (PR 5): cover_build_262k \
          130.1->89.5ms, cover_build_1m 507.6->338.8ms, cover_scan_262k 101.7->68.5ms, \
-         decide_c4_1m 390.1->200.8ms vs the BTreeMap merge on the same 1-core host\",\n",
+         decide_c4_1m 390.1->200.8ms vs the BTreeMap merge on the same 1-core host; \
+         cover_build_1m_traced is the same build with psi_obs tracing enabled \
+         (gated at <=10% overhead in --check)",
     );
-    json.push_str(&format!(
-        "  \"host_threads\": {},\n  \"cases\": [\n",
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    ));
-    for (i, c) in cases.iter().enumerate() {
-        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"median_ms\": {:.2}, \"all_ms\": [{}], \
-             \"pieces\": {}, \"skipped_small\": {}, \"batches\": {}, \"scratch_bytes\": {}}}{}\n",
-            c.name,
-            c.n,
-            c.median_ms(),
-            all.join(", "),
-            c.pieces,
-            c.skipped_small,
-            c.batches,
-            c.scratch_bytes,
-            if i + 1 == cases.len() { "" } else { "," }
-        ));
+    for c in &cases {
+        report.push(
+            report
+                .case(c.name)
+                .u64("n", c.n as u64)
+                .f64("median_ms", c.median_ms(), 2)
+                .f64_list("all_ms", &c.all_ms, 2)
+                .u64("pieces", c.pieces as u64)
+                .u64("skipped_small", c.skipped_small as u64)
+                .u64("batches", c.batches as u64)
+                .u64("scratch_bytes", c.scratch_bytes as u64),
+        );
         println!(
             "{:<18} n {:>8}   median {:>9.2} ms   pieces {:>7}   skipped {:>7}   batches {:>6}   scratch {:>8} B",
             c.name, c.n, c.median_ms(), c.pieces, c.skipped_small, c.batches, c.scratch_bytes
         );
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_cover.json", json).expect("write BENCH_cover.json");
-    println!("wrote BENCH_cover.json");
+    write_report("BENCH_cover.json", &report);
 
     if check {
         let Some(baseline) = baseline else {
@@ -479,8 +520,20 @@ fn bench_cover(check: bool) {
                 regressed = true;
             }
         }
+        // In-run tracing overhead: traced vs untraced medians of the same run,
+        // so the gate is immune to host drift between baseline and fresh runs.
+        let untraced = cases.iter().find(|c| c.name == "cover_build_1m");
+        let traced = cases.iter().find(|c| c.name == "cover_build_1m_traced");
+        if let (Some(u), Some(t)) = (untraced, traced) {
+            if traced_overhead_gate("cover_build_1m_traced", u.median_ms(), t.median_ms()) {
+                regressed = true;
+            }
+        }
         if regressed {
-            eprintln!("bench_cover regression gate failed (>2x against committed baseline)");
+            eprintln!(
+                "bench_cover regression gate failed (>2x against committed baseline, \
+                 or >10% tracing overhead)"
+            );
             std::process::exit(1);
         }
     }
@@ -641,34 +694,24 @@ fn bench_serve(check: bool) {
         });
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_serve/v1\",\n");
-    json.push_str(
-        "  \"notes\": \"build-once / serve-many index artifact (PR 6): per-query cost \
+    let mut report = BenchReport::new("bench_serve/v1", host_threads());
+    report.notes(
+        "build-once / serve-many index artifact (PR 6): per-query cost \
          is median_ms / queries; the classic path pays a full cover rebuild per \
          decide (BENCH_cover decide_c4_1m) where the served path reuses the frozen \
-         rounds\",\n",
+         rounds",
     );
-    json.push_str(&format!(
-        "  \"host_threads\": {},\n  \"cases\": [\n",
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    ));
-    for (i, c) in cases.iter().enumerate() {
-        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"all_ms\": [{}], \
-             \"queries\": {}, \"per_query_ms\": {:.6}, \"bytes\": {}}}{}\n",
-            c.name,
-            c.n,
-            c.median_ms(),
-            all.join(", "),
-            c.queries,
-            c.median_ms() / c.queries as f64,
-            c.bytes,
-            if i + 1 == cases.len() { "" } else { "," }
-        ));
+    for c in &cases {
+        report.push(
+            report
+                .case(c.name)
+                .u64("n", c.n as u64)
+                .f64("median_ms", c.median_ms(), 3)
+                .f64_list("all_ms", &c.all_ms, 2)
+                .u64("queries", c.queries as u64)
+                .f64("per_query_ms", c.median_ms() / c.queries as f64, 6)
+                .u64("bytes", c.bytes),
+        );
         println!(
             "{:<22} n {:>8}   median {:>9.2} ms   queries {:>4}   per-query {:>10.6} ms   bytes {:>11}",
             c.name,
@@ -679,9 +722,7 @@ fn bench_serve(check: bool) {
             c.bytes
         );
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
-    println!("wrote BENCH_serve.json");
+    write_report("BENCH_serve.json", &report);
 
     if check {
         let Some(baseline) = baseline else {
@@ -955,41 +996,67 @@ fn bench_dynamic(check: bool) {
         });
     }
 
-    let (cache_hits, cache_misses) = dynamic.decomp_cache_stats();
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_dynamic/v2\",\n");
-    json.push_str(&format!(
-        "  \"notes\": \"incremental index mutation (PR 7) + epoch snapshots (PR 9): \
+    // Tracing-overhead twin of dynamic_flush_1m: the same 256-insert backlog
+    // flushed with the span gate open (flush span + per-round flush.publish
+    // events + dp spans inside the rebuild). Inserts and the restoring deletes
+    // stay untraced so the case isolates the flush path.
+    {
+        let mut all_ms = Vec::new();
+        for round in 9..12 {
+            let edges = diagonals(round);
+            for &(u, v) in &edges {
+                dynamic.insert_edge(u, v).expect("planar diagonal rejected");
+            }
+            psi_obs::trace::clear();
+            psi_obs::set_tracing(true);
+            let (_, ms) = timed(|| dynamic.flush());
+            psi_obs::set_tracing(false);
+            all_ms.push(ms);
+            for &(u, v) in &edges {
+                dynamic
+                    .delete_edge(u, v)
+                    .expect("inserted diagonal missing");
+            }
+            dynamic.flush(); // restore a clean engine, untraced
+        }
+        psi_obs::trace::clear();
+        cases.push(ServeBenchCase {
+            name: "dynamic_flush_1m_traced",
+            n,
+            all_ms,
+            queries: mutations,
+            bytes: 0,
+        });
+    }
+
+    let cache = dynamic.decomp_cache_metrics();
+    let mut report = BenchReport::new("bench_dynamic/v3", host_threads());
+    report.notes(&format!(
+        "incremental index mutation (PR 7) + epoch snapshots (PR 9): \
          per-mutation cost is median_ms / queries; insert/delete are mutation \
          latency (local repair + dirty marks), dynamic_flush_1m is the deferred \
          batch rebuild of one 256-insert backlog, dynamic_flush_restore_1m the \
          rebuild after the matching deletes (content-hash decomposition cache \
          hits; pre-cache v1 flush baseline was 4824.09 ms = 18.84 ms/mutation); \
-         this run: {cache_hits} decomp cache hits / {cache_misses} misses; \
+         this run: {} decomp cache hits / {} misses / {} evictions (cap {}); \
          snapshot_create_1m publishes an epoch, \
          dynamic_snapshot_read_during_flush_1m is pinned-snapshot decide_batch \
-         latency while a 256-insert flush republishes concurrently\",\n",
+         latency while a 256-insert flush republishes concurrently; \
+         dynamic_flush_1m_traced is the same backlog flushed with psi_obs \
+         tracing enabled (gated at <=10% overhead in --check)",
+        cache.hits, cache.misses, cache.evictions, cache.cap,
     ));
-    json.push_str(&format!(
-        "  \"host_threads\": {},\n  \"cases\": [\n",
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    ));
-    for (i, c) in cases.iter().enumerate() {
-        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"all_ms\": [{}], \
-             \"queries\": {}, \"per_query_ms\": {:.6}, \"bytes\": {}}}{}\n",
-            c.name,
-            c.n,
-            c.median_ms(),
-            all.join(", "),
-            c.queries,
-            c.median_ms() / c.queries as f64,
-            c.bytes,
-            if i + 1 == cases.len() { "" } else { "," }
-        ));
+    for c in &cases {
+        report.push(
+            report
+                .case(c.name)
+                .u64("n", c.n as u64)
+                .f64("median_ms", c.median_ms(), 3)
+                .f64_list("all_ms", &c.all_ms, 2)
+                .u64("queries", c.queries as u64)
+                .f64("per_query_ms", c.median_ms() / c.queries as f64, 6)
+                .u64("bytes", c.bytes),
+        );
         println!(
             "{:<22} n {:>8}   median {:>9.2} ms   queries {:>4}   per-query {:>10.6} ms   bytes {:>11}",
             c.name,
@@ -1000,9 +1067,7 @@ fn bench_dynamic(check: bool) {
             c.bytes
         );
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_dynamic.json", json).expect("write BENCH_dynamic.json");
-    println!("wrote BENCH_dynamic.json");
+    write_report("BENCH_dynamic.json", &report);
 
     if check {
         let Some(baseline) = baseline else {
@@ -1027,8 +1092,19 @@ fn bench_dynamic(check: bool) {
                 regressed = true;
             }
         }
+        // In-run tracing overhead, same contract as bench_cover's gate.
+        let untraced = cases.iter().find(|c| c.name == "dynamic_flush_1m");
+        let traced = cases.iter().find(|c| c.name == "dynamic_flush_1m_traced");
+        if let (Some(u), Some(t)) = (untraced, traced) {
+            if traced_overhead_gate("dynamic_flush_1m_traced", u.median_ms(), t.median_ms()) {
+                regressed = true;
+            }
+        }
         if regressed {
-            eprintln!("bench_dynamic regression gate failed (>2x against committed baseline)");
+            eprintln!(
+                "bench_dynamic regression gate failed (>2x against committed baseline, \
+                 or >10% tracing overhead)"
+            );
             std::process::exit(1);
         }
     }
@@ -1196,34 +1272,22 @@ fn bench_dp(check: bool) {
         });
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_dp/v2\",\n");
-    json.push_str(&format!(
-        "  \"host_threads\": {},\n  \"cases\": [\n",
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    ));
-    for (i, c) in cases.iter().enumerate() {
-        let all: Vec<String> = c.all_ms.iter().map(|ms| format!("{ms:.2}")).collect();
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ms\": {:.2}, \"all_ms\": [{}], \
-             \"states\": {}, \"peak_states\": {}, \"interned_bytes\": {}, \
-             \"hits\": {}, \"misses\": {}, \"flips\": {}, \"dominated\": {}, \
-             \"orbit_merges\": {}}}{}\n",
-            c.name,
-            c.median_ms(),
-            all.join(", "),
-            c.states,
-            c.peak_states,
-            c.interned_bytes,
-            c.hits,
-            c.misses,
-            c.flips,
-            c.dominated,
-            c.orbit_merges,
-            if i + 1 == cases.len() { "" } else { "," }
-        ));
+    let mut report = BenchReport::new("bench_dp/v2", host_threads());
+    for c in &cases {
+        report.push(
+            report
+                .case(c.name)
+                .f64("median_ms", c.median_ms(), 2)
+                .f64_list("all_ms", &c.all_ms, 2)
+                .u64("states", c.states as u64)
+                .u64("peak_states", c.peak_states as u64)
+                .u64("interned_bytes", c.interned_bytes as u64)
+                .u64("hits", c.hits)
+                .u64("misses", c.misses)
+                .u64("flips", c.flips as u64)
+                .u64("dominated", c.dominated as u64)
+                .u64("orbit_merges", c.orbit_merges as u64),
+        );
         println!(
             "{:<26} median {:>10.2} ms   states {:>9}   peak {:>8}   pruned {:>9}",
             c.name,
@@ -1233,9 +1297,7 @@ fn bench_dp(check: bool) {
             c.flips + c.dominated + c.orbit_merges
         );
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_dp.json", json).expect("write BENCH_dp.json");
-    println!("wrote BENCH_dp.json");
+    write_report("BENCH_dp.json", &report);
 
     if check {
         let Some(baseline) = baseline else {

@@ -63,12 +63,14 @@ pub struct ArenaStats {
 }
 
 impl ArenaStats {
-    /// Accumulates another arena's statistics into this one.
+    /// Accumulates another arena's statistics into this one. Saturating and
+    /// commutative-associative, so thread-merged totals are independent of
+    /// merge order (and a pegged counter beats a silently wrapped one).
     pub fn absorb(&mut self, other: &ArenaStats) {
-        self.states_interned += other.states_interned;
-        self.bytes += other.bytes;
-        self.hits += other.hits;
-        self.misses += other.misses;
+        self.states_interned = self.states_interned.saturating_add(other.states_interned);
+        self.bytes = self.bytes.saturating_add(other.bytes);
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
     }
 }
 

@@ -161,6 +161,19 @@ pub struct CoverStats {
     pub scratch_bytes: usize,
 }
 
+impl CoverStats {
+    /// Accumulates another pass's counters (saturating adds; commutative and
+    /// associative, so aggregated totals are independent of merge order).
+    pub fn absorb(&mut self, other: &CoverStats) {
+        self.clusters = self.clusters.saturating_add(other.clusters);
+        self.shards = self.shards.saturating_add(other.shards);
+        self.pieces = self.pieces.saturating_add(other.pieces);
+        self.skipped_small = self.skipped_small.saturating_add(other.skipped_small);
+        self.batches = self.batches.saturating_add(other.batches);
+        self.scratch_bytes = self.scratch_bytes.saturating_add(other.scratch_bytes);
+    }
+}
+
 /// A size-bucketed batch of cover windows packed into one disjoint-union graph.
 ///
 /// Windows are vertex-disjoint segments of `graph` (no edges cross segments), so a
@@ -608,6 +621,7 @@ fn run_shard<T>(
     counters: &PassCounters,
     emit: &mut dyn FnMut(CoverBatch) -> Option<T>,
 ) -> Option<T> {
+    let _span = psi_obs::span!("cover.shard", clusters = range.1 - range.0);
     let base = clustering.member_start(range.0);
     let mut scratch = ClusterScratch::new(clustering.member_start(range.1) - base);
     counters
@@ -659,6 +673,12 @@ where
 {
     let clustering = cover_clustering(graph, k, seed);
     let shards = shard_ranges(&clustering);
+    let mut span = psi_obs::span!(
+        "cover.build",
+        n = graph.num_vertices(),
+        clusters = clustering.num_clusters(),
+        shards = shards.len(),
+    );
     let counters = PassCounters::default();
     let stop = AtomicBool::new(false);
     let hit = shards.par_iter().find_map_any(|&range| {
@@ -675,6 +695,9 @@ where
         )
     });
     let stats = counters.stats(&clustering, shards.len());
+    span.field("pieces", stats.pieces as u64);
+    span.field("batches", stats.batches as u64);
+    crate::obs::record_cover_pass(&stats);
     (hit, stats)
 }
 
@@ -718,6 +741,12 @@ where
     F: Fn(CoverBatch) -> R + Sync,
 {
     let shards = shard_ranges(clustering);
+    let mut span = psi_obs::span!(
+        "cover.build",
+        n = graph.num_vertices(),
+        clusters = clustering.num_clusters(),
+        shards = shards.len(),
+    );
     let counters = PassCounters::default();
     let stop = AtomicBool::new(false);
     let per_shard: Vec<Vec<R>> = shards
@@ -743,6 +772,9 @@ where
         })
         .collect();
     let stats = counters.stats(clustering, shards.len());
+    span.field("pieces", stats.pieces as u64);
+    span.field("batches", stats.batches as u64);
+    crate::obs::record_cover_pass(&stats);
     (per_shard.into_iter().flatten().collect(), stats)
 }
 

@@ -76,6 +76,19 @@ pub struct ParallelDpStats {
     pub arena: ArenaStats,
 }
 
+impl ParallelDpStats {
+    /// Accumulates another run's statistics (counts add saturating, maxima max,
+    /// arenas absorb). Commutative and associative, so totals merged across
+    /// threads or runs are independent of merge order.
+    pub fn absorb(&mut self, other: &ParallelDpStats) {
+        self.num_layers = self.num_layers.saturating_add(other.num_layers);
+        self.num_paths = self.num_paths.saturating_add(other.num_paths);
+        self.max_rounds_per_path = self.max_rounds_per_path.max(other.max_rounds_per_path);
+        self.longest_path = self.longest_path.max(other.longest_path);
+        self.arena.absorb(&other.arena);
+    }
+}
+
 /// Runs the parallel DP over a binary tree decomposition. Produces the same root
 /// verdict as [`crate::dp::run_sequential`] (derivations are not tracked — use the
 /// sequential DP for occurrence listing).
@@ -134,6 +147,7 @@ pub fn run_parallel(
     for table in &tables {
         stats.arena.absorb(&table.arena_stats());
     }
+    crate::obs::record_parallel_dp(&stats);
     (
         DpResult {
             tables,

@@ -436,29 +436,71 @@ pub struct DynamicPsiIndex {
 struct DecompCache {
     buckets: HashMap<u64, Vec<CacheEntry>>,
     order: VecDeque<u64>,
+    cap: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// A retired cluster batch vector plus the index of the cached batch within it.
 type CacheEntry = (Arc<Vec<IndexedBatch>>, u32);
 
-/// Roughly one flush's worth of retired cluster batches at the 1M-vertex,
-/// 256-mutation benchmark scale (a few tens of MB of pinned retired rounds).
-const DECOMP_CACHE_CAP: usize = 4096;
+/// Default cache capacity: roughly one flush's worth of retired cluster batches
+/// at the 1M-vertex, 256-mutation benchmark scale (a few tens of MB of pinned
+/// retired rounds). Override per engine via
+/// [`crate::psi::PsiBuilder::decomp_cache_cap`] or
+/// [`DynamicPsiIndex::set_decomp_cache_cap`].
+pub const DECOMP_CACHE_CAP: usize = 4096;
+
+/// Point-in-time counters of the flush-side decomposition cache
+/// ([`DynamicPsiIndex::decomp_cache_metrics`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecompCacheMetrics {
+    /// Equality-verified lookups served from the cache since thaw.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh decomposition since thaw.
+    pub misses: u64,
+    /// Entries evicted by the FIFO capacity bound since thaw.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// The capacity bound currently in force.
+    pub cap: usize,
+}
 
 impl DecompCache {
-    fn new() -> DecompCache {
+    fn new(cap: usize) -> DecompCache {
         DecompCache {
             buckets: HashMap::new(),
             order: VecDeque::new(),
+            cap,
             hits: 0,
             misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Evicts the oldest entries until the FIFO bound holds again.
+    fn enforce_cap(&mut self) {
+        while self.order.len() > self.cap {
+            let old = self.order.pop_front().expect("order non-empty");
+            self.evictions = self.evictions.saturating_add(1);
+            if let Some(bucket) = self.buckets.get_mut(&old) {
+                if !bucket.is_empty() {
+                    bucket.remove(0);
+                }
+                if bucket.is_empty() {
+                    self.buckets.remove(&old);
+                }
+            }
         }
     }
 
     /// Admits every batch of a retired cluster vector (`Arc` bumps only).
     fn admit(&mut self, batches: &Arc<Vec<IndexedBatch>>) {
+        if self.cap == 0 {
+            return;
+        }
         for (i, _) in batches.iter().enumerate() {
             let h = batches[i].batch.content_hash();
             self.buckets
@@ -466,17 +508,7 @@ impl DecompCache {
                 .or_default()
                 .push((batches.clone(), i as u32));
             self.order.push_back(h);
-            while self.order.len() > DECOMP_CACHE_CAP {
-                let old = self.order.pop_front().expect("order non-empty");
-                if let Some(bucket) = self.buckets.get_mut(&old) {
-                    if !bucket.is_empty() {
-                        bucket.remove(0);
-                    }
-                    if bucket.is_empty() {
-                        self.buckets.remove(&old);
-                    }
-                }
-            }
+            self.enforce_cap();
         }
     }
 
@@ -560,7 +592,7 @@ impl DynamicPsiIndex {
             fv: OnceLock::new(),
             faces_cache: OnceLock::new(),
             epochs: EpochManager::new(),
-            decomp_cache: DecompCache::new(),
+            decomp_cache: DecompCache::new(DECOMP_CACHE_CAP),
         }
     }
 
@@ -641,8 +673,15 @@ impl DynamicPsiIndex {
     /// The mutation itself is a local repair — independent of `n` for the two
     /// local cases (chord inside a face, cross-component join).
     pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> Result<UpdateStats, MutationError> {
-        self.check_endpoints(u, v)?;
+        let _span = psi_obs::span!("mutate.insert", u = u, v = v);
+        let metrics = crate::obs::metrics();
+        let start = std::time::Instant::now();
+        if let Err(e) = self.check_endpoints(u, v) {
+            metrics.mutations_rejected_total.add(1);
+            return Err(e);
+        }
         if self.graph.has_edge(u, v) {
+            metrics.mutations_rejected_total.add(1);
             return Err(MutationError::DuplicateEdge {
                 u: u.min(v),
                 v: u.max(v),
@@ -667,6 +706,7 @@ impl DynamicPsiIndex {
             let csr = self.graph.to_csr();
             if let Err(e) = scoped_planarity_check(&csr, u, v) {
                 self.graph.delete_edge(u, v);
+                metrics.mutations_rejected_total.add(1);
                 return Err(e);
             }
             let embedding =
@@ -690,6 +730,8 @@ impl DynamicPsiIndex {
         }
         stats.dirty_clusters = self.dirty.iter().map(BTreeSet::len).sum();
         self.invalidate_caches();
+        metrics.mutations_insert_total.add(1);
+        metrics.mutation_ns.record_duration(start.elapsed());
         Ok(stats)
     }
 
@@ -699,8 +741,15 @@ impl DynamicPsiIndex {
     /// [`DynamicPsiIndex::insert_edge`]. Deletion can never break planarity, so
     /// it always succeeds once the edge exists.
     pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> Result<UpdateStats, MutationError> {
-        self.check_endpoints(u, v)?;
+        let _span = psi_obs::span!("mutate.delete", u = u, v = v);
+        let metrics = crate::obs::metrics();
+        let start = std::time::Instant::now();
+        if let Err(e) = self.check_endpoints(u, v) {
+            metrics.mutations_rejected_total.add(1);
+            return Err(e);
+        }
         if !self.graph.has_edge(u, v) {
+            metrics.mutations_rejected_total.add(1);
             return Err(MutationError::MissingEdge {
                 u: u.min(v),
                 v: u.max(v),
@@ -731,6 +780,8 @@ impl DynamicPsiIndex {
         }
         stats.dirty_clusters = self.dirty.iter().map(BTreeSet::len).sum();
         self.invalidate_caches();
+        metrics.mutations_delete_total.add(1);
+        metrics.mutation_ns.record_duration(start.elapsed());
         Ok(stats)
     }
 
@@ -742,6 +793,16 @@ impl DynamicPsiIndex {
     /// clustering state — batches are a pure function of membership, so the
     /// result is identical to eager per-flip rebuilds.
     pub fn flush(&mut self) -> usize {
+        // Clean engines flush implicitly before every query; skip all
+        // bookkeeping (spans, histogram samples) so those no-ops stay free and
+        // don't pollute the flush latency distribution.
+        if self.dirty.iter().all(BTreeSet::is_empty) {
+            return 0;
+        }
+        let dirty_total: usize = self.dirty.iter().map(BTreeSet::len).sum();
+        let mut span = psi_obs::span!("flush", dirty_clusters = dirty_total);
+        let metrics = crate::obs::metrics();
+        let start = std::time::Instant::now();
         let mut rebuilt = 0usize;
         for r in 0..self.dirty.len() {
             if self.dirty[r].is_empty() {
@@ -750,6 +811,11 @@ impl DynamicPsiIndex {
             let affected: Vec<Vertex> = std::mem::take(&mut self.dirty[r]).into_iter().collect();
             rebuilt += self.rebuild_clusters(r, &affected);
         }
+        span.field("batches_rebuilt", rebuilt as u64);
+        metrics.flushes_total.add(1);
+        metrics.flush_batches_rebuilt_total.add(rebuilt as u64);
+        metrics.flush_ns.record_duration(start.elapsed());
+        self.refresh_cache_gauges();
         rebuilt
     }
 
@@ -827,6 +893,7 @@ impl DynamicPsiIndex {
             map.insert(c, Arc::new(batches));
         }
         self.rounds[r] = Arc::new(map); // publish: the single epoch swap
+        psi_obs::event!("flush.publish", round = r, rebuilt = rebuilt);
         rebuilt
     }
 
@@ -835,6 +902,7 @@ impl DynamicPsiIndex {
         self.fv = OnceLock::new();
         self.faces_cache = OnceLock::new();
         self.epochs.advance();
+        crate::obs::metrics().epoch_advances_total.add(1);
     }
 
     // --- freezing ---------------------------------------------------------
@@ -846,6 +914,7 @@ impl DynamicPsiIndex {
     /// order — the canonical stream — and the faces are re-canonicalised
     /// through [`planar_embedding`], which is a pure function of the target.
     pub fn freeze(&mut self) -> PsiIndex {
+        let _span = psi_obs::span!("freeze", n = self.graph.num_vertices());
         self.flush();
         let target = self.target_csr();
         let embedding =
@@ -880,6 +949,8 @@ impl DynamicPsiIndex {
     /// `O(rounds)` `Arc` bumps — no graph or batch copies. Snapshots of an
     /// unchanged engine share one cached publication (and one epoch number).
     pub fn snapshot(&mut self) -> PsiSnapshot {
+        let _span = psi_obs::span!("snapshot", epoch = self.epochs.epoch());
+        crate::obs::metrics().snapshots_total.add(1);
         self.flush();
         if let Some(state) = self.epochs.published() {
             return PsiSnapshot::new(state);
@@ -901,8 +972,44 @@ impl DynamicPsiIndex {
     }
 
     /// `(hits, misses)` of the flush-side decomposition cache since thaw.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `decomp_cache_metrics` (hits, misses, evictions, len, cap)"
+    )]
     pub fn decomp_cache_stats(&self) -> (u64, u64) {
         (self.decomp_cache.hits, self.decomp_cache.misses)
+    }
+
+    /// Full counters of the flush-side decomposition cache since thaw.
+    pub fn decomp_cache_metrics(&self) -> DecompCacheMetrics {
+        DecompCacheMetrics {
+            hits: self.decomp_cache.hits,
+            misses: self.decomp_cache.misses,
+            evictions: self.decomp_cache.evictions,
+            len: self.decomp_cache.order.len(),
+            cap: self.decomp_cache.cap,
+        }
+    }
+
+    /// Rebounds the flush-side decomposition cache (see [`DECOMP_CACHE_CAP`]
+    /// for the default), evicting FIFO immediately if the new cap is smaller
+    /// than the resident set. `0` disables caching. Purely a memory/speed knob —
+    /// hit or miss, decompositions are bit-identical, so answers and
+    /// [`DynamicPsiIndex::freeze`] bytes never change.
+    pub fn set_decomp_cache_cap(&mut self, cap: usize) {
+        self.decomp_cache.cap = cap;
+        self.decomp_cache.enforce_cap();
+    }
+
+    /// Pushes the decomposition-cache counters into the global metrics
+    /// registry's gauges (done after every flush and by [`crate::psi::Psi::metrics`]).
+    pub(crate) fn refresh_cache_gauges(&self) {
+        let m = crate::obs::metrics();
+        m.decomp_cache_size
+            .set(self.decomp_cache.order.len() as u64);
+        m.decomp_cache_hits.set(self.decomp_cache.hits);
+        m.decomp_cache_misses.set(self.decomp_cache.misses);
+        m.decomp_cache_evictions.set(self.decomp_cache.evictions);
     }
 
     // --- queries ----------------------------------------------------------
@@ -916,16 +1023,23 @@ impl DynamicPsiIndex {
     }
 
     fn decide_flushed(&self, pattern: &Pattern) -> Result<bool, QueryError> {
+        let _span = psi_obs::span!("query.decide", k = pattern.k());
+        let metrics = crate::obs::metrics();
+        metrics.queries_total.add(1);
+        let start = std::time::Instant::now();
         if let Some(short) = admit_pattern(&self.params, self.graph.num_vertices(), pattern)? {
+            metrics.query_decide_ns.record_duration(start.elapsed());
             return Ok(short.is_some());
         }
-        Ok(self.rounds.iter().any(|round| {
+        let verdict = self.rounds.iter().any(|round| {
             decide_in_batches(
                 self.strategy,
                 pattern,
                 round.values().flat_map(|batches| batches.iter()),
             )
-        }))
+        });
+        metrics.query_decide_ns.record_duration(start.elapsed());
+        Ok(verdict)
     }
 
     /// Finds one occurrence (flushing dirty clusters first); the witness is the
@@ -937,7 +1051,12 @@ impl DynamicPsiIndex {
     }
 
     fn find_one_flushed(&self, pattern: &Pattern) -> Result<Option<Vec<Vertex>>, QueryError> {
+        let _span = psi_obs::span!("query.find_one", k = pattern.k());
+        let metrics = crate::obs::metrics();
+        metrics.queries_total.add(1);
+        let start = std::time::Instant::now();
         if let Some(short) = admit_pattern(&self.params, self.graph.num_vertices(), pattern)? {
+            metrics.query_find_one_ns.record_duration(start.elapsed());
             return Ok(short);
         }
         let target = self.target_csr();
@@ -948,9 +1067,11 @@ impl DynamicPsiIndex {
                 target,
                 round.values().flat_map(|batches| batches.iter()),
             ) {
+                metrics.query_find_one_ns.record_duration(start.elapsed());
                 return Ok(Some(occ));
             }
         }
+        metrics.query_find_one_ns.record_duration(start.elapsed());
         Ok(None)
     }
 

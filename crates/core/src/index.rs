@@ -288,6 +288,13 @@ impl PsiIndex {
         assert!(params.k >= 1, "index must serve at least k = 1");
         assert!(params.rounds >= 1, "index needs at least one stored round");
         debug_assert!(embedding.validate().is_ok(), "embedding must be valid");
+        let _span = psi_obs::span!(
+            "index.build",
+            n = embedding.graph.num_vertices(),
+            k = params.k,
+            rounds = params.rounds,
+        );
+        let build_start = std::time::Instant::now();
         let target = embedding.graph.clone();
         let rounds: Vec<Arc<Vec<IndexedBatch>>> = (0..params.rounds)
             .map(|r| {
@@ -317,6 +324,11 @@ impl PsiIndex {
             face_offsets.push(face_data.len() as u64);
         }
         let fv_graph = psi_planar::face_vertex_graph(embedding).graph;
+        let metrics = crate::obs::metrics();
+        metrics.index_builds_total.add(1);
+        metrics
+            .index_build_ns
+            .record_duration(build_start.elapsed());
         PsiIndex {
             params,
             target: Arc::new(target),
@@ -1192,31 +1204,45 @@ impl<'a> IndexedEngine<'a> {
     /// certain; a "no" is wrong with probability at most `2^−rounds` per fixed
     /// occurrence (see the module docs on frozen randomness).
     pub fn decide(&self, pattern: &Pattern) -> Result<bool, QueryError> {
+        let _span = psi_obs::span!("query.decide", k = pattern.k());
+        let metrics = crate::obs::metrics();
+        metrics.queries_total.add(1);
+        let start = std::time::Instant::now();
         let params = self.index.params;
         if let Some(short) = admit_pattern(&params, self.index.target.num_vertices(), pattern)? {
+            metrics.query_decide_ns.record_duration(start.elapsed());
             return Ok(short.is_some());
         }
-        Ok(decide_in_batches(
+        let verdict = decide_in_batches(
             self.strategy,
             pattern,
             self.index.rounds.iter().flat_map(|r| r.iter()),
-        ))
+        );
+        metrics.query_decide_ns.record_duration(start.elapsed());
+        Ok(verdict)
     }
 
     /// Finds one occurrence (pattern vertex `i` ↦ `mapping[i]`), scanning stored
     /// rounds and batches in order — the witness is the first hit in that order,
     /// independent of thread count.
     pub fn find_one(&self, pattern: &Pattern) -> Result<Option<Vec<Vertex>>, QueryError> {
+        let _span = psi_obs::span!("query.find_one", k = pattern.k());
+        let metrics = crate::obs::metrics();
+        metrics.queries_total.add(1);
+        let start = std::time::Instant::now();
         let params = self.index.params;
         if let Some(short) = admit_pattern(&params, self.index.target.num_vertices(), pattern)? {
+            metrics.query_find_one_ns.record_duration(start.elapsed());
             return Ok(short);
         }
-        Ok(find_in_batches(
+        let witness = find_in_batches(
             self.strategy,
             pattern,
             &self.index.target,
             self.index.rounds.iter().flat_map(|r| r.iter()),
-        ))
+        );
+        metrics.query_find_one_ns.record_duration(start.elapsed());
+        Ok(witness)
     }
 
     /// [`IndexedEngine::decide`] over many patterns: queries fan out on the
@@ -1263,8 +1289,19 @@ impl<'a> IndexedEngine<'a> {
     /// Global vertex connectivity served from the stored face–vertex graph
     /// (Lemma 5.1); no embedding or face–vertex re-derivation at query time.
     pub fn vertex_connectivity(&self, mode: ConnectivityMode, seed: u64) -> ConnectivityResult {
+        let _span = psi_obs::span!(
+            "query.vertex_connectivity",
+            n = self.index.target.num_vertices(),
+        );
+        let metrics = crate::obs::metrics();
+        metrics.queries_total.add(1);
+        let start = std::time::Instant::now();
         let fv = self.index.face_vertex_graph();
-        vertex_connectivity_with_fv(&self.index.target, &fv, mode, seed)
+        let result = vertex_connectivity_with_fv(&self.index.target, &fv, mode, seed);
+        metrics
+            .query_connectivity_ns
+            .record_duration(start.elapsed());
+        result
     }
 }
 

@@ -187,12 +187,25 @@ pub(crate) fn decide_decomposed(
     graph: &CsrGraph,
     btd: &BinaryTreeDecomposition,
 ) -> bool {
+    let mut span = psi_obs::span!(
+        "dp.batch",
+        n = graph.num_vertices(),
+        k = pattern.k(),
+        nodes = btd.num_nodes(),
+    );
     let decision = match strategy {
         DpStrategy::PathParallel => {
             run_parallel(graph, pattern, btd, ParallelDpConfig::default()).0
         }
         DpStrategy::Sequential => run_sequential(graph, pattern, btd, false),
     };
+    if span.is_recording() {
+        let arena = decision.arena_stats();
+        span.field("total_states", decision.total_states as u64);
+        span.field("arena_states", arena.states_interned as u64);
+        span.field("arena_hits", arena.hits);
+        span.field("arena_misses", arena.misses);
+    }
     decision.found()
 }
 
@@ -210,12 +223,25 @@ pub(crate) fn search_decomposed_with(
     btd: &BinaryTreeDecomposition,
     map: Option<&[Vertex]>,
 ) -> Option<Vec<Vertex>> {
+    let mut span = psi_obs::span!(
+        "dp.batch",
+        n = graph.num_vertices(),
+        k = pattern.k(),
+        nodes = btd.num_nodes(),
+    );
     let decision = match strategy {
         DpStrategy::PathParallel => {
             run_parallel(graph, pattern, btd, ParallelDpConfig::default()).0
         }
         DpStrategy::Sequential => run_sequential(graph, pattern, btd, false),
     };
+    if span.is_recording() {
+        let arena = decision.arena_stats();
+        span.field("total_states", decision.total_states as u64);
+        span.field("arena_states", arena.states_interned as u64);
+        span.field("arena_hits", arena.hits);
+        span.field("arena_misses", arena.misses);
+    }
     if !decision.found() {
         return None;
     }

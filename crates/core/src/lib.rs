@@ -66,6 +66,7 @@ pub mod dynamic;
 pub mod index;
 pub mod isomorphism;
 pub mod listing;
+pub(crate) mod obs;
 pub mod pattern;
 pub mod psi;
 pub mod separating;
@@ -90,7 +91,9 @@ pub use cover::{
 };
 pub use dp::{run_sequential, run_sequential_subtree, DpResult, NodeTable};
 pub use dp_parallel::{run_parallel, ParallelDpConfig, ParallelDpStats};
-pub use dynamic::{DynamicPsiIndex, MutationError, UpdateStats};
+pub use dynamic::{
+    DecompCacheMetrics, DynamicPsiIndex, MutationError, UpdateStats, DECOMP_CACHE_CAP,
+};
 pub use index::{
     FlatDecomposition, IndexLoadError, IndexParams, IndexedBatch, IndexedEngine, PsiIndex,
     QueryError, CONNECTIVITY_CAP, FAST_PATH_NODE_BUDGET, INDEX_SCHEMA_VERSION,

@@ -154,6 +154,7 @@ pub struct PsiBuilder {
     params: IndexParams,
     threads: Option<usize>,
     strategy: DpStrategy,
+    decomp_cache_cap: usize,
 }
 
 impl Default for PsiBuilder {
@@ -162,6 +163,7 @@ impl Default for PsiBuilder {
             params: IndexParams::default(),
             threads: None,
             strategy: DpStrategy::Sequential,
+            decomp_cache_cap: crate::dynamic::DECOMP_CACHE_CAP,
         }
     }
 }
@@ -211,6 +213,15 @@ impl PsiBuilder {
         self
     }
 
+    /// Capacity bound of the flush-side decomposition cache
+    /// ([`crate::DECOMP_CACHE_CAP`] entries by default; `0` disables it).
+    /// Purely a memory/speed trade-off — answers and frozen artifacts are
+    /// byte-identical whichever cap is chosen.
+    pub fn decomp_cache_cap(mut self, cap: usize) -> Self {
+        self.decomp_cache_cap = cap;
+        self
+    }
+
     /// The configured [`IndexParams`].
     pub fn params(&self) -> IndexParams {
         self.params
@@ -231,7 +242,10 @@ impl PsiBuilder {
     /// opens the live engine. Non-planar targets are rejected with the
     /// Kuratowski certificate.
     pub fn open(self, target: &CsrGraph) -> Result<Psi, PsiError> {
-        let embedding = planar_embedding(target)?;
+        let embedding = {
+            let _span = psi_obs::span!("planarity.embed", n = target.num_vertices());
+            planar_embedding(target)?
+        };
         self.open_embedded(&embedding)
     }
 
@@ -242,6 +256,7 @@ impl PsiBuilder {
         let build = || {
             let mut dynamic = DynamicPsiIndex::build(embedding, self.params);
             dynamic.set_strategy(self.strategy);
+            dynamic.set_decomp_cache_cap(self.decomp_cache_cap);
             dynamic
         };
         let dynamic = match &pool {
@@ -278,6 +293,7 @@ impl PsiBuilder {
         let thaw = || {
             let mut dynamic = DynamicPsiIndex::thaw(index);
             dynamic.set_strategy(self.strategy);
+            dynamic.set_decomp_cache_cap(self.decomp_cache_cap);
             dynamic
         };
         let dynamic = match &pool {
@@ -490,6 +506,35 @@ impl Psi {
     /// mutations; see [`DynamicPsiIndex::epoch`]).
     pub fn epoch(&self) -> u64 {
         self.dynamic.epoch()
+    }
+
+    // --- observability ----------------------------------------------------
+
+    /// Turns structured tracing on or off process-wide. While off (the
+    /// default), every `span!` site in the engine costs one relaxed atomic
+    /// load; while on, spans land in per-thread ring buffers for
+    /// [`Psi::trace_export`]. Tracing never changes answers, witnesses, or
+    /// frozen artifact bytes.
+    pub fn set_tracing(on: bool) {
+        psi_obs::set_tracing(on);
+    }
+
+    /// A Prometheus-style text dump of the process-wide metrics registry:
+    /// query/mutation/flush counters, per-query latency percentiles
+    /// (`p50`/`p95`/`p99`/max summaries), layer statistics (cover, DP, arena,
+    /// separating), work-stealing pool counters, and the decomposition-cache
+    /// gauges (refreshed from this engine just before the dump).
+    pub fn metrics(&self) -> String {
+        self.dynamic.refresh_cache_gauges();
+        psi_obs::registry().prometheus_text()
+    }
+
+    /// The recorded spans as chrome://tracing trace-event JSON (load via
+    /// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)). Returns
+    /// whatever the per-thread ring buffers currently retain; call
+    /// [`Psi::set_tracing`]`(true)` first or the export is empty.
+    pub fn trace_export(&self) -> String {
+        psi_obs::chrome_trace_json()
     }
 
     // --- artifact ---------------------------------------------------------

@@ -92,15 +92,21 @@ pub struct SepStats {
 }
 
 impl SepStats {
-    /// Accumulates another run's accounting (counters add, peaks max, arenas absorb) —
-    /// used by the connectivity pipeline to aggregate its per-cycle-length searches.
+    /// Accumulates another run's accounting (counters add saturating, peaks max,
+    /// arenas absorb) — used by the connectivity pipeline to aggregate its
+    /// per-cycle-length searches. Commutative and associative, so aggregated
+    /// totals are independent of merge order (and thread count).
     pub fn absorb(&mut self, other: &SepStats) {
-        self.sep_states += other.sep_states;
-        self.base_states += other.base_states;
+        self.sep_states = self.sep_states.saturating_add(other.sep_states);
+        self.base_states = self.base_states.saturating_add(other.base_states);
         self.peak_node_states = self.peak_node_states.max(other.peak_node_states);
-        self.flips_canonicalised += other.flips_canonicalised;
-        self.dominated_dropped += other.dominated_dropped;
-        self.orbit_merges += other.orbit_merges;
+        self.flips_canonicalised = self
+            .flips_canonicalised
+            .saturating_add(other.flips_canonicalised);
+        self.dominated_dropped = self
+            .dominated_dropped
+            .saturating_add(other.dominated_dropped);
+        self.orbit_merges = self.orbit_merges.saturating_add(other.orbit_merges);
         self.arena.absorb(&other.arena);
     }
 }
@@ -189,6 +195,29 @@ pub fn find_separating_occurrence_with_config(
 /// guaranteed-width) decomposition and share it across its per-cycle-length searches.
 /// The decomposition's bags must be sorted and at most 64 vertices wide.
 pub fn find_separating_occurrence_in(
+    instance: &SeparatingInstance<'_>,
+    pattern: &Pattern,
+    cfg: SepConfig,
+    btd: &BinaryTreeDecomposition,
+) -> (Option<Vec<Vertex>>, SepStats) {
+    let mut span = psi_obs::span!(
+        "dp.separating",
+        n = instance.graph.num_vertices(),
+        k = pattern.k(),
+    );
+    let (occ, stats) = find_separating_occurrence_in_untraced(instance, pattern, cfg, btd);
+    if span.is_recording() {
+        span.field("sep_states", stats.sep_states as u64);
+        span.field("base_states", stats.base_states as u64);
+        span.field("dominated_dropped", stats.dominated_dropped as u64);
+        span.field("orbit_merges", stats.orbit_merges as u64);
+        span.field("arena_misses", stats.arena.misses);
+    }
+    crate::obs::record_sep_run(&stats);
+    (occ, stats)
+}
+
+fn find_separating_occurrence_in_untraced(
     instance: &SeparatingInstance<'_>,
     pattern: &Pattern,
     cfg: SepConfig,

@@ -185,28 +185,42 @@ impl PsiSnapshot {
     /// Decides whether `pattern` occurs in the pinned target; same contract as
     /// [`crate::IndexedEngine::decide`].
     pub fn decide(&self, pattern: &Pattern) -> Result<bool, QueryError> {
+        let _span = psi_obs::span!("snapshot.decide", epoch = self.state.epoch, k = pattern.k());
+        let metrics = crate::obs::metrics();
+        metrics.queries_total.add(1);
+        let start = std::time::Instant::now();
         if let Some(short) = admit_pattern(&self.state.params, self.num_vertices(), pattern)? {
+            metrics.snapshot_query_ns.record_duration(start.elapsed());
             return Ok(short.is_some());
         }
-        Ok(decide_in_batches(
-            self.state.strategy,
-            pattern,
-            self.batches(),
-        ))
+        let verdict = decide_in_batches(self.state.strategy, pattern, self.batches());
+        metrics.snapshot_query_ns.record_duration(start.elapsed());
+        Ok(verdict)
     }
 
     /// Finds one occurrence in the pinned target (deterministic stored-order
     /// witness, identical to the frozen engine's).
     pub fn find_one(&self, pattern: &Pattern) -> Result<Option<Vec<Vertex>>, QueryError> {
+        let _span = psi_obs::span!(
+            "snapshot.find_one",
+            epoch = self.state.epoch,
+            k = pattern.k(),
+        );
+        let metrics = crate::obs::metrics();
+        metrics.queries_total.add(1);
+        let start = std::time::Instant::now();
         if let Some(short) = admit_pattern(&self.state.params, self.num_vertices(), pattern)? {
+            metrics.snapshot_query_ns.record_duration(start.elapsed());
             return Ok(short);
         }
-        Ok(find_in_batches(
+        let witness = find_in_batches(
             self.state.strategy,
             pattern,
             &self.state.target,
             self.batches(),
-        ))
+        );
+        metrics.snapshot_query_ns.record_duration(start.elapsed());
+        Ok(witness)
     }
 
     /// [`PsiSnapshot::decide`] over many patterns on the work-stealing pool,
@@ -253,13 +267,23 @@ impl PsiSnapshot {
     /// face–vertex graph is derived once per epoch, on the first call, and
     /// shared across snapshot clones.
     pub fn vertex_connectivity(&self, mode: ConnectivityMode, seed: u64) -> ConnectivityResult {
+        let _span = psi_obs::span!(
+            "snapshot.vertex_connectivity",
+            epoch = self.state.epoch,
+            n = self.num_vertices(),
+        );
+        let metrics = crate::obs::metrics();
+        metrics.queries_total.add(1);
+        let start = std::time::Instant::now();
         let fv = self.state.fv.get_or_init(|| {
             Arc::new(face_vertex_graph(&Embedding::new(
                 (*self.state.target).clone(),
                 (*self.state.faces).clone(),
             )))
         });
-        vertex_connectivity_with_fv(&self.state.target, fv, mode, seed)
+        let result = vertex_connectivity_with_fv(&self.state.target, fv, mode, seed);
+        metrics.snapshot_query_ns.record_duration(start.elapsed());
+        result
     }
 
     /// Materialises the pinned epoch as a frozen [`PsiIndex`] — bit-identical

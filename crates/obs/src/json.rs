@@ -1,0 +1,486 @@
+//! Minimal JSON support shared by every serializer in the workspace: a streaming
+//! writer (used by the chrome-trace exporter and the bench report writer), a small
+//! recursive-descent parser (used by tests and CI to validate exports without an
+//! external JSON dependency), and [`BenchReport`], the one serializer behind every
+//! `BENCH_*.json` baseline file.
+//!
+//! The writer emits compact machine format (`{"k":v,...}`); [`BenchReport`]
+//! reproduces the exact line-oriented layout the bench `--check` gates parse
+//! (one case object per line, fixed float precision per field), so regenerated
+//! baselines stay byte-compatible with the committed ones.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes, control
+/// characters; non-ASCII passes through as UTF-8, which JSON permits).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes `s` into a quoted JSON string literal.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// A streaming writer for compact JSON. The writer inserts commas automatically;
+/// the caller is responsible for pairing `begin_*`/`end_*` and for emitting a
+/// `key` before each value inside an object (debug assertions catch misuse).
+pub struct JsonWriter {
+    out: String,
+    /// Per-nesting-level flag: does the next element need a leading comma?
+    need_comma: Vec<bool>,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    pub fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            need_comma: vec![false],
+        }
+    }
+
+    fn before_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the following value call supplies the value.
+    pub fn key(&mut self, name: &str) {
+        self.before_value();
+        self.out.push('"');
+        escape_into(name, &mut self.out);
+        self.out.push_str("\":");
+        // The upcoming value must not add another comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    pub fn string(&mut self, value: &str) {
+        self.before_value();
+        self.out.push('"');
+        escape_into(value, &mut self.out);
+        self.out.push('"');
+    }
+
+    pub fn u64(&mut self, value: u64) {
+        self.before_value();
+        let _ = write!(self.out, "{value}");
+    }
+
+    pub fn i64(&mut self, value: i64) {
+        self.before_value();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Fixed-precision float, matching Rust's `{:.prec$}` formatting.
+    pub fn f64(&mut self, value: f64, precision: usize) {
+        self.before_value();
+        let _ = write!(self.out, "{value:.precision$}");
+    }
+
+    pub fn bool(&mut self, value: bool) {
+        self.before_value();
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64` (sufficient for validating
+/// exports and reading bench baselines); object member order is preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (first match); `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (surrounding whitespace allowed). Errors carry
+/// a byte offset and a short description.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Number)
+        .ok_or_else(|| format!("invalid number at offset {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {pos}", pos = *pos))?;
+                        // Surrogate pairs are not needed by any workspace export;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass through).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at offset {pos}", pos = *pos))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected member key at offset {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bench report serializer
+// ---------------------------------------------------------------------------
+
+/// One value of a bench-case row, with its committed formatting.
+enum CaseField {
+    U64(&'static str, u64),
+    F64(&'static str, f64, usize),
+    F64List(&'static str, Vec<f64>, usize),
+}
+
+/// One case row of a bench report; finished rows serialize to a single line so
+/// the line-oriented `extract_case_*` baseline parsers keep working.
+pub struct BenchCase {
+    name: String,
+    fields: Vec<CaseField>,
+}
+
+impl BenchCase {
+    pub fn u64(mut self, key: &'static str, value: u64) -> BenchCase {
+        self.fields.push(CaseField::U64(key, value));
+        self
+    }
+
+    pub fn f64(mut self, key: &'static str, value: f64, precision: usize) -> BenchCase {
+        self.fields.push(CaseField::F64(key, value, precision));
+        self
+    }
+
+    pub fn f64_list(mut self, key: &'static str, values: &[f64], precision: usize) -> BenchCase {
+        self.fields
+            .push(CaseField::F64List(key, values.to_vec(), precision));
+        self
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str("    {\"name\": ");
+        out.push_str(&quote(&self.name));
+        for field in &self.fields {
+            out.push_str(", ");
+            match field {
+                CaseField::U64(key, v) => {
+                    let _ = write!(out, "\"{key}\": {v}");
+                }
+                CaseField::F64(key, v, p) => {
+                    let _ = write!(out, "\"{key}\": {v:.p$}");
+                }
+                CaseField::F64List(key, vs, p) => {
+                    let _ = write!(out, "\"{key}\": [");
+                    for (i, v) in vs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{v:.p$}");
+                    }
+                    out.push(']');
+                }
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// The shared serializer behind every `BENCH_*.json` baseline: a schema line, an
+/// optional free-text `notes` member (escaped here, once, instead of at every
+/// call site), the recording host's thread count, and one case object per line.
+pub struct BenchReport {
+    schema: String,
+    notes: Option<String>,
+    host_threads: usize,
+    cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// `host_threads` is conventionally `std::thread::available_parallelism()`.
+    pub fn new(schema: &str, host_threads: usize) -> BenchReport {
+        BenchReport {
+            schema: schema.to_string(),
+            notes: None,
+            host_threads,
+            cases: Vec::new(),
+        }
+    }
+
+    /// Attaches the free-text provenance note emitted between `schema` and
+    /// `host_threads`.
+    pub fn notes(&mut self, notes: &str) {
+        self.notes = Some(notes.to_string());
+    }
+
+    /// Starts a case row; chain typed field calls and pass the result to
+    /// [`BenchReport::push`].
+    pub fn case(&self, name: &str) -> BenchCase {
+        BenchCase {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, case: BenchCase) {
+        self.cases.push(case);
+    }
+
+    /// Serializes the report in the committed baseline layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": ");
+        out.push_str(&quote(&self.schema));
+        out.push_str(",\n");
+        if let Some(notes) = &self.notes {
+            out.push_str("  \"notes\": ");
+            out.push_str(&quote(notes));
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  \"host_threads\": {},\n  \"cases\": [\n",
+            self.host_threads
+        );
+        for (i, case) in self.cases.iter().enumerate() {
+            case.render(&mut out);
+            if i + 1 != self.cases.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}

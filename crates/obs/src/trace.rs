@@ -1,0 +1,392 @@
+//! Structured tracing: nested spans recorded into per-thread ring buffers.
+//!
+//! The design centers on one invariant: **the disabled path is a single relaxed
+//! atomic load**. The [`span!`](crate::span) macro checks the global gate before doing anything
+//! else; when tracing is off it produces an inert [`SpanGuard`] without touching a
+//! thread-local, taking a lock, or allocating. Instrumentation can therefore live
+//! permanently in the hot paths of the engine (cover construction, per-batch DP,
+//! flush publication, snapshot reads) at a cost that is unmeasurable until someone
+//! flips the gate on.
+//!
+//! When the gate is on, each completed span is appended to the calling thread's ring
+//! buffer (bounded, overwriting the oldest records) together with its start time,
+//! duration, nesting depth, and any attached `key = value` fields. Buffers are
+//! registered in a global list on first use per thread, so an exporter can walk all
+//! of them without cooperation from the traced threads. Two exporters are provided:
+//! [`chrome_trace_json`] (the chrome://tracing / Perfetto trace-event format) and
+//! [`snapshot_spans`] (typed records for tests and ad-hoc analysis).
+//!
+//! Timestamps are microseconds since the first use of the tracing clock in this
+//! process, which is what the trace-event format expects (`ts`/`dur` in µs).
+
+use std::cell::{Cell, OnceCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum completed spans retained per thread; older records are overwritten.
+/// 64Ki spans x ~100 bytes keeps the worst case a few MiB per traced thread.
+const RING_CAP: usize = 1 << 16;
+
+/// Maximum fields carried by one span. Excess fields are silently dropped; the
+/// engine's call sites attach at most a handful of counters.
+pub const MAX_FIELDS: usize = 8;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn threads() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static THREADS: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    THREADS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Is tracing globally enabled? One relaxed load; this is the only cost an
+/// instrumented call site pays while tracing is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the global tracing gate on or off. Spans already begun are unaffected
+/// (their guards were created under the old setting); new spans observe the new
+/// gate immediately.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the clock epoch before the first span so ts=0 is "tracing enabled",
+        // not "first span recorded".
+        let _ = EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Microseconds since the process's tracing epoch.
+fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// One completed span (or instant event, when `dur_us == 0 && instant`).
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    /// Stable per-thread id assigned on the thread's first recorded span.
+    pub tid: u64,
+    /// Microseconds since the tracing epoch at span entry.
+    pub start_us: u64,
+    pub dur_us: u64,
+    /// Nesting depth on the recording thread at entry (0 = outermost).
+    pub depth: u32,
+    pub instant: bool,
+    num_fields: u8,
+    fields: [(&'static str, u64); MAX_FIELDS],
+}
+
+impl SpanRecord {
+    pub fn fields(&self) -> &[(&'static str, u64)] {
+        &self.fields[..self.num_fields as usize]
+    }
+}
+
+struct Ring {
+    buf: Vec<SpanRecord>,
+    /// Next write position once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() < RING_CAP {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % RING_CAP;
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    fn in_order(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+struct ThreadRing {
+    tid: u64,
+    ring: Mutex<Ring>,
+}
+
+struct ThreadTrace {
+    ring: Arc<ThreadRing>,
+    depth: Cell<u32>,
+}
+
+thread_local! {
+    static THREAD_TRACE: OnceCell<ThreadTrace> = const { OnceCell::new() };
+}
+
+fn with_thread_trace<R>(f: impl FnOnce(&ThreadTrace) -> R) -> R {
+    THREAD_TRACE.with(|cell| {
+        let tt = cell.get_or_init(|| {
+            let ring = Arc::new(ThreadRing {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                ring: Mutex::new(Ring {
+                    buf: Vec::new(),
+                    head: 0,
+                    dropped: 0,
+                }),
+            });
+            threads().lock().unwrap().push(Arc::clone(&ring));
+            ThreadTrace {
+                ring,
+                depth: Cell::new(0),
+            }
+        });
+        f(tt)
+    })
+}
+
+/// An active span. Created only while tracing is enabled; recording happens on
+/// drop, so the guard must be bound to a variable (`let _span = span!(...)`), not
+/// discarded with `_`.
+pub struct Span {
+    name: &'static str,
+    start_us: u64,
+    depth: u32,
+    num_fields: u8,
+    fields: [(&'static str, u64); MAX_FIELDS],
+}
+
+impl Span {
+    /// Starts a span on the current thread. Prefer the [`span!`](crate::span) macro, which
+    /// checks the enable gate first.
+    pub fn begin(name: &'static str, fields: &[(&'static str, u64)]) -> Span {
+        let depth = with_thread_trace(|tt| {
+            let d = tt.depth.get();
+            tt.depth.set(d + 1);
+            d
+        });
+        let mut span = Span {
+            name,
+            start_us: now_us(),
+            depth,
+            num_fields: 0,
+            fields: [("", 0); MAX_FIELDS],
+        };
+        for &(k, v) in fields {
+            span.push_field(k, v);
+        }
+        span
+    }
+
+    fn push_field(&mut self, key: &'static str, value: u64) {
+        if (self.num_fields as usize) < MAX_FIELDS {
+            self.fields[self.num_fields as usize] = (key, value);
+            self.num_fields += 1;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let end_us = now_us();
+        with_thread_trace(|tt| {
+            tt.depth.set(tt.depth.get().saturating_sub(1));
+            tt.ring.ring.lock().unwrap().push(SpanRecord {
+                name: self.name,
+                tid: tt.ring.tid,
+                start_us: self.start_us,
+                dur_us: end_us.saturating_sub(self.start_us),
+                depth: self.depth,
+                instant: false,
+                num_fields: self.num_fields,
+                fields: self.fields,
+            });
+        });
+    }
+}
+
+/// The value returned by [`span!`](crate::span): either an active [`Span`] or (tracing off) an
+/// inert placeholder that costs nothing to create or drop.
+pub struct SpanGuard(Option<Span>);
+
+impl SpanGuard {
+    #[inline]
+    pub fn active(span: Span) -> SpanGuard {
+        SpanGuard(Some(span))
+    }
+
+    /// The no-op guard used while tracing is disabled. No allocation, no TLS.
+    #[inline(always)]
+    pub fn inert() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// Attaches a `key = value` field to the span after creation — the idiom for
+    /// counters only known at the end of a phase (the caller records them just
+    /// before the guard drops). No-op while tracing is off.
+    #[inline]
+    pub fn field(&mut self, key: &'static str, value: u64) {
+        if let Some(span) = &mut self.0 {
+            span.push_field(key, value);
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Records an instant event (zero-duration marker) on the current thread.
+/// Prefer the [`event!`](crate::event) macro, which checks the enable gate first.
+pub fn record_instant(name: &'static str, fields: &[(&'static str, u64)]) {
+    let ts = now_us();
+    with_thread_trace(|tt| {
+        let mut rec = SpanRecord {
+            name,
+            tid: tt.ring.tid,
+            start_us: ts,
+            dur_us: 0,
+            depth: tt.depth.get(),
+            instant: true,
+            num_fields: 0,
+            fields: [("", 0); MAX_FIELDS],
+        };
+        for &(k, v) in fields.iter().take(MAX_FIELDS) {
+            rec.fields[rec.num_fields as usize] = (k, v);
+            rec.num_fields += 1;
+        }
+        tt.ring.ring.lock().unwrap().push(rec);
+    });
+}
+
+/// Opens a traced span over the enclosing scope.
+///
+/// ```
+/// let mut _span = psi_obs::span!("cover.build", n = 42u64);
+/// // ... work ...
+/// _span.field("shards", 7);
+/// ```
+///
+/// Bind the result to a named variable: `let _ = span!(...)` drops the guard
+/// immediately and records an empty span. While tracing is disabled the expansion
+/// is one relaxed load and the field expressions are **not** evaluated.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::trace::enabled() {
+            $crate::trace::SpanGuard::active($crate::trace::Span::begin($name, &[]))
+        } else {
+            $crate::trace::SpanGuard::inert()
+        }
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::SpanGuard::active($crate::trace::Span::begin(
+                $name,
+                &[$((stringify!($key), ($value) as u64)),+],
+            ))
+        } else {
+            $crate::trace::SpanGuard::inert()
+        }
+    };
+}
+
+/// Records an instant event (a vertical marker in chrome://tracing). Same gate
+/// semantics as [`span!`](crate::span): one relaxed load while tracing is off.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        if $crate::trace::enabled() {
+            $crate::trace::record_instant($name, &[]);
+        }
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::record_instant($name, &[$((stringify!($key), ($value) as u64)),+]);
+        }
+    };
+}
+
+/// Discards every recorded span in every thread's ring buffer. The enable gate is
+/// left as-is; in-flight spans recorded after the clear are kept.
+pub fn clear() {
+    for ring in threads().lock().unwrap().iter() {
+        let mut ring = ring.ring.lock().unwrap();
+        ring.buf.clear();
+        ring.head = 0;
+        ring.dropped = 0;
+    }
+}
+
+/// Copies out every retained span from every thread, ordered by (tid, start).
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for ring in threads().lock().unwrap().iter() {
+        out.extend(ring.ring.lock().unwrap().in_order());
+    }
+    out.sort_by_key(|r| (r.tid, r.start_us, r.depth));
+    out
+}
+
+/// Total spans overwritten by ring-buffer wraparound since the last [`clear`].
+pub fn dropped_spans() -> u64 {
+    threads()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|r| r.ring.lock().unwrap().dropped)
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Exports every retained span as chrome://tracing "trace event" JSON (the
+/// `{"traceEvents": [...]}` object form). Load the string into chrome://tracing
+/// or <https://ui.perfetto.dev> for a flamegraph-style view; spans appear as `X`
+/// (complete) events on one lane per recording thread, instants as `i` events.
+pub fn chrome_trace_json() -> String {
+    let spans = snapshot_spans();
+    let mut w = crate::json::JsonWriter::new();
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+    for rec in &spans {
+        w.begin_object();
+        w.key("name");
+        w.string(rec.name);
+        w.key("ph");
+        w.string(if rec.instant { "i" } else { "X" });
+        if rec.instant {
+            w.key("s");
+            w.string("t");
+        }
+        w.key("ts");
+        w.u64(rec.start_us);
+        if !rec.instant {
+            w.key("dur");
+            w.u64(rec.dur_us);
+        }
+        w.key("pid");
+        w.u64(1);
+        w.key("tid");
+        w.u64(rec.tid);
+        w.key("args");
+        w.begin_object();
+        w.key("depth");
+        w.u64(rec.depth as u64);
+        for &(k, v) in rec.fields() {
+            w.key(k);
+            w.u64(v);
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("displayTimeUnit");
+    w.string("ms");
+    w.end_object();
+    w.finish()
+}

@@ -58,6 +58,31 @@ pub fn current_num_threads() -> usize {
     pool::Registry::current().num_threads()
 }
 
+/// Cumulative scheduler event counters since process start, summed over every
+/// pool in the process. Not part of real rayon's API; the observability layer
+/// reads these to report work-stealing behaviour (a sequential `PSI_THREADS=1`
+/// run keeps all three at zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs taken from the front of another worker's deque.
+    pub steals: u64,
+    /// Jobs taken from the external-submission injector queue.
+    pub injector_pops: u64,
+    /// Idle iterations (spin/yield/sleep) spent by workers with nothing to take.
+    pub idle_spins: u64,
+}
+
+/// Reads the current [`PoolStats`]. Counters are monotone (relaxed atomics), so
+/// differencing two reads brackets the events of the work in between.
+pub fn pool_stats() -> PoolStats {
+    use std::sync::atomic::Ordering;
+    PoolStats {
+        steals: pool::COUNTERS.steals.load(Ordering::Relaxed),
+        injector_pops: pool::COUNTERS.injector_pops.load(Ordering::Relaxed),
+        idle_spins: pool::COUNTERS.idle_spins.load(Ordering::Relaxed),
+    }
+}
+
 /// A dedicated thread pool. Dropping the pool shuts its workers down.
 pub struct ThreadPool {
     registry: std::sync::Arc<pool::Registry>,

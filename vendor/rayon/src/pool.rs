@@ -29,9 +29,35 @@
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Scheduler counters
+// ---------------------------------------------------------------------------
+
+/// Process-wide, cumulative scheduler event counters (across every registry —
+/// the global pool and all dedicated [`crate::ThreadPool`]s). Incremented with
+/// relaxed atomics at scheduling events only (a steal, an injector pop, an idle
+/// wait iteration), never per task, so the cost is invisible next to the queue
+/// mutexes the events already take. Surfaced through [`crate::pool_stats`] so an
+/// external metrics layer can report work-stealing behaviour without this crate
+/// depending on it.
+pub(crate) struct PoolCounters {
+    /// Jobs taken from the front of another worker's deque.
+    pub(crate) steals: AtomicU64,
+    /// Jobs taken from the external-submission injector queue.
+    pub(crate) injector_pops: AtomicU64,
+    /// Idle iterations (spin/yield/sleep) spent by workers with no work to take.
+    pub(crate) idle_spins: AtomicU64,
+}
+
+pub(crate) static COUNTERS: PoolCounters = PoolCounters {
+    steals: AtomicU64::new(0),
+    injector_pops: AtomicU64::new(0),
+    idle_spins: AtomicU64::new(0),
+};
 
 // ---------------------------------------------------------------------------
 // Jobs
@@ -292,6 +318,7 @@ impl Registry {
             }
         }
         if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            COUNTERS.injector_pops.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         let n = self.deques.len();
@@ -302,6 +329,7 @@ impl Registry {
                 continue;
             }
             if let Some(job) = self.deques[i].lock().unwrap().pop_front() {
+                COUNTERS.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -334,6 +362,9 @@ impl Registry {
             None => self.wait_blocking(latch),
             Some(m) => {
                 let mut idle: u32 = 0;
+                // Idle iterations are accumulated locally and flushed in one relaxed
+                // add, keeping the counter off the spin loop's cache traffic.
+                let mut idle_total: u64 = 0;
                 while !latch.probe() {
                     if let Some(job) = self.find_work(Some(m)) {
                         unsafe { job.execute() };
@@ -341,6 +372,7 @@ impl Registry {
                         idle = 0;
                     } else {
                         idle += 1;
+                        idle_total += 1;
                         if idle < 32 {
                             std::hint::spin_loop();
                         } else if idle < 256 {
@@ -350,6 +382,9 @@ impl Registry {
                             std::thread::sleep(Duration::from_micros(50));
                         }
                     }
+                }
+                if idle_total > 0 {
+                    COUNTERS.idle_spins.fetch_add(idle_total, Ordering::Relaxed);
                 }
             }
         }
@@ -384,6 +419,7 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
         }
         // Sleep until notified; the timeout bounds the cost of a lost wakeup (a push
         // can miss a sleeper that registers after the sleeper-count check).
+        COUNTERS.idle_spins.fetch_add(1, Ordering::Relaxed);
         let guard = registry.sleep_lock.lock().unwrap();
         registry.sleepers.fetch_add(1, Ordering::Relaxed);
         let _ = registry
